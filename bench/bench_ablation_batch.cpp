@@ -1,0 +1,60 @@
+// Ablation: batched SpMSpV amortization. Sweeps the batch size k for
+// Y = A X against k independent tile_spmspv calls, on a dense-tile FEM
+// matrix and on a scattered web matrix. The batch kernel shares each
+// tile's metadata and payload across the whole batch; the per-vector
+// kernel re-reads them k times.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/tile_spmspv.hpp"
+#include "core/tile_spmspv_batch.hpp"
+#include "gen/vector_gen.hpp"
+
+using namespace tilespmspv;
+using namespace tilespmspv::bench;
+
+int main(int argc, char** argv) {
+  const int iters = argc > 1 ? std::atoi(argv[1]) : 3;
+  ThreadPool pool(4);
+  std::cout << "Ablation: batched SpMSpV (shared tile traversal) vs "
+               "repeated single multiplies\n\n";
+
+  for (const char* name : {"cant", "in-2004"}) {
+    const Csr<value_t> a = Csr<value_t>::from_coo(suite_matrix(name));
+    const TileMatrix<value_t> tiled =
+        TileMatrix<value_t>::from_csr(a, 16, 2);
+
+    std::cout << "--- " << name << " (" << fmt_count(a.nnz())
+              << " nnz, vector sparsity 0.01) ---\n";
+    Table table({"batch k", "k singles ms", "batched ms", "speedup",
+                 "ms per vector"});
+    for (int k : {1, 4, 16, 64}) {
+      std::vector<SparseVec<value_t>> xs;
+      std::vector<TileVector<value_t>> xts;
+      for (int v = 0; v < k; ++v) {
+        xs.push_back(gen_sparse_vector(a.cols, 0.01, 2000 + v));
+        xts.push_back(TileVector<value_t>::from_sparse(xs.back(), 16));
+      }
+      SpmspvWorkspace<value_t> ws;
+      const double t_single = time_best_ms(
+          [&] {
+            for (const auto& xt : xts) {
+              (void)tile_spmspv(tiled, xt, ws, &pool);
+            }
+          },
+          iters);
+      const double t_batch = time_best_ms(
+          [&] { (void)tile_spmspv_batch(tiled, xts, &pool); }, iters);
+      table.add_row({std::to_string(k), fmt(t_single, 3), fmt(t_batch, 3),
+                     fmt(t_single / t_batch, 2) + "x",
+                     fmt(t_batch / k, 4)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Expected shape: per-vector cost falls as k grows (metadata "
+               "amortizes);\nthe effect is largest on matrices whose "
+               "metadata-to-payload ratio is high\n(the scattered web "
+               "matrix).\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation (paper §4.2, the cryg10000 observation): the effect of
+// extracting very sparse tiles into a side COO matrix. Sweeps the
+// extraction threshold on matrices mixing dense structure with scattered
+// noise and reports tile counts, memory, and SpMSpV / BFS time.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bfs/tile_bfs.hpp"
+#include "core/tile_spmspv.hpp"
+#include "gen/vector_gen.hpp"
+
+using namespace tilespmspv;
+using namespace tilespmspv::bench;
+
+namespace {
+
+/// Approximate bytes of the tiled numeric representation (payload +
+/// metadata), to show the space side of the trade-off.
+std::size_t tiled_bytes(const TileMatrix<value_t>& t) {
+  return t.tile_row_ptr.size() * sizeof(offset_t) +
+         t.tile_col_id.size() * sizeof(index_t) +
+         t.tile_nnz_ptr.size() * sizeof(offset_t) +
+         t.intra_row_ptr.size() * sizeof(std::uint16_t) +
+         t.local_col.size() + t.vals.size() * sizeof(value_t) +
+         static_cast<std::size_t>(t.extracted.nnz()) *
+             (2 * sizeof(index_t) + sizeof(value_t));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int iters = argc > 1 ? std::atoi(argv[1]) : 3;
+  ThreadPool pool(4);
+  std::cout << "Ablation: very-sparse tile extraction (COO side matrix)\n\n";
+
+  for (const char* name : {"band-scattered", "roadNet-TX", "in-2004"}) {
+    const Csr<value_t> a = Csr<value_t>::from_coo(suite_matrix(name));
+    const SparseVec<value_t> x = gen_sparse_vector(a.cols, 0.01, 1);
+    const TileVector<value_t> xt = TileVector<value_t>::from_sparse(x, 16);
+    const index_t src = max_degree_vertex(a);
+
+    std::cout << "--- " << name << " (" << fmt_count(a.nnz())
+              << " nnz) ---\n";
+    Table table({"threshold", "tiles kept", "nnz extracted", "bytes",
+                 "SpMSpV ms", "BFS ms"});
+    for (index_t threshold : {0, 1, 2, 4, 8}) {
+      const TileMatrix<value_t> tiled =
+          TileMatrix<value_t>::from_csr(a, 16, threshold);
+      SpmspvWorkspace<value_t> ws;
+      const double t_mul = time_best_ms(
+          [&] { (void)tile_spmspv(tiled, xt, ws, &pool); }, iters);
+
+      TileBfsConfig cfg;
+      cfg.extract_threshold = threshold;
+      TileBfs bfs(a, cfg, &pool);
+      const double t_bfs = time_best_ms([&] { (void)bfs.run(src); }, iters);
+
+      table.add_row({std::to_string(threshold),
+                     fmt_count(tiled.num_tiles()),
+                     fmt_count(tiled.extracted.nnz()),
+                     fmt_count(static_cast<long long>(tiled_bytes(tiled))),
+                     fmt(t_mul, 3), fmt(t_bfs, 3)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Expected shape (paper, cryg10000): moving singleton tiles\n"
+               "to COO removes a large share of tile metadata and improves\n"
+               "scattered matrices (band-scattered here) while leaving\n"
+               "dense-tile matrices unchanged.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Shared plumbing for the per-figure benchmark harnesses: matrix loading,
+// BFS source selection, traversed-edge accounting (GTEPS), and the "two
+// GPUs" -> two pool configurations mapping described in EXPERIMENTS.md.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "formats/csr.hpp"
+#include "gen/suite.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv::bench {
+
+/// Vertex with the highest out-degree: the standard benchmark source (it
+/// guarantees a non-trivial traversal and is deterministic).
+inline index_t max_degree_vertex(const Csr<value_t>& a) {
+  index_t best = 0;
+  index_t best_deg = -1;
+  for (index_t r = 0; r < a.rows; ++r) {
+    const index_t d = a.row_nnz(r);
+    if (d > best_deg) {
+      best_deg = d;
+      best = r;
+    }
+  }
+  return best;
+}
+
+/// Edges traversed by a BFS = sum of out-degrees of visited vertices (the
+/// Graph500 TEPS convention).
+inline offset_t traversed_edges(const Csr<value_t>& a,
+                                const std::vector<index_t>& levels) {
+  offset_t e = 0;
+  for (index_t r = 0; r < a.rows; ++r) {
+    if (levels[r] >= 0) e += a.row_nnz(r);
+  }
+  return e;
+}
+
+inline double gteps(offset_t edges, double ms) {
+  return ms <= 0.0 ? 0.0 : static_cast<double>(edges) / (ms * 1e6);
+}
+
+/// Useful flops of an SpMSpV: 2 * nnz of the columns selected by x (the
+/// multiply-add count every correct algorithm must perform). This is the
+/// numerator of the paper's GFlops axis.
+inline offset_t useful_flops(const std::vector<offset_t>& col_nnz,
+                             const std::vector<index_t>& x_idx) {
+  offset_t nnz = 0;
+  for (index_t j : x_idx) nnz += col_nnz[j];
+  return 2 * nnz;
+}
+
+/// Per-column nnz of a CSR matrix (precomputed once per matrix).
+inline std::vector<offset_t> column_nnz(const Csr<value_t>& a) {
+  std::vector<offset_t> c(a.cols, 0);
+  for (const index_t j : a.col_idx) ++c[j];
+  return c;
+}
+
+inline double gflops(offset_t flops, double ms) {
+  return ms <= 0.0 ? 0.0 : static_cast<double>(flops) / (ms * 1e6);
+}
+
+/// The paper benches on two GPUs (RTX 3060 / RTX 3090). The CPU analog is
+/// two pool sizes; on a single-core host they coincide, but the harness
+/// structure (and the scaling table) is preserved.
+struct Device {
+  const char* name;
+  std::size_t threads;
+};
+
+inline std::vector<Device> devices() {
+  return {{"pool-small (RTX 3060 analog)", 1},
+          {"pool-large (RTX 3090 analog)", 4}};
+}
+
+}  // namespace tilespmspv::bench

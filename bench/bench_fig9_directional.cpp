@@ -1,0 +1,49 @@
+// Figure 9: directional-optimization ablation — BFS throughput with the
+// kernels enabled step by step: K1 (Push-CSC only), K1+K2 (adds Push-CSR),
+// K1+K2+K3 (adds Pull-CSC), on the representative matrices.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bfs/tile_bfs.hpp"
+
+using namespace tilespmspv;
+using namespace tilespmspv::bench;
+
+int main(int argc, char** argv) {
+  const int iters = argc > 1 ? std::atoi(argv[1]) : 3;
+  ThreadPool pool(4);
+  std::cout << "Figure 9: step-wise stacking of the three directional "
+               "kernels (GTEPS)\n\n";
+
+  Table table({"matrix", "K1", "K1+K2", "K1+K2+K3", "K3/K1 gain"});
+  std::vector<double> gains;
+  for (const auto& name : suite_representative12()) {
+    const Csr<value_t> a = Csr<value_t>::from_coo(suite_matrix(name));
+    const index_t src = max_degree_vertex(a);
+
+    double t_by_mask[3] = {0, 0, 0};
+    const unsigned masks[3] = {1u, 3u, 7u};
+    offset_t edges = 0;
+    for (int i = 0; i < 3; ++i) {
+      TileBfsConfig cfg;
+      cfg.kernel_mask = masks[i];
+      TileBfs bfs(a, cfg, &pool);
+      if (i == 0) {
+        edges = traversed_edges(a, bfs.run(src).levels);
+      }
+      t_by_mask[i] = time_best_ms([&] { (void)bfs.run(src); }, iters);
+    }
+    gains.push_back(t_by_mask[0] / t_by_mask[2]);
+    table.add_row({name, fmt(gteps(edges, t_by_mask[0]), 3),
+                   fmt(gteps(edges, t_by_mask[1]), 3),
+                   fmt(gteps(edges, t_by_mask[2]), 3),
+                   fmt(t_by_mask[0] / t_by_mask[2], 2) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\ngeomean gain of the full selector over Push-CSC alone: "
+            << fmt(geomean(gains), 2) << "x\n"
+            << "Expected shape (paper): performance improves monotonically\n"
+               "as kernels stack; the biggest jumps come on matrices whose\n"
+               "frontier passes through all three density regimes.\n";
+  return 0;
+}

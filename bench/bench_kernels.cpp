@@ -1,0 +1,131 @@
+// Microkernel benchmarks (google-benchmark): the primitive operations the
+// figure-level harnesses are built from — tiled SpMSpV vs the baselines at
+// controlled sparsities, format construction, and the three BFS kernels.
+#include <benchmark/benchmark.h>
+
+#include "baselines/csr_spmv.hpp"
+#include "baselines/spmspv_bucket.hpp"
+#include "baselines/tile_spmv.hpp"
+#include "bfs/tile_bfs.hpp"
+#include "core/tile_spmspv.hpp"
+#include "formats/csc.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/grid.hpp"
+#include "gen/vector_gen.hpp"
+#include "spgemm/gustavson.hpp"
+
+namespace {
+
+using namespace tilespmspv;
+
+struct SpmspvFixture {
+  Csr<value_t> a;
+  Csc<value_t> c;
+  TileMatrix<value_t> tiled;
+  SparseVec<value_t> x;
+  TileVector<value_t> xt;
+  std::vector<value_t> xd;
+
+  SpmspvFixture(index_t n, double mat_density, double vec_sparsity)
+      : a(Csr<value_t>::from_coo(gen_erdos_renyi(n, n, mat_density, 77))),
+        c(Csc<value_t>::from_csr(a)),
+        tiled(TileMatrix<value_t>::from_csr(a, 16, 2)),
+        x(gen_sparse_vector(n, vec_sparsity, 1)),
+        xt(TileVector<value_t>::from_sparse(x, 16)),
+        xd(x.to_dense()) {}
+};
+
+SpmspvFixture& fixture(double vec_sparsity) {
+  static SpmspvFixture f1(20000, 1e-3, 0.1);
+  static SpmspvFixture f2(20000, 1e-3, 0.01);
+  static SpmspvFixture f3(20000, 1e-3, 0.001);
+  if (vec_sparsity >= 0.1) return f1;
+  if (vec_sparsity >= 0.01) return f2;
+  return f3;
+}
+
+void BM_TileSpmspv(benchmark::State& state) {
+  auto& f = fixture(1.0 / state.range(0));
+  SpmspvWorkspace<value_t> ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tile_spmspv(f.tiled, f.xt, ws));
+  }
+}
+BENCHMARK(BM_TileSpmspv)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_CsrSpmv(benchmark::State& state) {
+  auto& f = fixture(1.0 / state.range(0));
+  std::vector<value_t> yd;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csr_spmv(f.a, f.xd, yd));
+  }
+}
+BENCHMARK(BM_CsrSpmv)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_TileSpmv(benchmark::State& state) {
+  auto& f = fixture(1.0 / state.range(0));
+  std::vector<value_t> yd;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tile_spmv(f.tiled, f.xd, yd));
+  }
+}
+BENCHMARK(BM_TileSpmv)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SpmspvBucket(benchmark::State& state) {
+  auto& f = fixture(1.0 / state.range(0));
+  BucketWorkspace<value_t> ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spmspv_bucket(f.c, f.x, ws, 16));
+  }
+}
+BENCHMARK(BM_SpmspvBucket)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SpmspvViaSpgemm(benchmark::State& state) {
+  // The paper's intro strawman: SpMSpV as A * (n×1) through Gustavson.
+  auto& f = fixture(1.0 / state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spmspv_via_spgemm(f.a, f.x));
+  }
+}
+BENCHMARK(BM_SpmspvViaSpgemm)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_TileMatrixBuild(benchmark::State& state) {
+  const auto a = Csr<value_t>::from_coo(
+      gen_erdos_renyi(10000, 10000, 2e-3, 79));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TileMatrix<value_t>::from_csr(a, static_cast<index_t>(state.range(0)),
+                                      2));
+  }
+}
+BENCHMARK(BM_TileMatrixBuild)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_TileVectorBuild(benchmark::State& state) {
+  const auto x = gen_sparse_vector(1 << 20, 0.001, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TileVector<value_t>::from_sparse(x, 16));
+  }
+}
+BENCHMARK(BM_TileVectorBuild);
+
+void BM_TileBfsGrid(benchmark::State& state) {
+  const auto a = Csr<value_t>::from_coo(gen_grid2d(200, 200, 0.9, 81));
+  TileBfs bfs(a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs.run(0));
+  }
+}
+BENCHMARK(BM_TileBfsGrid);
+
+void BM_TileBfsPreprocess(benchmark::State& state) {
+  const auto a = Csr<value_t>::from_coo(gen_grid2d(200, 200, 0.9, 81));
+  for (auto _ : state) {
+    TileBfs bfs(a);
+    benchmark::DoNotOptimize(bfs.tile_size());
+  }
+}
+BENCHMARK(BM_TileBfsPreprocess);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Table 2: the representative matrices with their sizes, nonzero counts,
+// and number of non-empty tiles at tile sizes 16, 32 and 64.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "tile/tile_matrix.hpp"
+
+using namespace tilespmspv;
+
+int main() {
+  std::cout << "Table 2: information of the 12 representative matrices\n"
+            << "(synthetic analogs; see DESIGN.md for the mapping)\n\n";
+  Table table({"Matrix", "Size", "#nonzeros", "#tiles (16*16)",
+               "#tiles (32*32)", "#tiles (64*64)"});
+  for (const auto& name : suite_representative12()) {
+    const Csr<value_t> a =
+        Csr<value_t>::from_coo(suite_matrix(name));
+    const auto t16 = TileMatrix<value_t>::from_csr(a, 16).num_tiles();
+    const auto t32 = TileMatrix<value_t>::from_csr(a, 32).num_tiles();
+    const auto t64 = TileMatrix<value_t>::from_csr(a, 64).num_tiles();
+    table.add_row({name,
+                   fmt_count(a.rows) + " x " + fmt_count(a.cols),
+                   fmt_count(a.nnz()), fmt_count(t16), fmt_count(t32),
+                   fmt_count(t64)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape (paper): tile counts shrink as the tile "
+               "size grows for\nbanded/FEM matrices; road-network and mesh "
+               "matrices keep a high tile count\nat every size because "
+               "their nonzeros scatter.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reverse Cuthill-McKee reordering — the third application the paper's
+// introduction names as SpMSpV-accelerated. A band matrix is scrambled by
+// a random permutation, RCM (driven by the library's TileBFS level
+// structure) recovers a narrow band, and the effect is shown directly on
+// the tiled format: far fewer non-empty tiles, which is exactly why
+// reordering matters for tiled kernels.
+#include <cstdio>
+#include <numeric>
+
+#include "apps/rcm.hpp"
+#include "gen/banded.hpp"
+#include "tile/tile_matrix.hpp"
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+using namespace tilespmspv;
+
+int main() {
+  // A 20K FEM-style band matrix...
+  BandedParams prm;
+  prm.n = 20000;
+  prm.block = 6;
+  prm.band_blocks = 4;
+  Csr<value_t> band = Csr<value_t>::from_coo(gen_banded(prm, /*seed=*/9));
+
+  // ...scrambled by a random symmetric permutation.
+  Prng rng(10);
+  std::vector<index_t> shuffle(prm.n);
+  std::iota(shuffle.begin(), shuffle.end(), index_t{0});
+  for (index_t i = prm.n - 1; i > 0; --i) {
+    std::swap(shuffle[i], shuffle[rng.next_below(i + 1)]);
+  }
+  Csr<value_t> scrambled = permute_symmetric(band, shuffle);
+
+  auto report = [](const char* label, const Csr<value_t>& m) {
+    const TileMatrix<value_t> t = TileMatrix<value_t>::from_csr(m, 16);
+    std::printf("%-10s bandwidth %6d, non-empty 16x16 tiles %7d "
+                "(occupancy %.4f%%)\n",
+                label, bandwidth(m), t.num_tiles(),
+                100.0 * t.tile_occupancy());
+  };
+
+  std::printf("matrix: %d x %d, %lld nonzeros\n", band.rows, band.cols,
+              static_cast<long long>(band.nnz()));
+  report("original", band);
+  report("scrambled", scrambled);
+
+  Timer t;
+  const std::vector<index_t> perm = rcm_ordering(scrambled);
+  const double rcm_ms = t.elapsed_ms();
+  Csr<value_t> restored = permute_symmetric(scrambled, perm);
+  report("RCM", restored);
+  std::printf("RCM ordering computed in %.2f ms "
+              "(pseudo-peripheral search + BFS levels + degree sort)\n",
+              rcm_ms);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Multi-source reachability on a directed web graph, implemented directly
+// on the SpMSpV primitive (the GraphBLAS pattern the paper's intro cites):
+// the frontier is a sparse vector, one SpMSpV per step expands it, and a
+// visited mask accumulates. This is BFS "in the language of linear
+// algebra", written against the library's public API rather than the
+// built-in TileBfs — demonstrating how downstream graph algorithms
+// (betweenness centrality, RCM ordering, ...) would compose the primitive.
+#include <cstdio>
+#include <unordered_set>
+
+#include "core/spmspv.hpp"
+#include "gen/powerlaw.hpp"
+#include "util/timer.hpp"
+
+using namespace tilespmspv;
+
+int main() {
+  // Directed scale-free graph; A[t][s] = 1 encodes the link s -> t, so
+  // y = A x expands a frontier x one hop forward.
+  PowerlawParams prm;
+  prm.n = 30000;
+  prm.avg_degree = 10;
+  prm.locality = 0.75;
+  Csr<value_t> a = Csr<value_t>::from_coo(gen_powerlaw(prm, /*seed=*/3));
+  std::printf("web graph analog: %d pages, %lld links\n", a.rows,
+              static_cast<long long>(a.nnz()));
+
+  SpmspvOperator<value_t> op(a);
+
+  // Seed set: a handful of "entry pages".
+  const std::vector<index_t> seeds = {0, 101, 20202, 29999};
+  SparseVec<value_t> frontier(a.rows);
+  std::unordered_set<index_t> visited;
+  for (index_t s : seeds) {
+    frontier.push(s, 1.0);
+    visited.insert(s);
+  }
+
+  Timer t;
+  int rounds = 0;
+  while (frontier.nnz() > 0) {
+    SparseVec<value_t> next = op.multiply(frontier);
+    // Keep only newly discovered vertices; values are irrelevant for
+    // reachability, so reset them to 1 (the boolean semiring's "true").
+    SparseVec<value_t> fresh(a.rows);
+    for (index_t i : next.idx) {
+      if (visited.insert(i).second) fresh.push(i, 1.0);
+    }
+    frontier = std::move(fresh);
+    ++rounds;
+    if (rounds <= 6 || frontier.nnz() > 0) {
+      std::printf("  round %2d: frontier %d, reached %zu\n", rounds,
+                  frontier.nnz(), visited.size());
+    }
+  }
+  std::printf("reachable set: %zu of %d pages (%.1f%%) in %d rounds, %.2f ms\n",
+              visited.size(), a.rows, 100.0 * visited.size() / a.rows,
+              rounds, t.elapsed_ms());
+  return 0;
+}

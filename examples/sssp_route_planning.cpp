@@ -1,0 +1,66 @@
+// Route planning on a weighted road network: single-source shortest paths
+// via min-plus semiring SpMSpV (apps/sssp.hpp) — the tropical-algebra
+// counterpart of the BFS examples, showing the same tiled storage serving
+// a different semiring.
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "apps/sssp.hpp"
+#include "gen/grid.hpp"
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+using namespace tilespmspv;
+
+int main() {
+  // A thinned grid road network with travel-time weights: each segment
+  // gets a random speed, so shortest paths are not just hop counts.
+  Coo<value_t> roads = gen_grid2d(250, 200, 0.85, /*seed=*/21);
+  Prng rng(22);
+  for (auto& w : roads.vals) {
+    w = rng.next_double(0.5, 3.0);  // minutes per segment
+  }
+  // Travel times must be symmetric per segment: rebuild the upper
+  // triangle from the lower to keep A == A^T numerically.
+  {
+    std::map<std::pair<index_t, index_t>, value_t> canon;
+    for (index_t i = 0; i < roads.nnz(); ++i) {
+      const auto key = std::minmax(roads.row_idx[i], roads.col_idx[i]);
+      auto [it, inserted] = canon.emplace(key, roads.vals[i]);
+      roads.vals[i] = it->second;
+    }
+  }
+  Csr<value_t> a = Csr<value_t>::from_coo(roads);
+  std::printf("road network: %d intersections, %lld directed segments\n",
+              a.rows, static_cast<long long>(a.nnz()));
+
+  const index_t depot = 0;
+  Timer t;
+  const SsspResult r = sssp(a, depot);
+  const double ms = t.elapsed_ms();
+
+  index_t reachable = 0;
+  double max_time = 0.0, sum_time = 0.0;
+  for (double d : r.dist) {
+    if (!std::isinf(d)) {
+      ++reachable;
+      max_time = std::max(max_time, d);
+      sum_time += d;
+    }
+  }
+  std::printf("SSSP from depot %d: %d reachable intersections, "
+              "%d relaxation rounds, %.2f ms\n",
+              depot, reachable, r.rounds, ms);
+  std::printf("farthest delivery: %.1f minutes; mean: %.1f minutes\n",
+              max_time, sum_time / reachable);
+
+  // Service-area query: how many intersections within 30 minutes?
+  index_t within = 0;
+  for (double d : r.dist) {
+    if (d <= 30.0) ++within;
+  }
+  std::printf("30-minute service area covers %d intersections (%.1f%%)\n",
+              within, 100.0 * within / a.rows);
+  return 0;
+}

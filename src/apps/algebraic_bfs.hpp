@@ -1,0 +1,59 @@
+// Algebraic BFS (paper Algorithm 3): breadth-first search expressed as a
+// loop of SpMSpV operations over the numeric tiled kernels. One SpMSpV
+// per layer expands the frontier; a visited mask filters re-discoveries.
+// This is the GraphBLAS-style formulation the paper's background section
+// presents — TileBfs (bfs/tile_bfs.hpp) is the specialized bitmask
+// implementation of the same recurrence; both must produce identical
+// level sets, which the tests exploit.
+#pragma once
+
+#include <vector>
+
+#include "core/spmspv.hpp"
+#include "formats/csr.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+/// BFS levels (-1 = unreachable) computed with repeated SpMSpV.
+/// `a` is the adjacency matrix with A[i][j] != 0 <=> edge j -> i, the
+/// same convention as TileBfs. The visited filter runs as a fused output
+/// mask (y<!visited> = A x), so rediscovered vertices never materialize.
+template <typename T = value_t>
+std::vector<index_t> algebraic_bfs(SpmspvOperator<T>& op, index_t n,
+                                   index_t source) {
+  std::vector<index_t> levels(n, -1);
+  std::vector<bool> visited(n, false);
+  levels[source] = 0;
+  visited[source] = true;
+  SparseVec<T> x(n);
+  x.push(source, T{1});
+
+  for (index_t level = 1; x.nnz() > 0; ++level) {
+    // Paper Alg. 3 line 2, with lines 3-6's filter fused as the mask.
+    SparseVec<T> next = op.multiply_masked(x, visited, /*complement=*/true);
+    for (std::size_t k = 0; k < next.idx.size(); ++k) {
+      const index_t i = next.idx[k];
+      levels[i] = level;
+      visited[i] = true;
+      next.vals[k] = T{1};
+    }
+    x = std::move(next);
+  }
+  return levels;
+}
+
+/// Convenience overload building the operator internally. The operator is
+/// built on the 0/1 pattern of `a` so that value cancellation can never
+/// hide an edge (reachability is symbolic).
+template <typename T = value_t>
+std::vector<index_t> algebraic_bfs(const Csr<T>& a, index_t source,
+                                   SpmspvConfig cfg = {},
+                                   ThreadPool* pool = nullptr) {
+  Csr<T> pattern = a;
+  for (auto& v : pattern.vals) v = T{1};
+  SpmspvOperator<T> op(pattern, cfg, pool);
+  return algebraic_bfs(op, a.rows, source);
+}
+
+}  // namespace tilespmspv

@@ -1,0 +1,38 @@
+// Connected components of an undirected graph via repeated TileBFS — the
+// standard composition of the traversal primitive (each unvisited vertex
+// seeds a BFS; everything it reaches shares its component id).
+#pragma once
+
+#include <vector>
+
+#include "bfs/tile_bfs.hpp"
+#include "formats/csr.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+struct ComponentsResult {
+  std::vector<index_t> component;  // per-vertex component id (0-based)
+  index_t count = 0;
+};
+
+/// `a` must be structurally symmetric (undirected graph).
+template <typename T>
+ComponentsResult connected_components(const Csr<T>& a,
+                                      TileBfsConfig cfg = {},
+                                      ThreadPool* pool = nullptr) {
+  TileBfs bfs(a, cfg, pool);
+  ComponentsResult out;
+  out.component.assign(a.rows, -1);
+  for (index_t seed = 0; seed < a.rows; ++seed) {
+    if (out.component[seed] >= 0) continue;
+    const BfsResult r = bfs.run(seed);
+    for (index_t v = 0; v < a.rows; ++v) {
+      if (r.levels[v] >= 0) out.component[v] = out.count;
+    }
+    ++out.count;
+  }
+  return out;
+}
+
+}  // namespace tilespmspv

@@ -1,0 +1,113 @@
+// Reverse Cuthill-McKee ordering — one of the SpMSpV-accelerated graph
+// algorithms the paper's introduction cites (Azad et al., IPDPS'17 do it
+// distributed; here the level structure comes from the library's BFS).
+//
+// RCM renumbers a symmetric matrix to reduce bandwidth: starting from a
+// pseudo-peripheral vertex, vertices are visited level by level (BFS),
+// within a level ordered by degree, and the final order is reversed.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "bfs/tile_bfs.hpp"
+#include "formats/csr.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+/// Locates a pseudo-peripheral vertex with the George-Liu algorithm:
+/// repeat BFS from the farthest minimum-degree vertex of the last level
+/// until the eccentricity stops growing.
+template <typename T>
+index_t pseudo_peripheral_vertex(const Csr<T>& a, const TileBfs& bfs,
+                                 index_t start) {
+  index_t v = start;
+  index_t ecc = -1;
+  for (int round = 0; round < 8; ++round) {  // converges in 2-3 in practice
+    const BfsResult r = bfs.run(v);
+    index_t max_level = 0;
+    for (index_t l : r.levels) max_level = std::max(max_level, l);
+    if (max_level <= ecc) break;
+    ecc = max_level;
+    // Minimum-degree vertex of the last level.
+    index_t best = v;
+    index_t best_deg = a.rows + 1;
+    for (index_t u = 0; u < a.rows; ++u) {
+      if (r.levels[u] == max_level && a.row_nnz(u) < best_deg) {
+        best = u;
+        best_deg = a.row_nnz(u);
+      }
+    }
+    v = best;
+  }
+  return v;
+}
+
+/// RCM permutation: perm[k] = old index of the vertex placed at position
+/// k. Handles disconnected graphs (each component ordered from its own
+/// pseudo-peripheral start). The input must be structurally symmetric.
+template <typename T>
+std::vector<index_t> rcm_ordering(const Csr<T>& a) {
+  const index_t n = a.rows;
+  TileBfs bfs(a);
+  std::vector<index_t> perm;
+  perm.reserve(n);
+  std::vector<bool> placed(n, false);
+
+  for (index_t seed = 0; seed < n; ++seed) {
+    if (placed[seed]) continue;
+    const index_t start = pseudo_peripheral_vertex(a, bfs, seed);
+    const BfsResult r = bfs.run(start);
+    // Cuthill-McKee: levels ascending, degree ascending within a level,
+    // discovery order as the tiebreaker (stable sort keeps it).
+    std::vector<index_t> comp;
+    for (index_t u = 0; u < n; ++u) {
+      if (r.levels[u] >= 0 && !placed[u]) comp.push_back(u);
+    }
+    std::stable_sort(comp.begin(), comp.end(), [&](index_t x, index_t y) {
+      if (r.levels[x] != r.levels[y]) return r.levels[x] < r.levels[y];
+      return a.row_nnz(x) < a.row_nnz(y);
+    });
+    for (index_t u : comp) {
+      placed[u] = true;
+      perm.push_back(u);
+    }
+  }
+  std::reverse(perm.begin(), perm.end());  // the "reverse" in RCM
+  return perm;
+}
+
+/// Bandwidth of a matrix: max |i - j| over nonzeros.
+template <typename T>
+index_t bandwidth(const Csr<T>& a) {
+  index_t b = 0;
+  for (index_t r = 0; r < a.rows; ++r) {
+    for (offset_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+      b = std::max(b, std::abs(r - a.col_idx[i]));
+    }
+  }
+  return b;
+}
+
+/// Applies a permutation symmetrically: B = P A Pᵀ where row perm[k] of A
+/// becomes row k of B.
+template <typename T>
+Csr<T> permute_symmetric(const Csr<T>& a, const std::vector<index_t>& perm) {
+  std::vector<index_t> inv(perm.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) {
+    inv[perm[k]] = static_cast<index_t>(k);
+  }
+  Coo<T> out(a.rows, a.cols);
+  out.reserve(static_cast<std::size_t>(a.nnz()));
+  for (index_t r = 0; r < a.rows; ++r) {
+    for (offset_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+      out.push(inv[r], inv[a.col_idx[i]], a.vals[i]);
+    }
+  }
+  out.sort_row_major();
+  return Csr<T>::from_coo(out);
+}
+
+}  // namespace tilespmspv

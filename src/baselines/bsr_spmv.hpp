@@ -1,0 +1,128 @@
+// Block Sparse Row (BSR) SpMV — the stand-in for cusparse?bsrmv(), the
+// kernel the paper benchmarks cuSPARSE with. Non-empty b×b blocks are
+// stored dense; the multiply streams whole blocks against a dense vector,
+// so it wastes work both on explicit zeros inside blocks and on zero input
+// elements.
+#pragma once
+
+#include <vector>
+
+#include "formats/csr.hpp"
+#include "formats/sparse_vector.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+template <typename T = value_t>
+struct Bsr {
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t b = 4;           // block size
+  index_t block_rows = 0;  // ceil(rows/b)
+  std::vector<offset_t> block_row_ptr;
+  std::vector<index_t> block_col_id;
+  std::vector<T> blocks;  // dense b*b payload per block, row-major
+
+  static Bsr from_csr(const Csr<T>& a, index_t b) {
+    Bsr m;
+    m.rows = a.rows;
+    m.cols = a.cols;
+    m.b = b;
+    m.block_rows = ceil_div(a.rows, b);
+    const index_t block_cols = ceil_div(a.cols, b);
+    m.block_row_ptr.assign(m.block_rows + 1, 0);
+
+    std::vector<index_t> seen(block_cols, kEmptyTile);
+    std::vector<index_t> touched;
+    // Pass 1: count non-empty blocks per block row.
+    std::vector<index_t> kept;
+    for (index_t br = 0; br < m.block_rows; ++br) {
+      touched.clear();
+      const index_t r_end = std::min<index_t>((br + 1) * b, a.rows);
+      for (index_t r = br * b; r < r_end; ++r) {
+        for (offset_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+          const index_t bc = a.col_idx[i] / b;
+          if (seen[bc] == kEmptyTile) {
+            seen[bc] = 1;
+            touched.push_back(bc);
+          }
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      for (index_t bc : touched) {
+        kept.push_back(bc);
+        seen[bc] = kEmptyTile;
+      }
+      m.block_row_ptr[br + 1] =
+          m.block_row_ptr[br] + static_cast<offset_t>(touched.size());
+    }
+    m.block_col_id = std::move(kept);
+    m.blocks.assign(m.block_col_id.size() * static_cast<std::size_t>(b) * b,
+                    T{});
+    // Pass 2: scatter values into their dense blocks.
+    std::vector<index_t> slot(block_cols, kEmptyTile);
+    for (index_t br = 0; br < m.block_rows; ++br) {
+      for (offset_t t = m.block_row_ptr[br]; t < m.block_row_ptr[br + 1];
+           ++t) {
+        slot[m.block_col_id[t]] = static_cast<index_t>(t);
+      }
+      const index_t r_end = std::min<index_t>((br + 1) * b, a.rows);
+      for (index_t r = br * b; r < r_end; ++r) {
+        for (offset_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+          const index_t c = a.col_idx[i];
+          const index_t t = slot[c / b];
+          m.blocks[(static_cast<std::size_t>(t) * b + (r - br * b)) * b +
+                   c % b] = a.vals[i];
+        }
+      }
+      for (offset_t t = m.block_row_ptr[br]; t < m.block_row_ptr[br + 1];
+           ++t) {
+        slot[m.block_col_id[t]] = kEmptyTile;
+      }
+    }
+    return m;
+  }
+};
+
+/// y = A * dense(x) over BSR; returns the sparse view of y.
+template <typename T>
+SparseVec<T> bsr_spmv(const Bsr<T>& a, const std::vector<T>& x_dense,
+                      std::vector<T>& y_dense, ThreadPool* pool = nullptr) {
+  const index_t b = a.b;
+  y_dense.assign(a.rows, T{});
+  parallel_for(
+      a.block_rows,
+      [&](index_t br) {
+        T acc[64];  // b <= 8 in practice; 64 is a safe upper bound
+        for (index_t i = 0; i < b; ++i) acc[i] = T{};
+        for (offset_t t = a.block_row_ptr[br]; t < a.block_row_ptr[br + 1];
+             ++t) {
+          const index_t c0 = a.block_col_id[t] * b;
+          const T* blk = &a.blocks[static_cast<std::size_t>(t) * b * b];
+          for (index_t lr = 0; lr < b; ++lr) {
+            T sum{};
+            for (index_t lc = 0; lc < b && c0 + lc < a.cols; ++lc) {
+              sum += blk[lr * b + lc] * x_dense[c0 + lc];
+            }
+            acc[lr] += sum;
+          }
+        }
+        const index_t r_end = std::min<index_t>((br + 1) * b, a.rows);
+        for (index_t r = br * b; r < r_end; ++r) {
+          y_dense[r] = acc[r - br * b];
+        }
+      },
+      pool, /*chunk=*/32);
+  return SparseVec<T>::from_dense(y_dense);
+}
+
+template <typename T>
+SparseVec<T> bsr_spmv(const Bsr<T>& a, const SparseVec<T>& x,
+                      ThreadPool* pool = nullptr) {
+  std::vector<T> xd = x.to_dense();
+  std::vector<T> yd;
+  return bsr_spmv(a, xd, yd, pool);
+}
+
+}  // namespace tilespmspv

@@ -1,0 +1,44 @@
+// Row-parallel CSR SpMV with a dense input vector — the stand-in for the
+// cuSPARSE csrmv-style kernel: it pays for every stored nonzero regardless
+// of input-vector sparsity, which is exactly the inefficiency SpMSpV
+// algorithms exploit.
+#pragma once
+
+#include <vector>
+
+#include "formats/csr.hpp"
+#include "formats/sparse_vector.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+/// y = A * x with x densified; returns the sparse view of y.
+template <typename T>
+SparseVec<T> csr_spmv(const Csr<T>& a, const std::vector<T>& x_dense,
+                      std::vector<T>& y_dense, ThreadPool* pool = nullptr) {
+  y_dense.assign(a.rows, T{});
+  parallel_for(
+      a.rows,
+      [&](index_t r) {
+        T sum{};
+        for (offset_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+          sum += a.vals[i] * x_dense[a.col_idx[i]];
+        }
+        y_dense[r] = sum;
+      },
+      pool, /*chunk=*/64);
+  return SparseVec<T>::from_dense(y_dense);
+}
+
+/// Convenience overload including the densification cost of the sparse
+/// input — this is what calling an SpMV library for SpMSpV actually costs.
+template <typename T>
+SparseVec<T> csr_spmv(const Csr<T>& a, const SparseVec<T>& x,
+                      ThreadPool* pool = nullptr) {
+  std::vector<T> xd = x.to_dense();
+  std::vector<T> yd;
+  return csr_spmv(a, xd, yd, pool);
+}
+
+}  // namespace tilespmspv

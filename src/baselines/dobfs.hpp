@@ -1,0 +1,123 @@
+// Direction-optimizing BFS (Beamer, Asanović & Patterson, SC'12) — the
+// stand-in for Gunrock's BFS, which implements exactly this push/pull
+// switching on the GPU with frontier queues. Top-down iterations expand a
+// frontier queue over out-edges; when the frontier grows past the alpha
+// heuristic the traversal flips to bottom-up over in-edges, and flips back
+// when the frontier shrinks (beta heuristic).
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "formats/csr.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+struct DobfsConfig {
+  // Beamer's published defaults.
+  double alpha = 15.0;  // switch to bottom-up when m_f > m_u / alpha
+  double beta = 18.0;   // switch back when n_f < n / beta
+};
+
+/// `out_edges`: row u lists out-neighbors of u (push direction).
+/// `in_edges`: row v lists in-neighbors of v (pull direction). Pass the
+/// same matrix twice for symmetric graphs. When `iter_ms` is non-null, the
+/// wall time of every level is appended (Fig. 10's per-iteration traces).
+template <typename T>
+std::vector<index_t> dobfs(const Csr<T>& out_edges, const Csr<T>& in_edges,
+                           index_t source, DobfsConfig cfg = {},
+                           ThreadPool* pool = nullptr,
+                           std::vector<double>* iter_ms = nullptr) {
+  const index_t n = out_edges.rows;
+  std::vector<index_t> levels(n, -1);
+  // levels doubles as the visited structure; atomic CAS claims vertices.
+  auto* lv = reinterpret_cast<std::atomic<index_t>*>(levels.data());
+
+  std::vector<index_t> frontier{source};
+  levels[source] = 0;
+  offset_t edges_unexplored = out_edges.nnz();
+  bool bottom_up = false;
+
+  for (index_t level = 1; !frontier.empty(); ++level) {
+    Timer iter_timer;
+    // Heuristic bookkeeping: edges out of the frontier vs. edges left.
+    offset_t m_f = 0;
+    for (index_t u : frontier) m_f += out_edges.row_nnz(u);
+    edges_unexplored -= m_f;
+    if (!bottom_up &&
+        static_cast<double>(m_f) >
+            static_cast<double>(edges_unexplored) / cfg.alpha) {
+      bottom_up = true;
+    } else if (bottom_up && static_cast<double>(frontier.size()) <
+                                static_cast<double>(n) / cfg.beta) {
+      bottom_up = false;
+    }
+
+    std::vector<index_t> next;
+    if (!bottom_up) {
+      // Top-down: expand the frontier queue; per-chunk local queues merge
+      // under a mutex once per chunk.
+      std::mutex merge;
+      parallel_for_ranges(
+          static_cast<index_t>(frontier.size()),
+          [&](index_t begin, index_t end) {
+            std::vector<index_t> local;
+            for (index_t k = begin; k < end; ++k) {
+              const index_t u = frontier[k];
+              for (offset_t i = out_edges.row_ptr[u];
+                   i < out_edges.row_ptr[u + 1]; ++i) {
+                const index_t v = out_edges.col_idx[i];
+                index_t expected = -1;
+                if (lv[v].load(std::memory_order_relaxed) == -1 &&
+                    lv[v].compare_exchange_strong(
+                        expected, level, std::memory_order_relaxed)) {
+                  local.push_back(v);
+                }
+              }
+            }
+            if (!local.empty()) {
+              std::lock_guard<std::mutex> lock(merge);
+              next.insert(next.end(), local.begin(), local.end());
+            }
+          },
+          pool, /*chunk=*/64);
+    } else {
+      // Bottom-up: every unvisited vertex scans its in-neighbors for a
+      // frontier member. The frontier membership test needs levels of the
+      // previous iteration, which equals (level - 1).
+      std::mutex merge;
+      parallel_for_ranges(
+          n,
+          [&](index_t begin, index_t end) {
+            std::vector<index_t> local;
+            for (index_t v = begin; v < end; ++v) {
+              if (lv[v].load(std::memory_order_relaxed) != -1) continue;
+              for (offset_t i = in_edges.row_ptr[v];
+                   i < in_edges.row_ptr[v + 1]; ++i) {
+                if (lv[in_edges.col_idx[i]].load(std::memory_order_relaxed) ==
+                    level - 1) {
+                  lv[v].store(level, std::memory_order_relaxed);
+                  local.push_back(v);
+                  break;
+                }
+              }
+            }
+            if (!local.empty()) {
+              std::lock_guard<std::mutex> lock(merge);
+              next.insert(next.end(), local.begin(), local.end());
+            }
+          },
+          pool, /*chunk=*/512);
+    }
+    frontier = std::move(next);
+    if (iter_ms) iter_ms->push_back(iter_timer.elapsed_ms());
+  }
+  return levels;
+}
+
+}  // namespace tilespmspv

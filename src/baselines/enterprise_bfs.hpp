@@ -1,0 +1,119 @@
+// Enterprise-style BFS (Liu & Huang, SC'15) — the baseline of the paper's
+// Fig. 12. Enterprise's signature idea is out-degree-aware frontier
+// classification: each generated frontier is split into small / medium /
+// large out-degree queues, and each class gets a traversal scheme matched
+// to its work granularity (thread / warp / CTA on the GPU). Here the
+// classes map to chunk granularities on the thread pool: hub vertices are
+// each processed as their own task (so one hub cannot serialize a chunk),
+// medium vertices in small chunks, and low-degree vertices in large
+// chunks. A bottom-up direction switch for dense frontiers is included,
+// as in the published system.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "formats/csr.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+struct EnterpriseConfig {
+  index_t small_degree = 32;    // <= small: thread-class
+  index_t large_degree = 1024;  // >= large: CTA-class (own task)
+  double pull_threshold = 0.05;  // frontier density triggering bottom-up
+};
+
+template <typename T>
+std::vector<index_t> enterprise_bfs(const Csr<T>& out_edges,
+                                    const Csr<T>& in_edges, index_t source,
+                                    EnterpriseConfig cfg = {},
+                                    ThreadPool* pool = nullptr) {
+  const index_t n = out_edges.rows;
+  std::vector<index_t> levels(n, -1);
+  auto* lv = reinterpret_cast<std::atomic<index_t>*>(levels.data());
+  std::vector<index_t> frontier{source};
+  levels[source] = 0;
+
+  std::vector<index_t> small_q, medium_q, large_q;
+  for (index_t level = 1; !frontier.empty(); ++level) {
+    std::vector<index_t> next;
+    std::mutex merge;
+
+    if (static_cast<double>(frontier.size()) / n >= cfg.pull_threshold) {
+      // Bottom-up pass for dense frontiers.
+      std::vector<unsigned char> in_frontier(n, 0);
+      for (index_t u : frontier) in_frontier[u] = 1;
+      parallel_for_ranges(
+          n,
+          [&](index_t begin, index_t end) {
+            std::vector<index_t> local;
+            for (index_t v = begin; v < end; ++v) {
+              if (lv[v].load(std::memory_order_relaxed) != -1) continue;
+              for (offset_t i = in_edges.row_ptr[v];
+                   i < in_edges.row_ptr[v + 1]; ++i) {
+                if (in_frontier[in_edges.col_idx[i]]) {
+                  lv[v].store(level, std::memory_order_relaxed);
+                  local.push_back(v);
+                  break;
+                }
+              }
+            }
+            if (!local.empty()) {
+              std::lock_guard<std::mutex> lock(merge);
+              next.insert(next.end(), local.begin(), local.end());
+            }
+          },
+          pool, /*chunk=*/512);
+    } else {
+      // Classify the frontier by out-degree (Enterprise's core step).
+      small_q.clear();
+      medium_q.clear();
+      large_q.clear();
+      for (index_t u : frontier) {
+        const index_t d = out_edges.row_nnz(u);
+        if (d >= cfg.large_degree) {
+          large_q.push_back(u);
+        } else if (d > cfg.small_degree) {
+          medium_q.push_back(u);
+        } else {
+          small_q.push_back(u);
+        }
+      }
+      auto expand = [&](const std::vector<index_t>& q, index_t chunk) {
+        parallel_for_ranges(
+            static_cast<index_t>(q.size()),
+            [&](index_t begin, index_t end) {
+              std::vector<index_t> local;
+              for (index_t k = begin; k < end; ++k) {
+                const index_t u = q[k];
+                for (offset_t i = out_edges.row_ptr[u];
+                     i < out_edges.row_ptr[u + 1]; ++i) {
+                  const index_t v = out_edges.col_idx[i];
+                  index_t expected = -1;
+                  if (lv[v].load(std::memory_order_relaxed) == -1 &&
+                      lv[v].compare_exchange_strong(
+                          expected, level, std::memory_order_relaxed)) {
+                    local.push_back(v);
+                  }
+                }
+              }
+              if (!local.empty()) {
+                std::lock_guard<std::mutex> lock(merge);
+                next.insert(next.end(), local.begin(), local.end());
+              }
+            },
+            pool, chunk);
+      };
+      expand(small_q, /*chunk=*/256);   // many cheap vertices per task
+      expand(medium_q, /*chunk=*/16);   // warp-class granularity
+      expand(large_q, /*chunk=*/1);     // one hub per task
+    }
+    frontier = std::move(next);
+  }
+  return levels;
+}
+
+}  // namespace tilespmspv

@@ -1,0 +1,223 @@
+// Adaptive autotuned BFS — the stand-in for GSwitch (Meng et al.,
+// PPoPP'19). GSwitch models graph traversal as a space of strategy choices
+// (direction, frontier representation, load-balancing scheme) and picks a
+// configuration per iteration from runtime features with a learned
+// predictor. This reproduction keeps the decision structure: per
+// iteration it extracts the same features (frontier density, average
+// frontier out-degree, unvisited fraction) and selects among three
+// concrete strategies -- queue-push, bitmap-push, and pull -- using a
+// pattern table seeded with GSwitch's published rules-of-thumb and refined
+// online: after each iteration the observed throughput updates the score
+// of the (feature-bucket, strategy) cell, so repeated traversals tune
+// themselves to the graph, which is the framework's headline behaviour.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "formats/csr.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+enum class GswitchStrategy { kQueuePush, kBitmapPush, kPull };
+
+/// Online (feature-bucket -> strategy) score table shared across runs on
+/// the same graph.
+class GswitchTuner {
+ public:
+  static constexpr int kBuckets = 6;  // log-density buckets
+
+  GswitchStrategy choose(double frontier_density, double unvisited_frac,
+                         double avg_out_degree) const {
+    const int b = bucket(frontier_density);
+    // Explore: every strategy gets tried once per feature bucket, starting
+    // from the seed heuristic's guess (GSwitch bootstraps its predictor
+    // the same way: rules of thumb first, measurements refine).
+    const GswitchStrategy seed = seed_rule(frontier_density, unvisited_frac,
+                                           avg_out_degree);
+    if (scores_[b][static_cast<int>(seed)] <= 0.0) return seed;
+    for (int s = 0; s < 3; ++s) {
+      if (scores_[b][s] <= 0.0) return static_cast<GswitchStrategy>(s);
+    }
+    // Exploit: argmax of observed throughput.
+    int best = 0;
+    for (int s = 1; s < 3; ++s) {
+      if (scores_[b][s] > scores_[b][best]) best = s;
+    }
+    return static_cast<GswitchStrategy>(best);
+  }
+
+  void record(double frontier_density, GswitchStrategy s,
+              double vertices_per_ms) {
+    auto& cell = scores_[bucket(frontier_density)][static_cast<int>(s)];
+    // Exponential moving average keeps the table adaptive.
+    cell = cell <= 0.0 ? vertices_per_ms : 0.7 * cell + 0.3 * vertices_per_ms;
+  }
+
+ private:
+  static GswitchStrategy seed_rule(double frontier_density,
+                                   double unvisited_frac,
+                                   double avg_out_degree) {
+    // Very sparse frontier -> queue push; denser -> bitmap push;
+    // almost-finished traversal or very dense frontier -> pull.
+    if (unvisited_frac < 0.15 || frontier_density > 0.10) {
+      return GswitchStrategy::kPull;
+    }
+    if (frontier_density > 0.002 || avg_out_degree > 32.0) {
+      return GswitchStrategy::kBitmapPush;
+    }
+    return GswitchStrategy::kQueuePush;
+  }
+
+  static int bucket(double density) {
+    if (density <= 0.0) return 0;
+    int b = 0;
+    while (density < 0.1 && b < kBuckets - 1) {
+      density *= 10.0;
+      ++b;
+    }
+    return b;
+  }
+
+  std::array<std::array<double, 3>, kBuckets> scores_{};
+};
+
+/// One BFS with per-iteration strategy selection. Interface mirrors
+/// dobfs(); `tuner` persists learning across calls when reused. When
+/// `iter_ms` is non-null the per-level wall times are appended.
+template <typename T>
+std::vector<index_t> gswitch_bfs(const Csr<T>& out_edges,
+                                 const Csr<T>& in_edges, index_t source,
+                                 GswitchTuner& tuner,
+                                 ThreadPool* pool = nullptr,
+                                 std::vector<double>* iter_ms = nullptr) {
+  const index_t n = out_edges.rows;
+  std::vector<index_t> levels(n, -1);
+  auto* lv = reinterpret_cast<std::atomic<index_t>*>(levels.data());
+  std::vector<index_t> frontier{source};
+  std::vector<unsigned char> in_frontier(n, 0);
+  levels[source] = 0;
+  index_t visited = 1;
+
+  for (index_t level = 1; !frontier.empty(); ++level) {
+    const double density = static_cast<double>(frontier.size()) / n;
+    const double unvisited_frac = static_cast<double>(n - visited) / n;
+    offset_t m_f = 0;
+    for (index_t u : frontier) m_f += out_edges.row_nnz(u);
+    const double avg_deg =
+        static_cast<double>(m_f) / static_cast<double>(frontier.size());
+    const GswitchStrategy strat = tuner.choose(density, unvisited_frac,
+                                               avg_deg);
+
+    Timer t;
+    std::vector<index_t> next;
+    std::mutex merge;
+    switch (strat) {
+      case GswitchStrategy::kQueuePush: {
+        parallel_for_ranges(
+            static_cast<index_t>(frontier.size()),
+            [&](index_t begin, index_t end) {
+              std::vector<index_t> local;
+              for (index_t k = begin; k < end; ++k) {
+                const index_t u = frontier[k];
+                for (offset_t i = out_edges.row_ptr[u];
+                     i < out_edges.row_ptr[u + 1]; ++i) {
+                  const index_t v = out_edges.col_idx[i];
+                  index_t expected = -1;
+                  if (lv[v].load(std::memory_order_relaxed) == -1 &&
+                      lv[v].compare_exchange_strong(
+                          expected, level, std::memory_order_relaxed)) {
+                    local.push_back(v);
+                  }
+                }
+              }
+              if (!local.empty()) {
+                std::lock_guard<std::mutex> lock(merge);
+                next.insert(next.end(), local.begin(), local.end());
+              }
+            },
+            pool, /*chunk=*/64);
+        break;
+      }
+      case GswitchStrategy::kBitmapPush: {
+        // Push into a bitmap, then compact: avoids queue contention for
+        // medium-density frontiers.
+        std::vector<unsigned char> out_map(n, 0);
+        parallel_for_ranges(
+            static_cast<index_t>(frontier.size()),
+            [&](index_t begin, index_t end) {
+              for (index_t k = begin; k < end; ++k) {
+                const index_t u = frontier[k];
+                for (offset_t i = out_edges.row_ptr[u];
+                     i < out_edges.row_ptr[u + 1]; ++i) {
+                  const index_t v = out_edges.col_idx[i];
+                  if (lv[v].load(std::memory_order_relaxed) == -1) {
+                    // Idempotent flag; relaxed atomic store avoids a formal
+                    // write-write race between chunks.
+                    reinterpret_cast<std::atomic<unsigned char>*>(&out_map[v])
+                        ->store(1, std::memory_order_relaxed);
+                  }
+                }
+              }
+            },
+            pool, /*chunk=*/64);
+        for (index_t v = 0; v < n; ++v) {
+          if (out_map[v] && levels[v] == -1) {
+            levels[v] = level;
+            next.push_back(v);
+          }
+        }
+        break;
+      }
+      case GswitchStrategy::kPull: {
+        std::memset(in_frontier.data(), 0, in_frontier.size());
+        for (index_t u : frontier) in_frontier[u] = 1;
+        parallel_for_ranges(
+            n,
+            [&](index_t begin, index_t end) {
+              std::vector<index_t> local;
+              for (index_t v = begin; v < end; ++v) {
+                if (lv[v].load(std::memory_order_relaxed) != -1) continue;
+                for (offset_t i = in_edges.row_ptr[v];
+                     i < in_edges.row_ptr[v + 1]; ++i) {
+                  if (in_frontier[in_edges.col_idx[i]]) {
+                    lv[v].store(level, std::memory_order_relaxed);
+                    local.push_back(v);
+                    break;
+                  }
+                }
+              }
+              if (!local.empty()) {
+                std::lock_guard<std::mutex> lock(merge);
+                next.insert(next.end(), local.begin(), local.end());
+              }
+            },
+            pool, /*chunk=*/512);
+        break;
+      }
+    }
+    const double ms = t.elapsed_ms();
+    if (iter_ms) iter_ms->push_back(ms);
+    tuner.record(density, strat,
+                 ms > 0.0 ? static_cast<double>(next.size() + 1) / ms : 1.0);
+    visited += static_cast<index_t>(next.size());
+    frontier = std::move(next);
+  }
+  return levels;
+}
+
+template <typename T>
+std::vector<index_t> gswitch_bfs(const Csr<T>& out_edges,
+                                 const Csr<T>& in_edges, index_t source,
+                                 ThreadPool* pool = nullptr) {
+  GswitchTuner tuner;
+  return gswitch_bfs(out_edges, in_edges, source, tuner, pool);
+}
+
+}  // namespace tilespmspv

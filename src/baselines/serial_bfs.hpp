@@ -1,0 +1,41 @@
+// Textbook serial queue BFS — the ground truth every parallel BFS in the
+// repo is validated against (level arrays must match exactly; levels are
+// canonical even when parent choices are not).
+#pragma once
+
+#include <vector>
+
+#include "formats/csr.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+/// Returns per-vertex levels (-1 for unreachable). Edges follow the
+/// adjacency convention A[i][j] != 0 <=> edge j -> i, so neighbor
+/// expansion of u scans *column* u; with CSR input that means running on
+/// the transpose. For the symmetric graphs of the BFS suite either works;
+/// this routine takes the out-edge CSR (row r lists the out-neighbors of
+/// r), matching Csr<...>::transpose() of the adjacency matrix or the
+/// matrix itself when symmetric.
+template <typename T>
+std::vector<index_t> serial_bfs(const Csr<T>& out_edges, index_t source) {
+  std::vector<index_t> levels(out_edges.rows, -1);
+  std::vector<index_t> queue;
+  queue.reserve(out_edges.rows);
+  levels[source] = 0;
+  queue.push_back(source);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const index_t u = queue[head];
+    for (offset_t i = out_edges.row_ptr[u]; i < out_edges.row_ptr[u + 1];
+         ++i) {
+      const index_t v = out_edges.col_idx[i];
+      if (levels[v] < 0) {
+        levels[v] = levels[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return levels;
+}
+
+}  // namespace tilespmspv

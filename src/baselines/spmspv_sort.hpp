@@ -1,0 +1,43 @@
+// Sort-merge SpMSpV (Yang, Wang & Owens, IPDPSW'15 style): gather every
+// product (row, a_ij * x_j) for active columns, sort by row, and reduce
+// runs. Simple and work-efficient in nnz(A restricted to active columns),
+// but the global sort is exactly the off-chip merging cost the paper's
+// tiled approach avoids — kept as a second SpMSpV baseline.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "formats/csc.hpp"
+#include "formats/sparse_vector.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+template <typename T>
+SparseVec<T> spmspv_sort(const Csc<T>& a, const SparseVec<T>& x) {
+  std::vector<std::pair<index_t, T>> products;
+  for (std::size_t k = 0; k < x.idx.size(); ++k) {
+    const index_t j = x.idx[k];
+    const T xv = x.vals[k];
+    for (offset_t i = a.col_ptr[j]; i < a.col_ptr[j + 1]; ++i) {
+      products.emplace_back(a.row_idx[i], a.vals[i] * xv);
+    }
+  }
+  std::sort(products.begin(), products.end(),
+            [](const auto& p, const auto& q) { return p.first < q.first; });
+  SparseVec<T> y(a.rows);
+  std::size_t i = 0;
+  while (i < products.size()) {
+    const index_t r = products[i].first;
+    T sum{};
+    while (i < products.size() && products[i].first == r) {
+      sum += products[i].second;
+      ++i;
+    }
+    if (sum != T{}) y.push(r, sum);
+  }
+  return y;
+}
+
+}  // namespace tilespmspv

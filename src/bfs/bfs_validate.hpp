@@ -1,0 +1,107 @@
+// BFS tree construction and validation in the Graph500 style. TileBFS
+// (like the paper) produces levels; many consumers want parent pointers,
+// and benchmark methodology requires validating that a claimed traversal
+// really is a BFS tree of the input graph. Both utilities work for any
+// of the repo's BFS implementations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "formats/csr.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+/// Derives parent pointers from a level array: parent[v] is some
+/// in-neighbor of v at level[v]-1 (the smallest-id one, making the result
+/// deterministic). `a` uses the adjacency convention A[v][u] = edge
+/// u -> v, so row v lists the in-neighbors of v. parent[source] = source;
+/// unreachable vertices get -1.
+template <typename T>
+std::vector<index_t> bfs_parents(const Csr<T>& a,
+                                 const std::vector<index_t>& levels,
+                                 index_t source,
+                                 ThreadPool* pool = nullptr) {
+  std::vector<index_t> parents(a.rows, -1);
+  parents[source] = source;
+  parallel_for(
+      a.rows,
+      [&](index_t v) {
+        if (levels[v] <= 0) return;  // source or unreachable
+        for (offset_t i = a.row_ptr[v]; i < a.row_ptr[v + 1]; ++i) {
+          const index_t u = a.col_idx[i];
+          if (levels[u] == levels[v] - 1) {
+            parents[v] = u;
+            return;  // columns are sorted, so this is the smallest id
+          }
+        }
+      },
+      pool, /*chunk=*/128);
+  return parents;
+}
+
+/// Graph500-style validation of (levels, parents) against the graph.
+/// Checks:
+///   1. level[source] == 0 and parent[source] == source;
+///   2. visited <=> has parent; unreachable <=> level == -1;
+///   3. every non-source parent is a real in-neighbor one level up;
+///   4. every edge spans at most one level (no shortcut missed) — this
+///      requires `symmetric_levels` (undirected graphs); for directed
+///      graphs only the weaker check level[v] <= level[u] + 1 per edge
+///      u -> v applies.
+/// On failure returns false and writes a diagnostic to `error`.
+template <typename T>
+bool validate_bfs(const Csr<T>& a, index_t source,
+                  const std::vector<index_t>& levels,
+                  const std::vector<index_t>& parents, std::string* error,
+                  bool symmetric_levels = true) {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  if (static_cast<index_t>(levels.size()) != a.rows ||
+      static_cast<index_t>(parents.size()) != a.rows) {
+    return fail("size mismatch");
+  }
+  if (levels[source] != 0) return fail("source level != 0");
+  if (parents[source] != source) return fail("source parent != source");
+  for (index_t v = 0; v < a.rows; ++v) {
+    if ((levels[v] < 0) != (parents[v] < 0)) {
+      return fail("level/parent visited disagreement at " +
+                  std::to_string(v));
+    }
+    if (levels[v] > 0) {
+      const index_t p = parents[v];
+      if (p < 0 || p >= a.rows || levels[p] != levels[v] - 1) {
+        return fail("bad parent level at " + std::to_string(v));
+      }
+      bool edge = false;
+      for (offset_t i = a.row_ptr[v]; i < a.row_ptr[v + 1]; ++i) {
+        if (a.col_idx[i] == p) edge = true;
+      }
+      if (!edge) return fail("parent not a neighbor at " + std::to_string(v));
+    }
+  }
+  // Edge-level consistency: for edge u -> v (A[v][u]), v must be found no
+  // later than one step after u.
+  for (index_t v = 0; v < a.rows; ++v) {
+    for (offset_t i = a.row_ptr[v]; i < a.row_ptr[v + 1]; ++i) {
+      const index_t u = a.col_idx[i];
+      if (levels[u] >= 0) {
+        if (levels[v] < 0 || levels[v] > levels[u] + 1) {
+          return fail("missed shortcut on edge " + std::to_string(u) +
+                      " -> " + std::to_string(v));
+        }
+      }
+      if (symmetric_levels && levels[v] >= 0 && levels[u] >= 0 &&
+          std::abs(levels[v] - levels[u]) > 1) {
+        return fail("edge spans more than one level");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace tilespmspv

@@ -1,0 +1,316 @@
+#include "bfs/tile_bfs.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "tile/bit_tile_graph.hpp"
+#include "tile/bit_vector.hpp"
+#include "util/timer.hpp"
+
+namespace tilespmspv {
+
+const char* bfs_kernel_name(BfsKernel k) {
+  switch (k) {
+    case BfsKernel::kPushCsc:
+      return "Push-CSC";
+    case BfsKernel::kPushCsr:
+      return "Push-CSR";
+    case BfsKernel::kPullCsc:
+      return "Pull-CSC";
+  }
+  return "?";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// K1: Push-CSC (paper Alg. 5). Vector-driven: every non-empty frontier
+// word walks its tile column in the CSC form; the OR of the column masks
+// of its set bits is the contribution to the output tile row, masked by
+// the visited vector and merged with an atomic OR (several frontier tiles
+// can hit the same output tile row).
+// ---------------------------------------------------------------------
+template <int NT>
+void kernel_push_csc(const BitTileGraph<NT>& g, const BitVector<NT>& x,
+                     const BitVector<NT>& m, BitVector<NT>& y,
+                     const std::vector<index_t>& slots, ThreadPool* pool) {
+  using Word = bitword_t<NT>;
+  parallel_for(
+      static_cast<index_t>(slots.size()),
+      [&](index_t si) {
+        const index_t s = slots[si];
+        const Word xw = x.words[s];
+        for (offset_t t = g.csc_tile_ptr[s]; t < g.csc_tile_ptr[s + 1]; ++t) {
+          // Only columns that are both in the frontier and non-empty in
+          // this tile contribute; the summary check skips the payload for
+          // tiles untouched by the frontier.
+          const Word active = xw & g.csc_col_summary[t];
+          if (active == 0) continue;
+          const index_t blk_y_rowid = g.csc_tile_row[t];
+          const Word* col_masks = g.csc_mask(t);
+          Word contrib = 0;
+          for_each_set_bit(active, [&](int lj) { contrib |= col_masks[lj]; });
+          const Word sum = contrib & static_cast<Word>(~m.words[blk_y_rowid]);
+          if (sum != 0) atomic_or(&y.words[blk_y_rowid], sum);
+        }
+      },
+      pool, /*chunk=*/4);
+}
+
+// ---------------------------------------------------------------------
+// K2: Push-CSR (paper Alg. 6). Matrix-driven: one task per tile row; every
+// tile whose frontier word is non-empty tests each still-unvisited local
+// row against the frontier word (AND) and accumulates hits (OR). No
+// atomics: each tile row is owned by exactly one task.
+// ---------------------------------------------------------------------
+template <int NT>
+void kernel_push_csr(const BitTileGraph<NT>& g, const BitVector<NT>& x,
+                     const BitVector<NT>& m, BitVector<NT>& y,
+                     ThreadPool* pool) {
+  using Word = bitword_t<NT>;
+  parallel_for(
+      g.tile_n,
+      [&](index_t tr) {
+        const Word unvisited =
+            static_cast<Word>(~m.words[tr]) & m.valid_mask(tr);
+        if (unvisited == 0) return;  // whole tile row already done
+        Word out = 0;
+        for (offset_t t = g.csr_tile_ptr[tr]; t < g.csr_tile_ptr[tr + 1];
+             ++t) {
+          const Word xw = x.words[g.csr_tile_col[t]];
+          if (xw == 0) continue;  // empty frontier tile: skip payload
+          const Word* row_masks =
+              &g.csr_masks[static_cast<std::size_t>(t) * NT];
+          // Restrict to rows that are unvisited, not already found, and
+          // actually present in this tile (summary word).
+          const Word remaining =
+              unvisited & static_cast<Word>(~out) & g.csr_row_summary[t];
+          for_each_set_bit(remaining, [&](int lr) {
+            if (row_masks[lr] & xw) out |= msb_bit<Word>(lr);
+          });
+        }
+        if (out != 0) y.words[tr] |= out;
+      },
+      pool, /*chunk=*/16);
+}
+
+// ---------------------------------------------------------------------
+// K3: Pull-CSC (paper Alg. 7). Unvisited-driven: each still-unvisited
+// vertex scans its in-neighborhood masks against the visited vector and
+// stops at the first hit (the paper's warp-synchronized early exit).
+// Reads the row-oriented masks; identical to the paper's A1 columns on
+// undirected graphs (see header note).
+// ---------------------------------------------------------------------
+template <int NT>
+void kernel_pull_csc(const BitTileGraph<NT>& g, const BitVector<NT>& m,
+                     BitVector<NT>& y, ThreadPool* pool) {
+  using Word = bitword_t<NT>;
+  parallel_for(
+      g.tile_n,
+      [&](index_t tr) {
+        Word remaining = static_cast<Word>(~m.words[tr]) & m.valid_mask(tr);
+        if (remaining == 0) return;
+        Word out = 0;
+        for (offset_t t = g.csr_tile_ptr[tr];
+             t < g.csr_tile_ptr[tr + 1] && remaining != 0; ++t) {
+          const Word mw = m.words[g.csr_tile_col[t]];
+          if (mw == 0) continue;
+          const Word* row_masks =
+              &g.csr_masks[static_cast<std::size_t>(t) * NT];
+          Word found = 0;
+          for_each_set_bit(remaining & g.csr_row_summary[t], [&](int lu) {
+            if (row_masks[lu] & mw) found |= msb_bit<Word>(lu);
+          });
+          out |= found;
+          remaining &= static_cast<Word>(~found);  // early exit per vertex
+        }
+        if (out != 0) y.words[tr] |= out;
+      },
+      pool, /*chunk=*/16);
+}
+
+// ---------------------------------------------------------------------
+// Side pass for the extracted very-sparse part: frontier-driven expansion
+// over the source-indexed edge list, merged into the same output vector.
+// Cost is proportional to the frontier's extracted out-edges, not to the
+// whole side matrix.
+// ---------------------------------------------------------------------
+template <int NT>
+void side_edges_pass(const BitTileGraph<NT>& g, const BitVector<NT>& x,
+                     const BitVector<NT>& m, BitVector<NT>& y,
+                     ThreadPool* pool) {
+  using Word = bitword_t<NT>;
+  if (g.side_dst.empty()) return;
+  parallel_for(
+      x.num_words(),
+      [&](index_t s) {
+        const Word xw = x.words[s];
+        if (xw == 0) return;
+        for_each_set_bit(xw, [&](int b) {
+          const index_t u = s * NT + b;
+          for (offset_t k = g.side_ptr[u]; k < g.side_ptr[u + 1]; ++k) {
+            const index_t dst = g.side_dst[k];
+            if (!m.test(dst)) {
+              atomic_or(&y.words[dst / NT], msb_bit<Word>(dst % NT));
+            }
+          }
+        });
+      },
+      pool, /*chunk=*/64);
+}
+
+template <int NT>
+BfsKernel select_kernel(const TileBfsConfig& cfg, index_t n,
+                        index_t frontier_size, index_t frontier_words,
+                        index_t total_words, index_t unvisited) {
+  const bool k1 = cfg.kernel_mask & 1u;
+  const bool k2 = cfg.kernel_mask & 2u;
+  const bool k3 = cfg.kernel_mask & 4u;
+  const double density = static_cast<double>(frontier_size) / n;
+  const double unvisited_frac = static_cast<double>(unvisited) / n;
+  if (k3 && unvisited_frac <= cfg.pull_unvisited_frac &&
+      static_cast<double>(unvisited) <=
+          cfg.pull_frontier_factor * static_cast<double>(frontier_size)) {
+    return BfsKernel::kPullCsc;
+  }
+  if (k2 && density >= cfg.push_csr_sparsity &&
+      static_cast<double>(frontier_words) >=
+          cfg.push_csr_frontier_words_frac * static_cast<double>(total_words)) {
+    return BfsKernel::kPushCsr;
+  }
+  if (k1) return BfsKernel::kPushCsc;
+  if (k2) return BfsKernel::kPushCsr;
+  if (k3) return BfsKernel::kPullCsc;
+  throw std::invalid_argument("TileBfsConfig.kernel_mask must enable a kernel");
+}
+
+template <int NT>
+BfsResult run_bfs(const BitTileGraph<NT>& g, index_t source,
+                  const TileBfsConfig& cfg, ThreadPool* pool) {
+  using Word = bitword_t<NT>;
+  assert(source >= 0 && source < g.n);
+  Timer total;
+  BfsResult result;
+  result.levels.assign(g.n, -1);
+  result.levels[source] = 0;
+
+  BitVector<NT> x(g.n);  // current frontier
+  BitVector<NT> m(g.n);  // visited mask (includes the frontier)
+  BitVector<NT> y(g.n);  // next frontier
+  x.set(source);
+  m.set(source);
+  index_t visited = 1;
+  index_t frontier_size = 1;   // carried across iterations (|x| = last |y|)
+  index_t frontier_words = 1;  // non-empty words in x, carried the same way
+
+  for (int level = 1;; ++level) {
+    const index_t unvisited = g.n - visited;
+    if (frontier_size == 0 || unvisited == 0) break;
+    const BfsKernel kernel = select_kernel<NT>(
+        cfg, g.n, frontier_size, frontier_words, x.num_words(), unvisited);
+
+    Timer iter;
+    y.clear();
+    switch (kernel) {
+      case BfsKernel::kPushCsc: {
+        const std::vector<index_t> slots = x.nonempty_slots();
+        kernel_push_csc(g, x, m, y, slots, pool);
+        break;
+      }
+      case BfsKernel::kPushCsr:
+        kernel_push_csr(g, x, m, y, pool);
+        break;
+      case BfsKernel::kPullCsc:
+        kernel_pull_csc(g, m, y, pool);
+        break;
+    }
+    side_edges_pass(g, x, m, y, pool);
+
+    // Assign levels and fold the new frontier into the visited mask.
+    index_t discovered = 0;
+    index_t discovered_words = 0;
+    for (index_t s = 0; s < y.num_words(); ++s) {
+      const Word w = y.words[s];
+      if (w == 0) continue;
+      ++discovered_words;
+      for_each_set_bit(w, [&](int b) {
+        result.levels[s * NT + b] = level;
+        ++discovered;
+      });
+      m.words[s] |= w;
+    }
+    result.iterations.push_back({level, kernel, frontier_size, unvisited,
+                                 iter.elapsed_ms()});
+    if (discovered == 0) break;
+    visited += discovered;
+    frontier_size = discovered;
+    frontier_words = discovered_words;
+    std::swap(x.words, y.words);
+  }
+  result.total_ms = total.elapsed_ms();
+  return result;
+}
+
+}  // namespace
+
+struct TileBfs::Impl {
+  TileBfsConfig cfg;
+  ThreadPool* pool = nullptr;
+  int nt = 32;
+  // Exactly one of the two graphs is populated, per the order rule.
+  std::unique_ptr<BitTileGraph<32>> g32;
+  std::unique_ptr<BitTileGraph<64>> g64;
+};
+
+TileBfs::TileBfs(const Csr<value_t>& a, TileBfsConfig cfg, ThreadPool* pool)
+    : impl_(std::make_unique<Impl>()) {
+  if (a.rows != a.cols) {
+    throw std::invalid_argument("TileBfs requires a square adjacency matrix");
+  }
+  if ((cfg.kernel_mask & 7u) == 0) {
+    throw std::invalid_argument("TileBfsConfig.kernel_mask must enable a kernel");
+  }
+  impl_->cfg = cfg;
+  impl_->pool = pool;
+  Timer t;
+  if (a.rows > cfg.order_threshold) {
+    impl_->nt = 64;
+    impl_->g64 = std::make_unique<BitTileGraph<64>>(
+        BitTileGraph<64>::from_csr(a, cfg.extract_threshold));
+  } else {
+    impl_->nt = 32;
+    impl_->g32 = std::make_unique<BitTileGraph<32>>(
+        BitTileGraph<32>::from_csr(a, cfg.extract_threshold));
+  }
+  preprocess_ms_ = t.elapsed_ms();
+}
+
+TileBfs::~TileBfs() = default;
+TileBfs::TileBfs(TileBfs&&) noexcept = default;
+TileBfs& TileBfs::operator=(TileBfs&&) noexcept = default;
+
+BfsResult TileBfs::run(index_t source) const {
+  if (impl_->g64) {
+    return run_bfs(*impl_->g64, source, impl_->cfg, impl_->pool);
+  }
+  return run_bfs(*impl_->g32, source, impl_->cfg, impl_->pool);
+}
+
+int TileBfs::tile_size() const { return impl_->nt; }
+
+offset_t TileBfs::edges() const {
+  return impl_->g64 ? impl_->g64->edges : impl_->g32->edges;
+}
+
+index_t TileBfs::num_tiles() const {
+  return impl_->g64 ? impl_->g64->num_tiles() : impl_->g32->num_tiles();
+}
+
+offset_t TileBfs::side_edge_count() const {
+  return impl_->g64 ? impl_->g64->side_edge_count()
+                    : impl_->g32->side_edge_count();
+}
+
+}  // namespace tilespmspv

@@ -1,0 +1,55 @@
+// Serial reference SpMSpV implementations — the paper's Algorithm 1
+// (row-wise / matrix-driven) and Algorithm 2 (column-wise / vector-driven).
+// These are the ground truth every optimized kernel is validated against.
+#pragma once
+
+#include <vector>
+
+#include "formats/csc.hpp"
+#include "formats/csr.hpp"
+#include "formats/sparse_vector.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+/// Algorithm 1: for each row, dot-product against x (x densified once).
+template <typename T>
+SparseVec<T> spmspv_rowwise_reference(const Csr<T>& a, const SparseVec<T>& x) {
+  const std::vector<T> xd = x.to_dense();
+  SparseVec<T> y(a.rows);
+  for (index_t r = 0; r < a.rows; ++r) {
+    T sum{};
+    bool touched = false;
+    for (offset_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+      const T xv = xd[a.col_idx[i]];
+      if (xv != T{}) {
+        sum += a.vals[i] * xv;
+        touched = true;
+      }
+    }
+    if (touched && sum != T{}) y.push(r, sum);
+  }
+  return y;
+}
+
+/// Algorithm 2: for each nonzero x_j, scale column a_{*j} and merge into y.
+template <typename T>
+SparseVec<T> spmspv_colwise_reference(const Csc<T>& a, const SparseVec<T>& x) {
+  std::vector<T> yd(a.rows, T{});
+  std::vector<bool> hit(a.rows, false);
+  for (std::size_t k = 0; k < x.idx.size(); ++k) {
+    const index_t j = x.idx[k];
+    const T xv = x.vals[k];
+    for (offset_t i = a.col_ptr[j]; i < a.col_ptr[j + 1]; ++i) {
+      yd[a.row_idx[i]] += a.vals[i] * xv;
+      hit[a.row_idx[i]] = true;
+    }
+  }
+  SparseVec<T> y(a.rows);
+  for (index_t r = 0; r < a.rows; ++r) {
+    if (hit[r] && yd[r] != T{}) y.push(r, yd[r]);
+  }
+  return y;
+}
+
+}  // namespace tilespmspv

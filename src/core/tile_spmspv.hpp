@@ -1,0 +1,343 @@
+// TileSpMSpV — the paper's numeric kernel (Algorithm 4).
+//
+// One work unit ("warp") per row of tiles: every non-empty matrix tile in
+// the tile row looks up its column position in the tiled vector's x_ptr in
+// O(1); empty vector tiles are skipped without touching the tile payload.
+// Surviving tiles run a tile-local CSR × dense-tile product into an
+// NT-element register-like accumulator. The very sparse part extracted
+// into COO at preprocessing time is processed by a separate edge-parallel
+// pass merged into the same output (paper §3.2.1 / §3.4 hybrid).
+#pragma once
+
+#include <vector>
+
+#include "formats/sparse_vector.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "tile/tile_matrix.hpp"
+#include "tile/tile_vector.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+/// Reusable buffers so per-multiply cost stays proportional to the touched
+/// rows, not to the matrix size (important at vector sparsity 1e-4, where a
+/// full O(rows) clear would dominate and hide the algorithm's advantage).
+template <typename T = value_t>
+struct SpmspvWorkspace {
+  std::vector<T> y_dense;                  // all-zero between calls
+  std::vector<unsigned char> tile_flag;    // all-zero between calls
+
+  void ensure(index_t rows, index_t tile_rows) {
+    if (static_cast<index_t>(y_dense.size()) < rows) {
+      y_dense.assign(rows, T{});
+    }
+    if (static_cast<index_t>(tile_flag.size()) < tile_rows) {
+      tile_flag.assign(tile_rows, 0);
+    }
+  }
+};
+
+/// y = A x with A in tiled form and x in tiled vector form.
+template <typename T>
+SparseVec<T> tile_spmspv(const TileMatrix<T>& a, const TileVector<T>& x,
+                         SpmspvWorkspace<T>& ws, ThreadPool* pool = nullptr) {
+  const index_t nt = a.nt;
+  ws.ensure(a.rows, a.tile_rows);
+  T* yd = ws.y_dense.data();
+  unsigned char* flag = ws.tile_flag.data();
+
+  // Phase 1: tiled part, one task per tile row (paper Alg. 4).
+  parallel_for(
+      a.tile_rows,
+      [&](index_t tr) {
+        T acc[256];  // nt <= 256 by TileMatrix invariant
+        bool any = false;
+        for (offset_t t = a.tile_row_ptr[tr]; t < a.tile_row_ptr[tr + 1];
+             ++t) {
+          const index_t tile_colid = a.tile_col_id[t];
+          const index_t x_offset = x.x_ptr[tile_colid];  // O(1) positioning
+          if (x_offset == kEmptyTile) continue;          // skip empty x tile
+          const T* xt = &x.x_tile[static_cast<std::size_t>(x_offset) * nt];
+          if (!any) {
+            for (index_t i = 0; i < nt; ++i) acc[i] = T{};
+            any = true;
+          }
+          const std::uint16_t* p = &a.intra_row_ptr[t * (nt + 1)];
+          const offset_t base = a.tile_nnz_ptr[t];
+          for (index_t lr = 0; lr < nt; ++lr) {
+            T sum{};
+            for (offset_t i = base + p[lr]; i < base + p[lr + 1]; ++i) {
+              sum += a.vals[i] * xt[a.local_col[i]];
+            }
+            acc[lr] += sum;
+          }
+        }
+        if (any) {
+          const index_t r_begin = tr * nt;
+          const index_t r_end = std::min<index_t>(r_begin + nt, a.rows);
+          for (index_t r = r_begin; r < r_end; ++r) {
+            yd[r] = acc[r - r_begin];
+          }
+          flag[tr] = 1;
+        }
+      },
+      pool, /*chunk=*/8);
+
+  // Phase 2: extracted very-sparse part, driven by the active columns so
+  // its cost is proportional to nnz(x), not to the side-matrix size.
+  if (a.extracted.nnz() > 0) {
+    std::vector<index_t> active;
+    for (index_t s = 0; s < x.num_tiles(); ++s) {
+      if (x.x_ptr[s] != kEmptyTile) active.push_back(s);
+    }
+    parallel_for(
+        static_cast<index_t>(active.size()),
+        [&](index_t ai) {
+          const index_t s = active[ai];
+          const T* xt = &x.x_tile[static_cast<std::size_t>(x.x_ptr[s]) * nt];
+          for (index_t lj = 0; lj < nt; ++lj) {
+            const index_t j = s * nt + lj;
+            if (j >= a.cols) break;
+            const T xv = xt[lj];
+            if (xv == T{}) continue;
+            for (offset_t i = a.side_col_ptr[j]; i < a.side_col_ptr[j + 1];
+                 ++i) {
+              const index_t r = a.side_row_idx[i];
+              atomic_add(&yd[r], a.side_vals[i] * xv);
+              atomic_or<unsigned char>(&flag[r / nt], 1);
+            }
+          }
+        },
+        pool, /*chunk=*/16);
+  }
+
+  // Phase 3: gather touched tile rows into the sparse result and restore
+  // the workspace's all-zero invariant.
+  SparseVec<T> y(a.rows);
+  for (index_t tr = 0; tr < a.tile_rows; ++tr) {
+    if (!flag[tr]) continue;
+    flag[tr] = 0;
+    const index_t r_begin = tr * nt;
+    const index_t r_end = std::min<index_t>(r_begin + nt, a.rows);
+    for (index_t r = r_begin; r < r_end; ++r) {
+      if (yd[r] != T{}) y.push(r, yd[r]);
+      yd[r] = T{};
+    }
+  }
+  return y;
+}
+
+/// Convenience overload owning a transient workspace.
+template <typename T>
+SparseVec<T> tile_spmspv(const TileMatrix<T>& a, const TileVector<T>& x,
+                         ThreadPool* pool = nullptr) {
+  SpmspvWorkspace<T> ws;
+  return tile_spmspv(a, x, ws, pool);
+}
+
+/// CSC-form TileSpMSpV (paper §3.2.3: "we provide two forms of SpMSpV
+/// algorithms: CSR-SpMSpV and CSC-SpMSpV", selected by vector density).
+///
+/// Vector-driven: only the tile *columns* whose vector tile is non-empty
+/// are visited, so the cost is proportional to the active part of the
+/// matrix — the winning regime for very sparse x, where the CSR form's
+/// scan over all tile rows' metadata would dominate.
+///
+/// `at` is the tiled form of Aᵀ: a tile row of Aᵀ is a tile column of A,
+/// a local row is an input (column) index of A and a local column an
+/// output (row) index, so the same TileMatrix structure serves both
+/// orientations. Several tile columns can scatter into the same output
+/// tile, hence the atomic merge (the paper's Push-CSC does the same with
+/// atomic OR).
+template <typename T>
+SparseVec<T> tile_spmspv_csc(const TileMatrix<T>& at, const TileVector<T>& x,
+                             SpmspvWorkspace<T>& ws,
+                             ThreadPool* pool = nullptr) {
+  const index_t nt = at.nt;
+  const index_t out_n = at.cols;  // rows of A
+  const index_t out_tiles = at.tile_cols;
+  ws.ensure(out_n, out_tiles);
+  T* yd = ws.y_dense.data();
+  unsigned char* flag = ws.tile_flag.data();
+
+  // Active tile columns of A = non-empty tiles of x = tile rows of Aᵀ with
+  // a matching vector tile.
+  std::vector<index_t> active;
+  for (index_t s = 0; s < x.num_tiles(); ++s) {
+    if (x.x_ptr[s] != kEmptyTile && s < at.tile_rows &&
+        at.tile_row_ptr[s] < at.tile_row_ptr[s + 1]) {
+      active.push_back(s);
+    }
+  }
+
+  parallel_for(
+      static_cast<index_t>(active.size()),
+      [&](index_t ai) {
+        const index_t s = active[ai];
+        const T* xt =
+            &x.x_tile[static_cast<std::size_t>(x.x_ptr[s]) * nt];
+        for (offset_t t = at.tile_row_ptr[s]; t < at.tile_row_ptr[s + 1];
+             ++t) {
+          const index_t out_tile = at.tile_col_id[t];
+          const index_t out_base = out_tile * nt;
+          const std::uint16_t* p = &at.intra_row_ptr[t * (nt + 1)];
+          const offset_t base = at.tile_nnz_ptr[t];
+          bool touched = false;
+          for (index_t lj = 0; lj < nt; ++lj) {  // local input index
+            const T xv = xt[lj];
+            if (xv == T{}) continue;
+            for (offset_t i = base + p[lj]; i < base + p[lj + 1]; ++i) {
+              atomic_add(&yd[out_base + at.local_col[i]], at.vals[i] * xv);
+              touched = true;
+            }
+          }
+          if (touched) atomic_or<unsigned char>(&flag[out_tile], 1);
+        }
+      },
+      pool, /*chunk=*/2);
+
+  // Extracted side part of Aᵀ: entry (j, i) of Aᵀ is A[i][j], so walking
+  // extracted *rows* j selected by x visits exactly the active columns of
+  // A (side_row_ptr indexes the row-major extracted COO).
+  if (at.extracted.nnz() > 0) {
+    std::vector<index_t> x_active;
+    for (index_t s = 0; s < x.num_tiles(); ++s) {
+      if (x.x_ptr[s] != kEmptyTile) x_active.push_back(s);
+    }
+    parallel_for(
+        static_cast<index_t>(x_active.size()),
+        [&](index_t ai) {
+          const index_t s = x_active[ai];
+          const T* xt = &x.x_tile[static_cast<std::size_t>(x.x_ptr[s]) * nt];
+          for (index_t lj = 0; lj < nt; ++lj) {
+            const index_t j = s * nt + lj;
+            if (j >= at.rows) break;
+            const T xv = xt[lj];
+            if (xv == T{}) continue;
+            for (offset_t k = at.side_row_ptr[j]; k < at.side_row_ptr[j + 1];
+                 ++k) {
+              const index_t i = at.extracted.col_idx[k];
+              atomic_add(&yd[i], at.extracted.vals[k] * xv);
+              atomic_or<unsigned char>(&flag[i / nt], 1);
+            }
+          }
+        },
+        pool, /*chunk=*/16);
+  }
+
+  // Gather touched output tiles (same as the CSR form's phase 3).
+  SparseVec<T> y(out_n);
+  for (index_t tr = 0; tr < out_tiles; ++tr) {
+    if (!flag[tr]) continue;
+    flag[tr] = 0;
+    const index_t r_begin = tr * nt;
+    const index_t r_end = std::min<index_t>(r_begin + nt, out_n);
+    for (index_t r = r_begin; r < r_end; ++r) {
+      if (yd[r] != T{}) y.push(r, yd[r]);
+      yd[r] = T{};
+    }
+  }
+  return y;
+}
+
+template <typename T>
+SparseVec<T> tile_spmspv_csc(const TileMatrix<T>& at, const TileVector<T>& x,
+                             ThreadPool* pool = nullptr) {
+  SpmspvWorkspace<T> ws;
+  return tile_spmspv_csc(at, x, ws, pool);
+}
+
+/// Masked SpMSpV: y<mask> = A x, the GraphBLAS fused form. Only output
+/// positions allowed by the mask are emitted — with `complement` set,
+/// positions NOT in the mask (the BFS recurrence: next = (A·frontier)
+/// masked by the complement of visited). The multiply itself runs
+/// unmasked (output positions are unknown until computed); the fusion
+/// saves the intermediate vector materialization and the second merge
+/// pass of mask(tile_spmspv(...), m).
+template <typename T>
+SparseVec<T> tile_spmspv_masked(const TileMatrix<T>& a,
+                                const TileVector<T>& x,
+                                const std::vector<bool>& mask_dense,
+                                bool complement, SpmspvWorkspace<T>& ws,
+                                ThreadPool* pool = nullptr) {
+  assert(static_cast<index_t>(mask_dense.size()) == a.rows);
+  // Phases 1-2 identical to tile_spmspv; phase 3 applies the mask during
+  // the gather, so masked-out values never reach the output vector.
+  const index_t nt = a.nt;
+  ws.ensure(a.rows, a.tile_rows);
+  T* yd = ws.y_dense.data();
+  unsigned char* flag = ws.tile_flag.data();
+
+  parallel_for(
+      a.tile_rows,
+      [&](index_t tr) {
+        T acc[256];
+        bool any = false;
+        for (offset_t t = a.tile_row_ptr[tr]; t < a.tile_row_ptr[tr + 1];
+             ++t) {
+          const index_t x_offset = x.x_ptr[a.tile_col_id[t]];
+          if (x_offset == kEmptyTile) continue;
+          const T* xt = &x.x_tile[static_cast<std::size_t>(x_offset) * nt];
+          if (!any) {
+            for (index_t i = 0; i < nt; ++i) acc[i] = T{};
+            any = true;
+          }
+          const std::uint16_t* p = &a.intra_row_ptr[t * (nt + 1)];
+          const offset_t base = a.tile_nnz_ptr[t];
+          for (index_t lr = 0; lr < nt; ++lr) {
+            T sum{};
+            for (offset_t i = base + p[lr]; i < base + p[lr + 1]; ++i) {
+              sum += a.vals[i] * xt[a.local_col[i]];
+            }
+            acc[lr] += sum;
+          }
+        }
+        if (any) {
+          const index_t r_end = std::min<index_t>((tr + 1) * nt, a.rows);
+          for (index_t r = tr * nt; r < r_end; ++r) yd[r] = acc[r - tr * nt];
+          flag[tr] = 1;
+        }
+      },
+      pool, /*chunk=*/8);
+
+  if (a.extracted.nnz() > 0) {
+    std::vector<index_t> active;
+    for (index_t s = 0; s < x.num_tiles(); ++s) {
+      if (x.x_ptr[s] != kEmptyTile) active.push_back(s);
+    }
+    parallel_for(
+        static_cast<index_t>(active.size()),
+        [&](index_t ai) {
+          const index_t s = active[ai];
+          const T* xt = &x.x_tile[static_cast<std::size_t>(x.x_ptr[s]) * nt];
+          for (index_t lj = 0; lj < nt; ++lj) {
+            const index_t j = s * nt + lj;
+            if (j >= a.cols) break;
+            const T xv = xt[lj];
+            if (xv == T{}) continue;
+            for (offset_t i = a.side_col_ptr[j]; i < a.side_col_ptr[j + 1];
+                 ++i) {
+              const index_t r = a.side_row_idx[i];
+              atomic_add(&yd[r], a.side_vals[i] * xv);
+              atomic_or<unsigned char>(&flag[r / nt], 1);
+            }
+          }
+        },
+        pool, /*chunk=*/16);
+  }
+
+  SparseVec<T> y(a.rows);
+  for (index_t tr = 0; tr < a.tile_rows; ++tr) {
+    if (!flag[tr]) continue;
+    flag[tr] = 0;
+    const index_t r_end = std::min<index_t>((tr + 1) * nt, a.rows);
+    for (index_t r = tr * nt; r < r_end; ++r) {
+      if (yd[r] != T{} && mask_dense[r] != complement) y.push(r, yd[r]);
+      yd[r] = T{};
+    }
+  }
+  return y;
+}
+
+}  // namespace tilespmspv

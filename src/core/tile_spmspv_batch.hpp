@@ -1,0 +1,136 @@
+// Batched TileSpMSpV: Y = A X for a block of sparse vectors sharing one
+// traversal of the tiled matrix. The paper frames SpMSpV as the k = 1
+// corner of SpGEMM (§1); real workloads sit in between — multi-source BFS
+// fan-outs, batched inference — and there the tile metadata (tile-row
+// scan, x_ptr lookups) can be paid once per tile instead of once per
+// vector. Each tile that survives the per-vector x_ptr check multiplies
+// against every active vector before the next tile's metadata is touched,
+// so payload bytes are reused while resident.
+#pragma once
+
+#include <vector>
+
+#include "core/tile_spmspv.hpp"
+#include "formats/sparse_vector.hpp"
+#include "parallel/parallel_for.hpp"
+#include "tile/tile_matrix.hpp"
+#include "tile/tile_vector.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+/// Y[k] = A * X[k] for every k. Results are identical to k independent
+/// tile_spmspv calls (same traversal order per vector).
+template <typename T>
+std::vector<SparseVec<T>> tile_spmspv_batch(
+    const TileMatrix<T>& a, const std::vector<TileVector<T>>& xs,
+    ThreadPool* pool = nullptr) {
+  const index_t nt = a.nt;
+  const auto k = static_cast<index_t>(xs.size());
+  std::vector<SparseVec<T>> ys(k);
+  if (k == 0) return ys;
+  for (const auto& x : xs) {
+    assert(x.nt == nt);
+    assert(ceil_div(x.n, nt) >= a.tile_cols || x.n == a.cols);
+  }
+
+  // Dense accumulators: one rows-sized buffer per vector (the batch is
+  // expected to be small — e.g. 64-source BFS waves — so rows*k stays
+  // cache-friendly per tile row).
+  std::vector<std::vector<T>> yd(k, std::vector<T>(a.rows, T{}));
+  std::vector<std::vector<unsigned char>> flags(
+      k, std::vector<unsigned char>(a.tile_rows, 0));
+
+  parallel_for(
+      a.tile_rows,
+      [&](index_t tr) {
+        // acc[k][nt] flattened; 256 is the nt cap from TileMatrix.
+        std::vector<T> acc(static_cast<std::size_t>(k) * nt, T{});
+        std::vector<unsigned char> any(k, 0);
+        for (offset_t t = a.tile_row_ptr[tr]; t < a.tile_row_ptr[tr + 1];
+             ++t) {
+          const index_t tile_colid = a.tile_col_id[t];
+          const std::uint16_t* p = &a.intra_row_ptr[t * (nt + 1)];
+          const offset_t base = a.tile_nnz_ptr[t];
+          for (index_t v = 0; v < k; ++v) {
+            const index_t x_offset = xs[v].x_ptr[tile_colid];
+            if (x_offset == kEmptyTile) continue;
+            const T* xt =
+                &xs[v].x_tile[static_cast<std::size_t>(x_offset) * nt];
+            T* av = &acc[static_cast<std::size_t>(v) * nt];
+            any[v] = 1;
+            for (index_t lr = 0; lr < nt; ++lr) {
+              T sum{};
+              for (offset_t i = base + p[lr]; i < base + p[lr + 1]; ++i) {
+                sum += a.vals[i] * xt[a.local_col[i]];
+              }
+              av[lr] += sum;
+            }
+          }
+        }
+        const index_t r_begin = tr * nt;
+        const index_t r_end = std::min<index_t>(r_begin + nt, a.rows);
+        for (index_t v = 0; v < k; ++v) {
+          if (!any[v]) continue;
+          for (index_t r = r_begin; r < r_end; ++r) {
+            yd[v][r] = acc[static_cast<std::size_t>(v) * nt + (r - r_begin)];
+          }
+          flags[v][tr] = 1;
+        }
+      },
+      pool, /*chunk=*/4);
+
+  // Extracted side part, column-driven per vector (same as tile_spmspv).
+  if (a.extracted.nnz() > 0) {
+    parallel_for(
+        k,
+        [&](index_t v) {
+          const TileVector<T>& x = xs[v];
+          for (index_t s = 0; s < x.num_tiles(); ++s) {
+            if (x.x_ptr[s] == kEmptyTile) continue;
+            const T* xt =
+                &x.x_tile[static_cast<std::size_t>(x.x_ptr[s]) * nt];
+            for (index_t lj = 0; lj < nt; ++lj) {
+              const index_t j = s * nt + lj;
+              if (j >= a.cols) break;
+              const T xv = xt[lj];
+              if (xv == T{}) continue;
+              for (offset_t i = a.side_col_ptr[j]; i < a.side_col_ptr[j + 1];
+                   ++i) {
+                const index_t r = a.side_row_idx[i];
+                yd[v][r] += a.side_vals[i] * xv;
+                flags[v][r / nt] = 1;
+              }
+            }
+          }
+        },
+        pool, /*chunk=*/1);
+  }
+
+  for (index_t v = 0; v < k; ++v) {
+    ys[v] = SparseVec<T>(a.rows);
+    for (index_t tr = 0; tr < a.tile_rows; ++tr) {
+      if (!flags[v][tr]) continue;
+      const index_t r_end = std::min<index_t>((tr + 1) * nt, a.rows);
+      for (index_t r = tr * nt; r < r_end; ++r) {
+        if (yd[v][r] != T{}) ys[v].push(r, yd[v][r]);
+      }
+    }
+  }
+  return ys;
+}
+
+/// Convenience overload tiling plain sparse vectors first.
+template <typename T>
+std::vector<SparseVec<T>> tile_spmspv_batch(
+    const TileMatrix<T>& a, const std::vector<SparseVec<T>>& xs,
+    ThreadPool* pool = nullptr) {
+  std::vector<TileVector<T>> tiled;
+  tiled.reserve(xs.size());
+  for (const auto& x : xs) {
+    tiled.push_back(TileVector<T>::from_sparse(x, a.nt));
+  }
+  return tile_spmspv_batch(a, tiled, pool);
+}
+
+}  // namespace tilespmspv

@@ -1,0 +1,163 @@
+// Semiring-generic TileSpMSpV. Same data structures and traversal order
+// as the optimized numeric kernels (core/tile_spmspv.hpp), but the scalar
+// operations come from a semiring parameter, so shortest-path (min-plus),
+// reachability (or-and) and reliability (max-times) all run on the tiled
+// storage. Kept separate from the numeric path: the specialized kernel
+// stays branch-free and benchmark-clean, the generic one favours clarity.
+//
+// Merging across work units is serialized with a per-output-tile spinlock
+// (generic semirings have no atomic fetch-op), which is fine because the
+// sparse workloads this path serves have little tile contention.
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "core/semiring.hpp"
+#include "formats/sparse_vector.hpp"
+#include "parallel/parallel_for.hpp"
+#include "tile/tile_matrix.hpp"
+#include "tile/tile_vector.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+/// y = A ⊗ x over semiring S, vector-driven (CSC form). `at` is the tiled
+/// transpose of A, exactly as in tile_spmspv_csc. The result contains
+/// every output whose accumulated value differs from S::zero().
+template <typename S, typename T = typename S::value_type>
+SparseVec<T> tile_spmspv_semiring(const TileMatrix<T>& at,
+                                  const TileVector<T>& x,
+                                  ThreadPool* pool = nullptr) {
+  const index_t nt = at.nt;
+  const index_t out_n = at.cols;
+  const index_t out_tiles = at.tile_cols;
+
+  std::vector<T> yd(out_n, S::zero());
+  std::vector<unsigned char> flag(out_tiles, 0);
+  // One lock word per output tile; std::atomic_flag would need C++20 init
+  // gymnastics in a vector, so a byte CAS serves.
+  std::vector<std::atomic<unsigned char>> locks(out_tiles);
+
+  std::vector<index_t> active;
+  for (index_t s = 0; s < x.num_tiles(); ++s) {
+    if (x.x_ptr[s] != kEmptyTile && s < at.tile_rows &&
+        (at.tile_row_ptr[s] < at.tile_row_ptr[s + 1] ||
+         !at.extracted.row_idx.empty())) {
+      active.push_back(s);
+    }
+  }
+
+  auto lock_tile = [&](index_t t) {
+    unsigned char expected = 0;
+    while (!locks[t].compare_exchange_weak(expected, 1,
+                                           std::memory_order_acquire)) {
+      expected = 0;
+    }
+  };
+  auto unlock_tile = [&](index_t t) {
+    locks[t].store(0, std::memory_order_release);
+  };
+
+  parallel_for(
+      static_cast<index_t>(active.size()),
+      [&](index_t ai) {
+        const index_t s = active[ai];
+        const T* xt = &x.x_tile[static_cast<std::size_t>(x.x_ptr[s]) * nt];
+        // Tiled part.
+        for (offset_t t = at.tile_row_ptr[s]; t < at.tile_row_ptr[s + 1];
+             ++t) {
+          const index_t out_tile = at.tile_col_id[t];
+          const index_t out_base = out_tile * nt;
+          const std::uint16_t* p = &at.intra_row_ptr[t * (nt + 1)];
+          const offset_t base = at.tile_nnz_ptr[t];
+          lock_tile(out_tile);
+          bool touched = false;
+          for (index_t lj = 0; lj < nt; ++lj) {
+            const T xv = xt[lj];
+            if (xv == S::zero()) continue;
+            for (offset_t i = base + p[lj]; i < base + p[lj + 1]; ++i) {
+              T& slot = yd[out_base + at.local_col[i]];
+              slot = S::add(slot, S::mul(at.vals[i], xv));
+              touched = true;
+            }
+          }
+          if (touched) flag[out_tile] = 1;
+          unlock_tile(out_tile);
+        }
+        // Extracted side part (row j of Aᵀ = column j of A).
+        for (index_t lj = 0; lj < nt; ++lj) {
+          const index_t j = s * nt + lj;
+          if (j >= at.rows) break;
+          const T xv = xt[lj];
+          if (xv == S::zero()) continue;
+          for (offset_t k = at.side_row_ptr[j]; k < at.side_row_ptr[j + 1];
+               ++k) {
+            const index_t i = at.extracted.col_idx[k];
+            const index_t out_tile = i / nt;
+            lock_tile(out_tile);
+            yd[i] = S::add(yd[i], S::mul(at.extracted.vals[k], xv));
+            flag[out_tile] = 1;
+            unlock_tile(out_tile);
+          }
+        }
+      },
+      pool, /*chunk=*/4);
+
+  SparseVec<T> y(out_n);
+  for (index_t tr = 0; tr < out_tiles; ++tr) {
+    if (!flag[tr]) continue;
+    const index_t r_begin = tr * nt;
+    const index_t r_end = std::min<index_t>(r_begin + nt, out_n);
+    for (index_t r = r_begin; r < r_end; ++r) {
+      if (yd[r] != S::zero()) y.push(r, yd[r]);
+    }
+  }
+  return y;
+}
+
+/// Owning wrapper: preprocess A once for repeated semiring multiplies.
+template <typename S, typename T = typename S::value_type>
+class SemiringOperator {
+ public:
+  SemiringOperator(const Csr<T>& a, index_t nt = 16,
+                   index_t extract_threshold = 2, ThreadPool* pool = nullptr)
+      : nt_(nt),
+        tiled_t_(TileMatrix<T>::from_csr(a.transpose(), nt,
+                                         extract_threshold)),
+        pool_(pool) {}
+
+  SparseVec<T> multiply(const SparseVec<T>& x) const {
+    const TileVector<T> xt = tile_vector_for_semiring(x);
+    return tile_spmspv_semiring<S>(tiled_t_, xt, pool_);
+  }
+
+ private:
+  /// TileVector's empty slots read as T{}; for semirings whose identity is
+  /// not T{} (min-plus!) the padding inside non-empty tiles must be
+  /// S::zero() instead, so the tile is built here with explicit fill.
+  TileVector<T> tile_vector_for_semiring(const SparseVec<T>& x) const {
+    TileVector<T> v;
+    v.n = x.n;
+    v.nt = nt_;
+    const index_t tiles = ceil_div(x.n, nt_);
+    v.x_ptr.assign(tiles, kEmptyTile);
+    index_t slots = 0;
+    for (index_t i : x.idx) {
+      index_t& p = v.x_ptr[i / nt_];
+      if (p == kEmptyTile) p = slots++;
+    }
+    v.x_tile.assign(static_cast<std::size_t>(slots) * nt_, S::zero());
+    for (std::size_t k = 0; k < x.idx.size(); ++k) {
+      const index_t i = x.idx[k];
+      v.x_tile[v.x_ptr[i / nt_] * nt_ + i % nt_] = x.vals[k];
+    }
+    return v;
+  }
+
+  index_t nt_;
+  TileMatrix<T> tiled_t_;
+  ThreadPool* pool_;
+};
+
+}  // namespace tilespmspv

@@ -1,0 +1,104 @@
+// Coordinate (COO) sparse matrix: the interchange format every generator
+// emits and every other format is built from. Also the storage for the
+// "very sparse tile" side matrix the paper extracts (§3.2.1).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+template <typename T = value_t>
+struct Coo {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> row_idx;
+  std::vector<index_t> col_idx;
+  std::vector<T> vals;
+
+  Coo() = default;
+  Coo(index_t r, index_t c) : rows(r), cols(c) {}
+
+  index_t nnz() const { return static_cast<index_t>(vals.size()); }
+
+  void push(index_t r, index_t c, T v) {
+    assert(r >= 0 && r < rows && c >= 0 && c < cols);
+    row_idx.push_back(r);
+    col_idx.push_back(c);
+    vals.push_back(v);
+  }
+
+  void reserve(std::size_t n) {
+    row_idx.reserve(n);
+    col_idx.reserve(n);
+    vals.reserve(n);
+  }
+
+  /// Sorts entries into row-major order (row, then column). Stable with
+  /// respect to duplicates so that sum_duplicates() below is deterministic.
+  void sort_row_major() {
+    std::vector<index_t> perm(vals.size());
+    std::iota(perm.begin(), perm.end(), index_t{0});
+    std::stable_sort(perm.begin(), perm.end(), [&](index_t a, index_t b) {
+      if (row_idx[a] != row_idx[b]) return row_idx[a] < row_idx[b];
+      return col_idx[a] < col_idx[b];
+    });
+    apply_permutation(perm);
+  }
+
+  /// Collapses duplicate (row, col) entries by summation. Requires the
+  /// matrix to be sorted row-major.
+  void sum_duplicates() {
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      if (w > 0 && row_idx[i] == row_idx[w - 1] &&
+          col_idx[i] == col_idx[w - 1]) {
+        vals[w - 1] += vals[i];
+      } else {
+        row_idx[w] = row_idx[i];
+        col_idx[w] = col_idx[i];
+        vals[w] = vals[i];
+        ++w;
+      }
+    }
+    row_idx.resize(w);
+    col_idx.resize(w);
+    vals.resize(w);
+  }
+
+  /// Adds the transposed entry for every off-diagonal entry, making the
+  /// pattern symmetric (used to build undirected graphs). Duplicates are
+  /// then merged.
+  void symmetrize() {
+    const std::size_t n = vals.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (row_idx[i] != col_idx[i]) {
+        row_idx.push_back(col_idx[i]);
+        col_idx.push_back(row_idx[i]);
+        vals.push_back(vals[i]);
+      }
+    }
+    sort_row_major();
+    sum_duplicates();
+  }
+
+ private:
+  void apply_permutation(const std::vector<index_t>& perm) {
+    std::vector<index_t> r(perm.size()), c(perm.size());
+    std::vector<T> v(perm.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      r[i] = row_idx[perm[i]];
+      c[i] = col_idx[perm[i]];
+      v[i] = vals[perm[i]];
+    }
+    row_idx = std::move(r);
+    col_idx = std::move(c);
+    vals = std::move(v);
+  }
+};
+
+}  // namespace tilespmspv

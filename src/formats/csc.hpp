@@ -1,0 +1,44 @@
+// Compressed Sparse Column matrix: the column-driven SpMSpV baselines
+// (CombBLAS SpMSpV-bucket, sort-merge) and pull-direction BFS consume CSC.
+// Internally a CSC of A is the CSR of A^T; this thin wrapper keeps the
+// row/column vocabulary straight at call sites.
+#pragma once
+
+#include <vector>
+
+#include "formats/csr.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+template <typename T = value_t>
+struct Csc {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<offset_t> col_ptr;  // length cols + 1
+  std::vector<index_t> row_idx;   // length nnz, sorted within each column
+  std::vector<T> vals;
+
+  offset_t nnz() const { return static_cast<offset_t>(row_idx.size()); }
+
+  index_t col_nnz(index_t c) const {
+    return static_cast<index_t>(col_ptr[c + 1] - col_ptr[c]);
+  }
+
+  static Csc from_csr(const Csr<T>& a) {
+    Csr<T> t = a.transpose();
+    Csc m;
+    m.rows = a.rows;
+    m.cols = a.cols;
+    m.col_ptr = std::move(t.row_ptr);
+    m.row_idx = std::move(t.col_idx);
+    m.vals = std::move(t.vals);
+    return m;
+  }
+
+  static Csc from_coo(const Coo<T>& coo) {
+    return from_csr(Csr<T>::from_coo(coo));
+  }
+};
+
+}  // namespace tilespmspv

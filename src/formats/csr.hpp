@@ -1,0 +1,105 @@
+// Compressed Sparse Row matrix. Baseline kernels (cuSPARSE stand-in SpMV,
+// Gunrock-style push BFS) and the tiling pass both consume CSR.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "formats/coo.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+template <typename T = value_t>
+struct Csr {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<offset_t> row_ptr;  // length rows + 1
+  std::vector<index_t> col_idx;   // length nnz, sorted within each row
+  std::vector<T> vals;            // length nnz
+
+  Csr() = default;
+  Csr(index_t r, index_t c) : rows(r), cols(c), row_ptr(r + 1, 0) {}
+
+  offset_t nnz() const { return static_cast<offset_t>(col_idx.size()); }
+
+  index_t row_nnz(index_t r) const {
+    return static_cast<index_t>(row_ptr[r + 1] - row_ptr[r]);
+  }
+
+  /// Builds from COO. Duplicates must already be merged; entries need not
+  /// be sorted (a counting pass orders them).
+  static Csr from_coo(const Coo<T>& coo) {
+    Csr m(coo.rows, coo.cols);
+    m.col_idx.resize(coo.vals.size());
+    m.vals.resize(coo.vals.size());
+    for (index_t r : coo.row_idx) {
+      ++m.row_ptr[r + 1];
+    }
+    for (index_t r = 0; r < coo.rows; ++r) {
+      m.row_ptr[r + 1] += m.row_ptr[r];
+    }
+    std::vector<offset_t> cursor(m.row_ptr.begin(), m.row_ptr.end() - 1);
+    for (std::size_t i = 0; i < coo.vals.size(); ++i) {
+      const offset_t pos = cursor[coo.row_idx[i]]++;
+      m.col_idx[pos] = coo.col_idx[i];
+      m.vals[pos] = coo.vals[i];
+    }
+    m.sort_rows();
+    return m;
+  }
+
+  /// Converts back to row-major sorted COO (round-trip test support).
+  Coo<T> to_coo() const {
+    Coo<T> coo(rows, cols);
+    coo.reserve(col_idx.size());
+    for (index_t r = 0; r < rows; ++r) {
+      for (offset_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+        coo.push(r, col_idx[i], vals[i]);
+      }
+    }
+    return coo;
+  }
+
+  /// Transpose; since CSR of A^T is CSC of A, this also serves as the CSC
+  /// construction path.
+  Csr transpose() const {
+    Csr t(cols, rows);
+    t.col_idx.resize(col_idx.size());
+    t.vals.resize(vals.size());
+    for (index_t c : col_idx) {
+      ++t.row_ptr[c + 1];
+    }
+    for (index_t r = 0; r < t.rows; ++r) {
+      t.row_ptr[r + 1] += t.row_ptr[r];
+    }
+    std::vector<offset_t> cursor(t.row_ptr.begin(), t.row_ptr.end() - 1);
+    for (index_t r = 0; r < rows; ++r) {
+      for (offset_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+        const offset_t pos = cursor[col_idx[i]]++;
+        t.col_idx[pos] = r;
+        t.vals[pos] = vals[i];
+      }
+    }
+    return t;  // columns within each row are already sorted by construction
+  }
+
+ private:
+  void sort_rows() {
+    std::vector<std::pair<index_t, T>> buf;
+    for (index_t r = 0; r < rows; ++r) {
+      const offset_t b = row_ptr[r], e = row_ptr[r + 1];
+      if (e - b < 2) continue;
+      buf.clear();
+      for (offset_t i = b; i < e; ++i) buf.emplace_back(col_idx[i], vals[i]);
+      std::sort(buf.begin(), buf.end(),
+                [](const auto& a, const auto& bb) { return a.first < bb.first; });
+      for (offset_t i = b; i < e; ++i) {
+        col_idx[i] = buf[i - b].first;
+        vals[i] = buf[i - b].second;
+      }
+    }
+  }
+};
+
+}  // namespace tilespmspv

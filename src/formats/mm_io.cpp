@@ -1,0 +1,109 @@
+#include "formats/mm_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tilespmspv {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+Coo<value_t> read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("matrix market: empty stream");
+  }
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket" || lower(object) != "matrix") {
+    throw std::runtime_error("matrix market: bad banner: " + line);
+  }
+  format = lower(format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  if (format != "coordinate") {
+    throw std::runtime_error("matrix market: only coordinate format supported");
+  }
+  if (field != "real" && field != "integer" && field != "pattern") {
+    throw std::runtime_error("matrix market: unsupported field: " + field);
+  }
+  if (symmetry != "general" && symmetry != "symmetric") {
+    throw std::runtime_error("matrix market: unsupported symmetry: " +
+                             symmetry);
+  }
+
+  // Skip comments, then read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  long long rows = 0, cols = 0, entries = 0;
+  {
+    std::istringstream size_line(line);
+    if (!(size_line >> rows >> cols >> entries)) {
+      throw std::runtime_error("matrix market: bad size line: " + line);
+    }
+  }
+
+  Coo<value_t> m(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  m.reserve(static_cast<std::size_t>(entries) *
+            (symmetry == "symmetric" ? 2 : 1));
+  const bool pattern = field == "pattern";
+  for (long long e = 0; e < entries; ++e) {
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("matrix market: truncated entry list");
+    }
+    if (line.empty()) {
+      --e;
+      continue;
+    }
+    std::istringstream entry(line);
+    long long r = 0, c = 0;
+    double v = 1.0;
+    entry >> r >> c;
+    if (!pattern) entry >> v;
+    if (!entry) {
+      throw std::runtime_error("matrix market: bad entry: " + line);
+    }
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      throw std::runtime_error("matrix market: index out of range: " + line);
+    }
+    m.push(static_cast<index_t>(r - 1), static_cast<index_t>(c - 1), v);
+    if (symmetry == "symmetric" && r != c) {
+      m.push(static_cast<index_t>(c - 1), static_cast<index_t>(r - 1), v);
+    }
+  }
+  m.sort_row_major();
+  m.sum_duplicates();
+  return m;
+}
+
+Coo<value_t> read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("matrix market: cannot open " + path);
+  }
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Coo<value_t>& m) {
+  out.precision(17);  // round-trip exact for IEEE doubles
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << m.rows << ' ' << m.cols << ' ' << m.nnz() << '\n';
+  for (index_t i = 0; i < m.nnz(); ++i) {
+    out << m.row_idx[i] + 1 << ' ' << m.col_idx[i] + 1 << ' ' << m.vals[i]
+        << '\n';
+  }
+}
+
+}  // namespace tilespmspv

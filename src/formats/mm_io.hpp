@@ -1,0 +1,27 @@
+// Matrix Market (.mtx) reader/writer so real SuiteSparse matrices can be
+// dropped into the benchmark harnesses in place of the synthetic analogs.
+// Supports the coordinate format with real / integer / pattern fields and
+// general / symmetric symmetry.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "formats/coo.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+/// Parses a Matrix Market coordinate stream into COO (1-based indices in the
+/// file become 0-based; symmetric matrices are expanded; pattern matrices
+/// get value 1.0). Throws std::runtime_error on malformed input.
+Coo<value_t> read_matrix_market(std::istream& in);
+
+/// Convenience overload reading from a file path.
+Coo<value_t> read_matrix_market_file(const std::string& path);
+
+/// Writes COO as a general real coordinate Matrix Market body.
+void write_matrix_market(std::ostream& out, const Coo<value_t>& m);
+
+}  // namespace tilespmspv

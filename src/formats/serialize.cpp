@@ -1,0 +1,156 @@
+#include "formats/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace tilespmspv {
+
+namespace {
+
+constexpr std::uint32_t kCsrMagic = 0x54435352;   // "TCSR"
+constexpr std::uint32_t kTileMagic = 0x54544C4D;  // "TTLM"
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("serialize: truncated stream");
+  return v;
+}
+
+void write_i64(std::ostream& out, std::int64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::int64_t read_i64(std::istream& in) {
+  std::int64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("serialize: truncated stream");
+  return v;
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& v) {
+  write_i64(out, static_cast<std::int64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+  if (!out) throw std::runtime_error("serialize: write failed");
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& in) {
+  const std::int64_t n = read_i64(in);
+  if (n < 0 || n > (std::int64_t{1} << 40)) {
+    throw std::runtime_error("serialize: implausible array length");
+  }
+  std::vector<T> v(static_cast<std::size_t>(n));
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+  if (!in) throw std::runtime_error("serialize: truncated array");
+  return v;
+}
+
+void check_header(std::istream& in, std::uint32_t magic) {
+  if (read_u32(in) != magic) {
+    throw std::runtime_error("serialize: bad magic (wrong file type?)");
+  }
+  if (read_u32(in) != kVersion) {
+    throw std::runtime_error("serialize: unsupported version");
+  }
+}
+
+}  // namespace
+
+void write_csr(std::ostream& out, const Csr<value_t>& a) {
+  write_u32(out, kCsrMagic);
+  write_u32(out, kVersion);
+  write_i64(out, a.rows);
+  write_i64(out, a.cols);
+  write_vec(out, a.row_ptr);
+  write_vec(out, a.col_idx);
+  write_vec(out, a.vals);
+}
+
+Csr<value_t> read_csr(std::istream& in) {
+  check_header(in, kCsrMagic);
+  Csr<value_t> a;
+  a.rows = static_cast<index_t>(read_i64(in));
+  a.cols = static_cast<index_t>(read_i64(in));
+  a.row_ptr = read_vec<offset_t>(in);
+  a.col_idx = read_vec<index_t>(in);
+  a.vals = read_vec<value_t>(in);
+  if (static_cast<index_t>(a.row_ptr.size()) != a.rows + 1 ||
+      a.col_idx.size() != a.vals.size()) {
+    throw std::runtime_error("serialize: inconsistent CSR arrays");
+  }
+  return a;
+}
+
+void write_tile_matrix(std::ostream& out, const TileMatrix<value_t>& m) {
+  write_u32(out, kTileMagic);
+  write_u32(out, kVersion);
+  write_i64(out, m.rows);
+  write_i64(out, m.cols);
+  write_i64(out, m.nt);
+  write_vec(out, m.tile_row_ptr);
+  write_vec(out, m.tile_col_id);
+  write_vec(out, m.tile_nnz_ptr);
+  write_vec(out, m.intra_row_ptr);
+  write_vec(out, m.local_col);
+  write_vec(out, m.vals);
+  write_vec(out, m.extracted.row_idx);
+  write_vec(out, m.extracted.col_idx);
+  write_vec(out, m.extracted.vals);
+}
+
+TileMatrix<value_t> read_tile_matrix(std::istream& in) {
+  check_header(in, kTileMagic);
+  TileMatrix<value_t> m;
+  m.rows = static_cast<index_t>(read_i64(in));
+  m.cols = static_cast<index_t>(read_i64(in));
+  m.nt = static_cast<index_t>(read_i64(in));
+  if (m.nt <= 0 || m.nt > 256) {
+    throw std::runtime_error("serialize: invalid tile size");
+  }
+  m.tile_rows = ceil_div(m.rows, m.nt);
+  m.tile_cols = ceil_div(m.cols, m.nt);
+  m.tile_row_ptr = read_vec<offset_t>(in);
+  m.tile_col_id = read_vec<index_t>(in);
+  m.tile_nnz_ptr = read_vec<offset_t>(in);
+  m.intra_row_ptr = read_vec<std::uint16_t>(in);
+  m.local_col = read_vec<std::uint8_t>(in);
+  m.vals = read_vec<value_t>(in);
+  m.extracted = Coo<value_t>(m.rows, m.cols);
+  m.extracted.row_idx = read_vec<index_t>(in);
+  m.extracted.col_idx = read_vec<index_t>(in);
+  m.extracted.vals = read_vec<value_t>(in);
+  if (static_cast<index_t>(m.tile_row_ptr.size()) != m.tile_rows + 1 ||
+      m.tile_nnz_ptr.size() != m.tile_col_id.size() + 1 ||
+      m.local_col.size() != m.vals.size()) {
+    throw std::runtime_error("serialize: inconsistent tiled arrays");
+  }
+  // The side indices are derived data; rebuild instead of storing.
+  m.build_side_index();
+  return m;
+}
+
+void write_tile_matrix_file(const std::string& path,
+                            const TileMatrix<value_t>& m) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("serialize: cannot open " + path);
+  write_tile_matrix(out, m);
+}
+
+TileMatrix<value_t> read_tile_matrix_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("serialize: cannot open " + path);
+  return read_tile_matrix(in);
+}
+
+}  // namespace tilespmspv

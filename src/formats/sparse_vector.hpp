@@ -1,0 +1,83 @@
+// Plain sparse vector (index/value pairs) — the interchange representation
+// for SpMSpV inputs/outputs. The tiled vector format of the paper is built
+// from / converted back to this (see tile/tile_vector.hpp).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+template <typename T = value_t>
+struct SparseVec {
+  index_t n = 0;                // logical length
+  std::vector<index_t> idx;     // sorted, unique positions of nonzeros
+  std::vector<T> vals;          // matching values
+
+  SparseVec() = default;
+  explicit SparseVec(index_t len) : n(len) {}
+
+  index_t nnz() const { return static_cast<index_t>(idx.size()); }
+
+  double sparsity() const {
+    return n == 0 ? 0.0 : static_cast<double>(nnz()) / static_cast<double>(n);
+  }
+
+  void push(index_t i, T v) {
+    assert(i >= 0 && i < n);
+    idx.push_back(i);
+    vals.push_back(v);
+  }
+
+  /// Sorts entries by index (generators may emit out of order).
+  void sort() {
+    std::vector<std::pair<index_t, T>> buf(idx.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) buf[i] = {idx[i], vals[i]};
+    std::sort(buf.begin(), buf.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      idx[i] = buf[i].first;
+      vals[i] = buf[i].second;
+    }
+  }
+
+  /// Expands to a dense vector (zeros elsewhere).
+  std::vector<T> to_dense() const {
+    std::vector<T> d(n, T{});
+    for (std::size_t i = 0; i < idx.size(); ++i) d[idx[i]] = vals[i];
+    return d;
+  }
+
+  /// Gathers the nonzeros of a dense vector; values with |v| == 0 dropped.
+  static SparseVec from_dense(const std::vector<T>& d) {
+    SparseVec v(static_cast<index_t>(d.size()));
+    for (index_t i = 0; i < v.n; ++i) {
+      if (d[i] != T{}) v.push(i, d[i]);
+    }
+    return v;
+  }
+};
+
+/// Approximate equality of two sparse vectors after densification, with a
+/// tolerance scaled by magnitude (SpMSpV kernels sum in different orders).
+template <typename T>
+bool approx_equal(const SparseVec<T>& a, const SparseVec<T>& b,
+                  double rel_tol = 1e-10, double abs_tol = 1e-12) {
+  if (a.n != b.n) return false;
+  const auto da = a.to_dense();
+  const auto db = b.to_dense();
+  for (index_t i = 0; i < a.n; ++i) {
+    const double diff = std::abs(static_cast<double>(da[i] - db[i]));
+    const double scale =
+        std::max(std::abs(static_cast<double>(da[i])),
+                 std::abs(static_cast<double>(db[i])));
+    if (diff > abs_tol + rel_tol * scale) return false;
+  }
+  return true;
+}
+
+}  // namespace tilespmspv

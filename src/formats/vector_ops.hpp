@@ -1,0 +1,110 @@
+// Element-wise operations on sparse vectors — the GraphBLAS vocabulary
+// (eWiseAdd, eWiseMult, masking, select/prune) that graph algorithms
+// compose around the SpMSpV primitive. All operations are merge-based on
+// the sorted index lists, O(nnz(a) + nnz(b)).
+#pragma once
+
+#include <functional>
+
+#include "formats/sparse_vector.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+/// Union combine (GraphBLAS eWiseAdd): positions present in either input;
+/// overlapping positions combined with `op`, others copied through.
+/// Results equal to T{} are dropped (SparseVec invariant).
+template <typename T, typename Op = std::plus<T>>
+SparseVec<T> ewise_add(const SparseVec<T>& a, const SparseVec<T>& b,
+                       Op op = {}) {
+  assert(a.n == b.n);
+  SparseVec<T> out(a.n);
+  std::size_t i = 0, j = 0;
+  while (i < a.idx.size() || j < b.idx.size()) {
+    if (j >= b.idx.size() || (i < a.idx.size() && a.idx[i] < b.idx[j])) {
+      if (a.vals[i] != T{}) out.push(a.idx[i], a.vals[i]);
+      ++i;
+    } else if (i >= a.idx.size() || b.idx[j] < a.idx[i]) {
+      if (b.vals[j] != T{}) out.push(b.idx[j], b.vals[j]);
+      ++j;
+    } else {
+      const T v = op(a.vals[i], b.vals[j]);
+      if (v != T{}) out.push(a.idx[i], v);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+/// Intersection combine (GraphBLAS eWiseMult): only positions present in
+/// both inputs.
+template <typename T, typename Op = std::multiplies<T>>
+SparseVec<T> ewise_mult(const SparseVec<T>& a, const SparseVec<T>& b,
+                        Op op = {}) {
+  assert(a.n == b.n);
+  SparseVec<T> out(a.n);
+  std::size_t i = 0, j = 0;
+  while (i < a.idx.size() && j < b.idx.size()) {
+    if (a.idx[i] < b.idx[j]) {
+      ++i;
+    } else if (b.idx[j] < a.idx[i]) {
+      ++j;
+    } else {
+      const T v = op(a.vals[i], b.vals[j]);
+      if (v != T{}) out.push(a.idx[i], v);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+/// Structural mask: keep entries of `a` whose position IS in `mask`
+/// (complement=false) or is NOT in `mask` (complement=true). This is the
+/// BFS "new vertices only" filter: next = mask<!visited>(y).
+template <typename T, typename M>
+SparseVec<T> mask(const SparseVec<T>& a, const SparseVec<M>& m,
+                  bool complement = false) {
+  assert(a.n == m.n);
+  SparseVec<T> out(a.n);
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < a.idx.size(); ++i) {
+    while (j < m.idx.size() && m.idx[j] < a.idx[i]) ++j;
+    const bool present = j < m.idx.size() && m.idx[j] == a.idx[i];
+    if (present != complement) out.push(a.idx[i], a.vals[i]);
+  }
+  return out;
+}
+
+/// Keeps entries satisfying the predicate (GraphBLAS select).
+template <typename T, typename Pred>
+SparseVec<T> select(const SparseVec<T>& a, Pred pred) {
+  SparseVec<T> out(a.n);
+  for (std::size_t i = 0; i < a.idx.size(); ++i) {
+    if (pred(a.idx[i], a.vals[i])) out.push(a.idx[i], a.vals[i]);
+  }
+  return out;
+}
+
+/// In-place value map (GraphBLAS apply). Entries mapping to T{} are kept
+/// out of the result.
+template <typename T, typename Fn>
+SparseVec<T> apply(const SparseVec<T>& a, Fn fn) {
+  SparseVec<T> out(a.n);
+  for (std::size_t i = 0; i < a.idx.size(); ++i) {
+    const T v = fn(a.vals[i]);
+    if (v != T{}) out.push(a.idx[i], v);
+  }
+  return out;
+}
+
+/// Reduction over the stored values.
+template <typename T, typename Op = std::plus<T>>
+T reduce(const SparseVec<T>& a, T init = T{}, Op op = {}) {
+  T acc = init;
+  for (const T v : a.vals) acc = op(acc, v);
+  return acc;
+}
+
+}  // namespace tilespmspv

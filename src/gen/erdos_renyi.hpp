@@ -1,0 +1,56 @@
+// Uniform random sparse matrices (Erdős–Rényi G(n, p) pattern). Used for
+// property-test sweeps and as the unstructured end of the benchmark suite
+// (worst case for tiling: nonzeros scatter, tiles stay near-singleton).
+#pragma once
+
+#include <cmath>
+
+#include "formats/coo.hpp"
+#include "util/prng.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+/// Samples each entry independently with probability `p` using geometric
+/// skipping, so cost is O(nnz) not O(rows*cols).
+inline Coo<value_t> gen_erdos_renyi(index_t rows, index_t cols, double p,
+                                    std::uint64_t seed) {
+  Coo<value_t> m(rows, cols);
+  if (p <= 0.0) return m;
+  if (p >= 1.0) p = 1.0;
+  Prng rng(seed);
+  const double log1mp = std::log1p(-p);
+  const double total = static_cast<double>(rows) * cols;
+  m.reserve(static_cast<std::size_t>(total * p * 1.1) + 16);
+  // Walk a virtual flattened index with geometric gaps.
+  double pos = -1.0;
+  for (;;) {
+    double u = rng.next_double();
+    if (u == 0.0) u = 0.5;  // avoid log(0)
+    const double skip = (p >= 1.0) ? 1.0 : std::floor(std::log(u) / log1mp) + 1.0;
+    pos += skip;
+    if (pos >= total) break;
+    const auto flat = static_cast<std::uint64_t>(pos);
+    m.push(static_cast<index_t>(flat / cols),
+           static_cast<index_t>(flat % cols), rng.next_double(0.1, 1.0));
+  }
+  return m;
+}
+
+/// Samples exactly `nnz` distinct positions uniformly at random.
+inline Coo<value_t> gen_uniform_nnz(index_t rows, index_t cols, offset_t nnz,
+                                    std::uint64_t seed) {
+  Coo<value_t> m(rows, cols);
+  Prng rng(seed);
+  m.reserve(static_cast<std::size_t>(nnz));
+  for (offset_t i = 0; i < nnz; ++i) {
+    m.push(static_cast<index_t>(rng.next_below(rows)),
+           static_cast<index_t>(rng.next_below(cols)),
+           rng.next_double(0.1, 1.0));
+  }
+  m.sort_row_major();
+  m.sum_duplicates();
+  return m;
+}
+
+}  // namespace tilespmspv

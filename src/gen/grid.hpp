@@ -1,0 +1,73 @@
+// Mesh / road-network analogs: 2D 5-point and 3D 7-point grid adjacencies.
+// Road networks (roadNet-TX, roadCA, europe.osm in the paper) are near-
+// planar with tiny bounded degree; a 2D grid with random edge deletion
+// reproduces their tiling profile: a huge number of tiles each holding only
+// a few nonzeros near the diagonal.
+#pragma once
+
+#include "formats/coo.hpp"
+#include "util/prng.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+/// 5-point 2D grid graph (nx*ny vertices). `keep_prob < 1` randomly deletes
+/// edges, mimicking the irregularity of real road networks.
+inline Coo<value_t> gen_grid2d(index_t nx, index_t ny, double keep_prob = 1.0,
+                               std::uint64_t seed = 1) {
+  const index_t n = nx * ny;
+  Prng rng(seed);
+  Coo<value_t> coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * 4);
+  auto id = [nx](index_t x, index_t y) { return y * nx + x; };
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t v = id(x, y);
+      if (x + 1 < nx && rng.next_bool(keep_prob)) {
+        coo.push(v, id(x + 1, y), 1.0);
+        coo.push(id(x + 1, y), v, 1.0);
+      }
+      if (y + 1 < ny && rng.next_bool(keep_prob)) {
+        coo.push(v, id(x, y + 1), 1.0);
+        coo.push(id(x, y + 1), v, 1.0);
+      }
+    }
+  }
+  coo.sort_row_major();
+  coo.sum_duplicates();
+  return coo;
+}
+
+/// 7-point 3D grid graph (FEM volume analog).
+inline Coo<value_t> gen_grid3d(index_t nx, index_t ny, index_t nz) {
+  const index_t n = nx * ny * nz;
+  Coo<value_t> coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * 6);
+  auto id = [nx, ny](index_t x, index_t y, index_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t v = id(x, y, z);
+        if (x + 1 < nx) {
+          coo.push(v, id(x + 1, y, z), 1.0);
+          coo.push(id(x + 1, y, z), v, 1.0);
+        }
+        if (y + 1 < ny) {
+          coo.push(v, id(x, y + 1, z), 1.0);
+          coo.push(id(x, y + 1, z), v, 1.0);
+        }
+        if (z + 1 < nz) {
+          coo.push(v, id(x, y, z + 1), 1.0);
+          coo.push(id(x, y, z + 1), v, 1.0);
+        }
+      }
+    }
+  }
+  coo.sort_row_major();
+  coo.sum_duplicates();
+  return coo;
+}
+
+}  // namespace tilespmspv

@@ -1,0 +1,71 @@
+// Scale-free graphs with locality — the web-graph analog (in-2004 in the
+// paper). Out-degrees follow a Zipf distribution; targets mix a local
+// window (web pages link within their site, giving dense diagonal tiles)
+// with global uniform jumps (hubs, giving scattered tiles).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "formats/coo.hpp"
+#include "util/prng.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+struct PowerlawParams {
+  index_t n = 50000;
+  double avg_degree = 12.0;
+  double zipf_exponent = 1.8;  // degree-distribution tail
+  double locality = 0.7;       // fraction of edges within the local window
+  index_t window = 256;        // local-window radius
+  bool symmetric = false;      // web graphs are directed
+};
+
+/// Samples a Zipf-like degree via inverse transform on a truncated
+/// power-law, then scales degrees so the mean matches avg_degree.
+inline Coo<value_t> gen_powerlaw(const PowerlawParams& prm,
+                                 std::uint64_t seed) {
+  Prng rng(seed);
+  // Degree ~ floor(x) with P(x > t) ∝ t^(1-alpha) on [1, dmax].
+  const double alpha = prm.zipf_exponent;
+  const double dmax = std::max(4.0, std::sqrt(static_cast<double>(prm.n)));
+  std::vector<double> raw(prm.n);
+  double total = 0.0;
+  for (index_t v = 0; v < prm.n; ++v) {
+    const double u = rng.next_double();
+    // Inverse CDF of truncated Pareto with exponent alpha.
+    const double x =
+        std::pow(1.0 - u * (1.0 - std::pow(dmax, 1.0 - alpha)),
+                 1.0 / (1.0 - alpha));
+    raw[v] = x;
+    total += x;
+  }
+  const double scale = prm.avg_degree * prm.n / total;
+
+  Coo<value_t> coo(prm.n, prm.n);
+  coo.reserve(static_cast<std::size_t>(prm.avg_degree * prm.n * 1.1));
+  for (index_t v = 0; v < prm.n; ++v) {
+    const auto deg = static_cast<index_t>(raw[v] * scale + rng.next_double());
+    for (index_t e = 0; e < deg; ++e) {
+      index_t t;
+      if (rng.next_bool(prm.locality)) {
+        // Local edge: uniform inside [v - window, v + window].
+        const index_t lo = std::max<index_t>(0, v - prm.window);
+        const index_t hi = std::min<index_t>(prm.n - 1, v + prm.window);
+        t = lo + static_cast<index_t>(rng.next_below(hi - lo + 1));
+      } else {
+        t = static_cast<index_t>(rng.next_below(prm.n));
+      }
+      if (t == v) continue;
+      coo.push(t, v, 1.0);  // edge v -> t stored as A[t][v]
+    }
+  }
+  coo.sort_row_major();
+  coo.sum_duplicates();
+  if (prm.symmetric) coo.symmetrize();
+  for (auto& val : coo.vals) val = 1.0;
+  return coo;
+}
+
+}  // namespace tilespmspv

@@ -1,0 +1,272 @@
+#include "gen/suite.hpp"
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "gen/banded.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/grid.hpp"
+#include "gen/powerlaw.hpp"
+#include "gen/rmat.hpp"
+
+namespace tilespmspv {
+
+namespace {
+
+struct Entry {
+  std::function<Coo<value_t>()> make;
+  std::string description;
+};
+
+Coo<value_t> banded(index_t n, index_t block, index_t band, double fill,
+                    std::uint64_t seed, double intra = 1.0) {
+  BandedParams p;
+  p.n = n;
+  p.block = block;
+  p.band_blocks = band;
+  p.block_fill = fill;
+  p.intra_fill = intra;
+  return gen_banded(p, seed);
+}
+
+Coo<value_t> powerlaw(index_t n, double deg, double loc, index_t window,
+                      bool sym, std::uint64_t seed) {
+  PowerlawParams p;
+  p.n = n;
+  p.avg_degree = deg;
+  p.locality = loc;
+  p.window = window;
+  p.symmetric = sym;
+  return gen_powerlaw(p, seed);
+}
+
+Coo<value_t> rmat(int scale, int ef, std::uint64_t seed) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = ef;
+  return gen_rmat(p, seed);
+}
+
+// Central registry. Sizes are scaled-down analogs sized so that the whole
+// suite builds and benches on a laptop-class host; structural class (and
+// therefore tile occupancy profile) is what matters for the experiments.
+const std::map<std::string, Entry>& registry() {
+  static const std::map<std::string, Entry> table = {
+      // ---- Table 2 representative analogs ------------------------------
+      {"af_5_k101",
+       {[] { return banded(40000, 6, 5, 0.85, 101); },
+        "FEM sheet (block-banded), analog of af_5_k101"}},
+      {"cant",
+       {[] { return banded(12000, 6, 6, 0.95, 102); },
+        "FEM cantilever (block-banded), analog of cant"}},
+      {"cavity23",
+       {[] { return banded(4000, 4, 8, 0.8, 103, 0.9); },
+        "CFD cavity (narrow band), analog of cavity23"}},
+      {"pdb1HYS",
+       {[] { return banded(9000, 8, 10, 0.9, 104); },
+        "protein contact matrix (dense band), analog of pdb1HYS"}},
+      {"fullb",
+       {[] { return banded(25000, 8, 6, 0.9, 105); },
+        "structural FEM, analog of fullb"}},
+      {"ldoor",
+       {[] { return banded(60000, 4, 6, 0.9, 106); },
+        "large FEM solid, analog of ldoor"}},
+      {"in-2004",
+       {[] { return powerlaw(60000, 10, 0.8, 128, true, 107); },
+        "web graph (power-law with locality), analog of in-2004"}},
+      {"msdoor",
+       {[] { return banded(35000, 6, 5, 0.9, 108); },
+        "medium FEM solid, analog of msdoor"}},
+      {"roadNet-TX",
+       {[] { return gen_grid2d(300, 300, 0.85, 109); },
+        "road network (thinned 2D grid), analog of roadNet-TX"}},
+      {"ML_Geer",
+       {[] { return banded(40000, 8, 6, 0.95, 110); },
+        "heavy FEM matrix, analog of ML_Geer"}},
+      {"333SP",
+       {[] { return gen_grid2d(350, 350, 1.0, 111); },
+        "2D mesh, analog of 333SP"}},
+      {"dielFilterV2clx",
+       {[] { return banded(30000, 10, 4, 0.7, 112); },
+        "EM FEM matrix, analog of dielFilterV2clx"}},
+      // ---- Enterprise comparison analogs (Fig. 12) ---------------------
+      {"FB",
+       {[] { return rmat(15, 16, 201); },
+        "social network (R-MAT), analog of the Facebook graph"}},
+      {"KR-21-128",
+       {[] { return rmat(15, 24, 202); },
+        "Kronecker graph, analog of KR-21-128"}},
+      {"TW",
+       {[] { return powerlaw(50000, 16, 0.2, 64, true, 203); },
+        "hub-heavy social graph, analog of the Twitter graph"}},
+      {"audikw_1",
+       {[] { return banded(30000, 10, 6, 0.95, 204); },
+        "automotive FEM, analog of audikw_1"}},
+      {"roadCA",
+       {[] { return gen_grid2d(320, 320, 0.8, 205); },
+        "road network, analog of roadNet-CA"}},
+      {"europe.osm",
+       {[] { return gen_grid2d(500, 400, 0.7, 206); },
+        "continental road network, analog of europe.osm"}},
+      // ---- Sweep extras (structural variety for Figs. 6 & 7) -----------
+      {"er-small",
+       {[] { return gen_erdos_renyi(5000, 5000, 2e-3, 301); },
+        "uniform random, 5K, ~50K nnz"}},
+      {"er-medium",
+       {[] { return gen_erdos_renyi(30000, 30000, 3e-4, 302); },
+        "uniform random, 30K, ~270K nnz"}},
+      {"er-rect-tall",
+       {[] { return gen_erdos_renyi(40000, 8000, 5e-4, 303); },
+        "rectangular uniform random (tall)"}},
+      {"er-rect-wide",
+       {[] { return gen_erdos_renyi(8000, 40000, 5e-4, 304); },
+        "rectangular uniform random (wide)"}},
+      {"grid3d-fem",
+       {[] { return gen_grid3d(40, 40, 40); },
+        "3D 7-point grid, 64K vertices"}},
+      {"rmat-sparse",
+       {[] { return rmat(14, 8, 305); }, "R-MAT scale 14, edge factor 8"}},
+      {"powerlaw-directed",
+       {[] { return powerlaw(40000, 8, 0.6, 96, false, 306); },
+        "directed power-law web graph"}},
+      {"band-tiny",
+       {[] { return banded(2000, 4, 3, 0.9, 307); },
+        "small banded matrix"}},
+      {"band-scattered",
+       {[] {
+          // Band plus uniform scatter: exercises very-sparse tile
+          // extraction (the cryg10000 case of §4.2).
+          Coo<value_t> b = banded(10000, 4, 3, 0.9, 308);
+          Coo<value_t> noise = gen_uniform_nnz(10000, 10000, 20000, 309);
+          for (index_t i = 0; i < noise.nnz(); ++i) {
+            b.push(noise.row_idx[i], noise.col_idx[i], noise.vals[i]);
+          }
+          b.sort_row_major();
+          b.sum_duplicates();
+          return b;
+        },
+        "banded plus uniform scatter (COO-extraction stress)"}},
+      {"diag-only",
+       {[] {
+          Coo<value_t> d(20000, 20000);
+          for (index_t i = 0; i < 20000; ++i) d.push(i, i, 1.0);
+          return d;
+        },
+        "pure diagonal (degenerate tiling case)"}},
+      // ---- Size-graded variants (the Fig. 7 size axis) -----------------
+      {"fem-small",
+       {[] { return banded(8000, 6, 5, 0.9, 401); },
+        "small FEM solid (size-sweep point)"}},
+      {"fem-large",
+       {[] { return banded(120000, 4, 6, 0.9, 402); },
+        "large FEM solid (size-sweep point)"}},
+      {"road-small",
+       {[] { return gen_grid2d(150, 150, 0.85, 403); },
+        "small road network (size-sweep point)"}},
+      {"road-large",
+       {[] { return gen_grid2d(600, 500, 0.85, 404); },
+        "large road network (size-sweep point)"}},
+      {"rmat-small",
+       {[] { return rmat(13, 16, 405); },
+        "small R-MAT graph (size-sweep point)"}},
+      {"rmat-large",
+       {[] { return rmat(16, 16, 406); },
+        "large R-MAT graph (size-sweep point)"}},
+      {"web-small",
+       {[] { return powerlaw(15000, 10, 0.8, 128, true, 407); },
+        "small web graph (size-sweep point)"}},
+      {"web-large",
+       {[] { return powerlaw(150000, 10, 0.8, 128, true, 408); },
+        "large web graph (size-sweep point)"}},
+  };
+  return table;
+}
+
+}  // namespace
+
+Coo<value_t> suite_matrix(const std::string& name) {
+  const auto it = registry().find(name);
+  if (it == registry().end()) {
+    throw std::invalid_argument("unknown suite matrix: " + name);
+  }
+  return it->second.make();
+}
+
+std::string suite_description(const std::string& name) {
+  const auto it = registry().find(name);
+  if (it == registry().end()) {
+    throw std::invalid_argument("unknown suite matrix: " + name);
+  }
+  return it->second.description;
+}
+
+std::string suite_class(const std::string& name) {
+  static const std::map<std::string, std::string> classes = {
+      {"af_5_k101", "FEM"},      {"cant", "FEM"},
+      {"cavity23", "FEM"},       {"pdb1HYS", "FEM"},
+      {"fullb", "FEM"},          {"ldoor", "FEM"},
+      {"msdoor", "FEM"},         {"ML_Geer", "FEM"},
+      {"dielFilterV2clx", "FEM"},{"audikw_1", "FEM"},
+      {"fem-small", "FEM"},      {"fem-large", "FEM"},
+      {"band-tiny", "FEM"},
+      {"roadNet-TX", "road"},    {"roadCA", "road"},
+      {"europe.osm", "road"},    {"road-small", "road"},
+      {"road-large", "road"},
+      {"333SP", "mesh"},         {"grid3d-fem", "mesh"},
+      {"FB", "social"},          {"KR-21-128", "social"},
+      {"TW", "social"},          {"rmat-sparse", "social"},
+      {"rmat-small", "social"},  {"rmat-large", "social"},
+      {"in-2004", "web"},        {"powerlaw-directed", "web"},
+      {"web-small", "web"},      {"web-large", "web"},
+      {"er-small", "random"},    {"er-medium", "random"},
+      {"er-rect-tall", "random"},{"er-rect-wide", "random"},
+      {"band-scattered", "other"},{"diag-only", "other"},
+  };
+  const auto it = classes.find(name);
+  return it == classes.end() ? "other" : it->second;
+}
+
+std::vector<std::string> suite_representative12() {
+  return {"af_5_k101", "cant",    "cavity23",   "pdb1HYS",
+          "fullb",     "ldoor",   "in-2004",    "msdoor",
+          "roadNet-TX", "ML_Geer", "333SP",     "dielFilterV2clx"};
+}
+
+std::vector<std::string> suite_enterprise6() {
+  return {"FB", "KR-21-128", "TW", "audikw_1", "roadCA", "europe.osm"};
+}
+
+std::vector<std::string> suite_spmspv_sweep() {
+  std::vector<std::string> names = suite_representative12();
+  for (const char* extra :
+       {"er-small", "er-medium", "er-rect-tall", "er-rect-wide", "grid3d-fem",
+        "rmat-sparse", "powerlaw-directed", "band-tiny", "band-scattered",
+        "diag-only", "fem-small", "fem-large", "road-small", "web-small"}) {
+    names.push_back(extra);
+  }
+  return names;
+}
+
+std::vector<std::string> suite_bfs_sweep() {
+  std::vector<std::string> names = suite_representative12();
+  for (const char* extra :
+       {"FB", "KR-21-128", "TW", "audikw_1", "roadCA", "europe.osm",
+        "er-medium", "grid3d-fem", "rmat-sparse", "band-scattered",
+        "fem-small", "fem-large", "road-small", "road-large", "rmat-small",
+        "rmat-large", "web-small", "web-large"}) {
+    names.push_back(extra);
+  }
+  return names;
+}
+
+std::vector<std::string> suite_all_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, entry] : registry()) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace tilespmspv

@@ -1,0 +1,43 @@
+// The named synthetic matrix suite standing in for the SuiteSparse Matrix
+// Collection. Each of the paper's representative matrices (Table 2, the
+// Enterprise set of Fig. 12) gets a scaled analog built by the generator
+// whose structural class matches it: FEM solids -> block-banded, road
+// networks -> thinned grids, web graphs -> localized power-law, social
+// networks -> R-MAT. Names are stable identifiers used by the bench
+// harnesses; every matrix is deterministic (fixed seeds).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "formats/coo.hpp"
+
+namespace tilespmspv {
+
+/// Builds the named suite matrix. Throws std::invalid_argument for unknown
+/// names; suite_all_names() lists the valid ones.
+Coo<value_t> suite_matrix(const std::string& name);
+
+/// One-line structural description (printed by the harnesses).
+std::string suite_description(const std::string& name);
+
+/// Structural class label ("FEM", "road", "social", "web", "mesh",
+/// "random", "other") — the per-class axis the BFS results split along.
+std::string suite_class(const std::string& name);
+
+/// Analogs of the paper's 12 representative matrices (Table 2 order).
+std::vector<std::string> suite_representative12();
+
+/// Analogs of the 6 matrices in the Enterprise comparison (Fig. 12).
+std::vector<std::string> suite_enterprise6();
+
+/// Broad square+rectangular sweep for the SpMSpV comparison (Fig. 6).
+std::vector<std::string> suite_spmspv_sweep();
+
+/// Square sweep for the BFS comparison (Fig. 7).
+std::vector<std::string> suite_bfs_sweep();
+
+/// Every defined name.
+std::vector<std::string> suite_all_names();
+
+}  // namespace tilespmspv

@@ -1,0 +1,43 @@
+// Atomic helpers mirroring the CUDA primitives the paper's kernels use:
+// atomicOr on bitmask words and atomicAdd on accumulator values. The BFS
+// kernels only need monotone idempotent OR, so relaxed ordering suffices
+// (every kernel launch is separated by a pool barrier, which publishes all
+// writes before the next phase reads them).
+#pragma once
+
+#include <atomic>
+#include <type_traits>
+
+namespace tilespmspv {
+
+/// atomicOr equivalent over a plain word stored in a vector. The storage is
+/// reinterpreted as std::atomic, which is valid for lock-free integral
+/// atomics of the same size (guaranteed for uint8..uint64 on x86-64).
+template <typename W>
+inline void atomic_or(W* target, W bits) {
+  static_assert(std::is_integral_v<W>);
+  reinterpret_cast<std::atomic<W>*>(target)->fetch_or(
+      bits, std::memory_order_relaxed);
+}
+
+/// atomicAdd equivalent for floating-point accumulation (CAS loop, as CUDA
+/// does for doubles pre-sm_60).
+template <typename T>
+inline void atomic_add(T* target, T delta) {
+  static_assert(std::is_floating_point_v<T>);
+  auto* a = reinterpret_cast<std::atomic<T>*>(target);
+  T cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + delta,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+/// Relaxed atomic load of a plain word (pairs with atomic_or above).
+template <typename W>
+inline W atomic_load(const W* target) {
+  static_assert(std::is_integral_v<W>);
+  return reinterpret_cast<const std::atomic<W>*>(target)->load(
+      std::memory_order_relaxed);
+}
+
+}  // namespace tilespmspv

@@ -1,0 +1,63 @@
+// Convenience wrappers over ThreadPool: element-wise parallel loops and a
+// tree-free parallel reduction (per-worker partials combined by the caller).
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+/// Default chunk size: large enough to amortize the claim per chunk, small
+/// enough to balance skewed per-iteration cost (long tile rows in power-law
+/// graphs).
+inline constexpr index_t kDefaultChunk = 64;
+
+/// Runs body(i) for every i in [0, n) on `pool` (nullptr = shared pool).
+template <typename Body>
+void parallel_for(index_t n, Body&& body, ThreadPool* pool = nullptr,
+                  index_t chunk = kDefaultChunk) {
+  ThreadPool& p = pool ? *pool : ThreadPool::shared();
+  std::function<void(index_t, index_t)> range_fn =
+      [&body](index_t begin, index_t end) {
+        for (index_t i = begin; i < end; ++i) body(i);
+      };
+  p.parallel_ranges(n, chunk, range_fn);
+}
+
+/// Runs body(begin, end) over disjoint chunks covering [0, n).
+template <typename Body>
+void parallel_for_ranges(index_t n, Body&& body, ThreadPool* pool = nullptr,
+                         index_t chunk = kDefaultChunk) {
+  ThreadPool& p = pool ? *pool : ThreadPool::shared();
+  std::function<void(index_t, index_t)> range_fn = std::forward<Body>(body);
+  p.parallel_ranges(n, chunk, range_fn);
+}
+
+/// Parallel reduction: `body(i)` produces a T, combined with `combine`
+/// starting from `init`. Each chunk reduces locally; chunk results merge
+/// under a mutex (cheap: one lock per chunk, not per element).
+template <typename T, typename Body, typename Combine>
+T parallel_reduce(index_t n, T init, Body&& body, Combine&& combine,
+                  ThreadPool* pool = nullptr, index_t chunk = kDefaultChunk) {
+  T total = init;
+  std::mutex m;
+  parallel_for_ranges(
+      n,
+      [&](index_t begin, index_t end) {
+        T local = init;
+        for (index_t i = begin; i < end; ++i) {
+          local = combine(std::move(local), body(i));
+        }
+        std::lock_guard<std::mutex> lock(m);
+        total = combine(std::move(total), std::move(local));
+      },
+      pool, chunk);
+  return total;
+}
+
+}  // namespace tilespmspv

@@ -1,0 +1,97 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace tilespmspv {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The calling thread always participates, so spawn one fewer worker.
+  const std::size_t spawned = threads - 1;
+  workers_.reserve(spawned);
+  for (std::size_t i = 0; i < spawned; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::drain(Task& task) {
+  for (;;) {
+    const index_t begin = task.next.fetch_add(task.chunk,
+                                              std::memory_order_relaxed);
+    if (begin >= task.n) break;
+    const index_t end = std::min<index_t>(begin + task.chunk, task.n);
+    (*task.fn)(begin, end);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Task* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] {
+        return stop_ || (current_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (stop_) return;
+      task = current_;
+      seen_epoch = epoch_;
+    }
+    drain(*task);
+    if (task->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_ranges(
+    index_t n, index_t chunk, const std::function<void(index_t, index_t)>& fn) {
+  if (n <= 0) return;
+  chunk = std::max<index_t>(1, chunk);
+  if (workers_.empty() || n <= chunk) {
+    // Serial fast path: no coordination cost for small loops.
+    fn(0, n);
+    return;
+  }
+  Task task;
+  task.fn = &fn;
+  task.n = n;
+  task.chunk = chunk;
+  task.remaining.store(static_cast<int>(workers_.size()),
+                       std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = &task;
+    ++epoch_;
+  }
+  cv_.notify_all();
+  drain(task);  // caller thread participates
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return task.remaining.load(std::memory_order_acquire) == 0;
+    });
+    current_ = nullptr;
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace tilespmspv

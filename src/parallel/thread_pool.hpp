@@ -1,0 +1,67 @@
+// A small work-sharing thread pool. This is the repo's stand-in for the GPU
+// "device": the paper launches CUDA warps over tile rows / frontier chunks;
+// here the same work units are dispatched as blocked index ranges onto pool
+// workers. The pool size is an explicit parameter everywhere so tests can
+// exercise the concurrent paths even on a single-core host.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+/// Fixed-size pool executing blocked parallel-for loops.
+///
+/// Work distribution is dynamic: the loop range is cut into chunks and
+/// workers claim chunks from a shared atomic counter, which mirrors how a
+/// GPU scheduler assigns tile rows to warps and gives load balance on
+/// skewed sparsity patterns (long tile rows).
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }  // + caller thread
+
+  /// Runs fn(begin, end) over disjoint chunks covering [0, n). Blocks until
+  /// every chunk has completed. The calling thread participates.
+  void parallel_ranges(index_t n, index_t chunk,
+                       const std::function<void(index_t, index_t)>& fn);
+
+  /// Shared default pool (size = hardware concurrency). Most library entry
+  /// points take an optional pool pointer and fall back to this.
+  static ThreadPool& shared();
+
+ private:
+  struct Task {
+    const std::function<void(index_t, index_t)>* fn = nullptr;
+    index_t n = 0;
+    index_t chunk = 1;
+    std::atomic<index_t> next{0};
+    std::atomic<int> remaining{0};
+  };
+
+  void worker_loop();
+  static void drain(Task& task);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  Task* current_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace tilespmspv

@@ -1,0 +1,109 @@
+// Gustavson row-row SpGEMM (Gustavson 1978): C = A · B with C built row
+// by row through a sparse accumulator. This is the substrate for the
+// paper's intro observation that computing SpMSpV by "just calling an
+// SpGEMM" is inefficient — "mostly needs to run the Gustavson's row-row
+// method, and encounters very bad data locality since each non-empty row
+// of the multiplier has only one element" — which spmspv_via_spgemm
+// below makes measurable.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "formats/csr.hpp"
+#include "formats/sparse_vector.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+/// C = A * B over CSR, parallel over rows of A. Each worker chunk keeps
+/// its own dense SPA (values + touched list), sized by B's column count.
+template <typename T>
+Csr<T> spgemm_gustavson(const Csr<T>& a, const Csr<T>& b,
+                        ThreadPool* pool = nullptr) {
+  assert(a.cols == b.rows);
+  const index_t rows = a.rows;
+  const index_t cols = b.cols;
+
+  // Per-row outputs gathered first (so the final CSR assembly is one
+  // deterministic pass independent of chunk scheduling).
+  std::vector<std::vector<std::pair<index_t, T>>> row_out(rows);
+
+  parallel_for_ranges(
+      rows,
+      [&](index_t begin, index_t end) {
+        std::vector<T> spa(cols, T{});
+        std::vector<index_t> touched;
+        for (index_t i = begin; i < end; ++i) {
+          touched.clear();
+          for (offset_t ka = a.row_ptr[i]; ka < a.row_ptr[i + 1]; ++ka) {
+            const index_t k = a.col_idx[ka];
+            const T av = a.vals[ka];
+            for (offset_t kb = b.row_ptr[k]; kb < b.row_ptr[k + 1]; ++kb) {
+              const index_t j = b.col_idx[kb];
+              if (spa[j] == T{}) touched.push_back(j);
+              spa[j] += av * b.vals[kb];
+            }
+          }
+          std::sort(touched.begin(), touched.end());
+          auto& out = row_out[i];
+          out.reserve(touched.size());
+          for (index_t j : touched) {
+            // Exact cancellations are kept as explicit zeros would be by
+            // most SpGEMM libraries only optionally; drop them here so
+            // the result is a clean sparse matrix.
+            if (spa[j] != T{}) out.emplace_back(j, spa[j]);
+            spa[j] = T{};
+          }
+        }
+      },
+      pool, /*chunk=*/16);
+
+  Csr<T> c(rows, cols);
+  for (index_t i = 0; i < rows; ++i) {
+    c.row_ptr[i + 1] =
+        c.row_ptr[i] + static_cast<offset_t>(row_out[i].size());
+  }
+  c.col_idx.resize(c.row_ptr[rows]);
+  c.vals.resize(c.row_ptr[rows]);
+  for (index_t i = 0; i < rows; ++i) {
+    offset_t pos = c.row_ptr[i];
+    for (const auto& [j, v] : row_out[i]) {
+      c.col_idx[pos] = j;
+      c.vals[pos] = v;
+      ++pos;
+    }
+  }
+  return c;
+}
+
+/// Computes y = A x by calling SpGEMM with x reshaped as an n×1 sparse
+/// matrix — the paper's strawman. The multiplier has one element per
+/// non-empty row, so Gustavson degenerates to a gather per active column
+/// with all of SpGEMM's assembly overhead on top.
+template <typename T>
+SparseVec<T> spmspv_via_spgemm(const Csr<T>& a, const SparseVec<T>& x,
+                               ThreadPool* pool = nullptr) {
+  // Reshape x into B (a.cols × 1).
+  Csr<T> b(a.cols, 1);
+  for (std::size_t k = 0; k < x.idx.size(); ++k) {
+    b.row_ptr[x.idx[k] + 1] = 1;
+  }
+  for (index_t r = 0; r < a.cols; ++r) {
+    b.row_ptr[r + 1] += b.row_ptr[r];
+  }
+  b.col_idx.assign(x.idx.size(), 0);
+  b.vals = x.vals;
+
+  const Csr<T> c = spgemm_gustavson(a, b, pool);
+  SparseVec<T> y(a.rows);
+  for (index_t r = 0; r < c.rows; ++r) {
+    for (offset_t i = c.row_ptr[r]; i < c.row_ptr[r + 1]; ++i) {
+      y.push(r, c.vals[i]);
+    }
+  }
+  return y;
+}
+
+}  // namespace tilespmspv

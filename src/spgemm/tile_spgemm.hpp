@@ -1,0 +1,135 @@
+// Tiled SpGEMM — a compact reproduction of the TileSpGEMM approach (Niu
+// et al., PPoPP'22) whose storage format the paper's TileSpMSpV extends:
+// C = A · B computed as a Gustavson product over the *tile grid*. For
+// each tile row of A, the non-empty tiles A(tr,k) are matched against the
+// tiles B(k,tc) of the corresponding tile rows of B; each tile-pair
+// product accumulates into a dense nt×nt block keyed by tc (the tile-level
+// sparse accumulator), and finished blocks are compacted into CSR rows.
+//
+// Working a tile at a time gives the same locality argument as the
+// SpMSpV kernel: the B tile payload is reused across every row of the A
+// tile while it is cache-resident.
+#pragma once
+
+#include <vector>
+
+#include "formats/csr.hpp"
+#include "parallel/parallel_for.hpp"
+#include "tile/tile_matrix.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+namespace detail {
+
+/// Dense-block accumulate of one tile pair: acc += A_tile * B_tile, where
+/// both payloads are tile-local CSR and acc is nt*nt row-major.
+template <typename T>
+void tile_pair_product(const TileMatrix<T>& a, offset_t ta,
+                       const TileMatrix<T>& b, offset_t tb, T* acc) {
+  const index_t nt = a.nt;
+  const std::uint16_t* pa = &a.intra_row_ptr[ta * (nt + 1)];
+  const offset_t base_a = a.tile_nnz_ptr[ta];
+  const std::uint16_t* pb = &b.intra_row_ptr[tb * (nt + 1)];
+  const offset_t base_b = b.tile_nnz_ptr[tb];
+  for (index_t lr = 0; lr < nt; ++lr) {
+    T* acc_row = acc + static_cast<std::size_t>(lr) * nt;
+    for (offset_t ia = base_a + pa[lr]; ia < base_a + pa[lr + 1]; ++ia) {
+      const index_t k = a.local_col[ia];  // column of A = row of B
+      const T av = a.vals[ia];
+      for (offset_t ib = base_b + pb[k]; ib < base_b + pb[k + 1]; ++ib) {
+        acc_row[b.local_col[ib]] += av * b.vals[ib];
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+/// C = A * B with both operands in tiled form (same nt, extraction
+/// disabled — callers tile with threshold 0; an extracted part would need
+/// the scalar Gustavson fallback).
+template <typename T>
+Csr<T> tile_spgemm(const TileMatrix<T>& a, const TileMatrix<T>& b,
+                   ThreadPool* pool = nullptr) {
+  assert(a.nt == b.nt);
+  assert(a.cols == b.rows);
+  assert(a.extracted.nnz() == 0 && b.extracted.nnz() == 0);
+  const index_t nt = a.nt;
+  const index_t c_rows = a.rows;
+  const index_t c_tile_cols = b.tile_cols;
+
+  // Per-row outputs, assembled deterministically at the end.
+  std::vector<std::vector<std::pair<index_t, T>>> row_out(c_rows);
+
+  parallel_for(
+      a.tile_rows,
+      [&](index_t tr) {
+        // Tile-level SPA: dense block per active output tile column.
+        std::vector<index_t> slot_of(c_tile_cols, kEmptyTile);
+        std::vector<index_t> active;
+        std::vector<std::vector<T>> blocks;
+        for (offset_t ta = a.tile_row_ptr[tr]; ta < a.tile_row_ptr[tr + 1];
+             ++ta) {
+          const index_t k = a.tile_col_id[ta];  // tile row of B
+          if (k >= b.tile_rows) continue;
+          for (offset_t tb = b.tile_row_ptr[k]; tb < b.tile_row_ptr[k + 1];
+               ++tb) {
+            const index_t tc = b.tile_col_id[tb];
+            index_t slot = slot_of[tc];
+            if (slot == kEmptyTile) {
+              slot = static_cast<index_t>(active.size());
+              slot_of[tc] = slot;
+              active.push_back(tc);
+              blocks.emplace_back(static_cast<std::size_t>(nt) * nt, T{});
+            }
+            detail::tile_pair_product(a, ta, b, tb, blocks[slot].data());
+          }
+        }
+        // Compact: emit rows in ascending column order.
+        std::sort(active.begin(), active.end());
+        const index_t r_begin = tr * nt;
+        const index_t r_end = std::min<index_t>(r_begin + nt, c_rows);
+        for (index_t r = r_begin; r < r_end; ++r) {
+          auto& out = row_out[r];
+          const index_t lr = r - r_begin;
+          for (index_t tc : active) {
+            const T* block =
+                blocks[slot_of[tc]].data() + static_cast<std::size_t>(lr) * nt;
+            const index_t c_base = tc * nt;
+            for (index_t lc = 0; lc < nt && c_base + lc < b.cols; ++lc) {
+              if (block[lc] != T{}) out.emplace_back(c_base + lc, block[lc]);
+            }
+          }
+        }
+        for (index_t tc : active) slot_of[tc] = kEmptyTile;
+      },
+      pool, /*chunk=*/2);
+
+  Csr<T> c(c_rows, b.cols);
+  for (index_t r = 0; r < c_rows; ++r) {
+    c.row_ptr[r + 1] = c.row_ptr[r] + static_cast<offset_t>(row_out[r].size());
+  }
+  c.col_idx.resize(c.row_ptr[c_rows]);
+  c.vals.resize(c.row_ptr[c_rows]);
+  for (index_t r = 0; r < c_rows; ++r) {
+    offset_t pos = c.row_ptr[r];
+    for (const auto& [j, v] : row_out[r]) {
+      c.col_idx[pos] = j;
+      c.vals[pos] = v;
+      ++pos;
+    }
+  }
+  return c;
+}
+
+/// Convenience overload tiling CSR inputs (extraction off, as required).
+template <typename T>
+Csr<T> tile_spgemm(const Csr<T>& a, const Csr<T>& b, index_t nt = 16,
+                   ThreadPool* pool = nullptr) {
+  const TileMatrix<T> ta = TileMatrix<T>::from_csr(a, nt, 0);
+  const TileMatrix<T> tb = TileMatrix<T>::from_csr(b, nt, 0);
+  return tile_spgemm(ta, tb, pool);
+}
+
+}  // namespace tilespmspv

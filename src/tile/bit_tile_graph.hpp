@@ -1,0 +1,288 @@
+// Bitmask tiled adjacency structure for TileBFS (paper §3.2.3, Fig. 5).
+//
+// The n×n adjacency matrix A (A[i][j] = 1 iff edge j -> i, so that y = A x
+// expands a frontier x) is cut into NT×NT tiles and every non-empty tile is
+// stored twice:
+//   - CSR form "A2": per tile, one word per local *row* holding that row's
+//     column pattern (used by Push-CSR and the pull kernel);
+//   - CSC form "A1": per tile, one word per local *column* holding that
+//     column's row pattern (used by Push-CSC).
+// For undirected graphs the two forms hold identical information, which is
+// the storage-halving observation the paper makes; both are materialized
+// here so directed graphs also work.
+//
+// Tiles with at most `extract_threshold` edges are extracted into a plain
+// edge list traversed by a separate edge-parallel pass (the paper hands
+// this part to GSwitch; see bfs/tile_bfs.hpp).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "formats/csr.hpp"
+#include "util/bitops.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+template <int NT>
+struct BitTileGraph {
+  using Word = bitword_t<NT>;
+
+  index_t n = 0;       // number of vertices (matrix order)
+  index_t tile_n = 0;  // ceil(n / NT)
+  offset_t edges = 0;  // total nnz including extracted part
+
+  // CSR over the tile grid ("A2"): tile (tr, tc) stores, for each local row
+  // lr, the word csr_masks[t*NT + lr] whose bit lc is set iff
+  // A[tr*NT+lr][tc*NT+lc] != 0.
+  std::vector<offset_t> csr_tile_ptr;  // length tile_n + 1
+  std::vector<index_t> csr_tile_col;
+  std::vector<Word> csr_masks;
+
+  // Per-tile occupancy summary: bit lr of csr_row_summary[t] is set iff
+  // local row lr of tile t holds any nonzero. The kernels AND the frontier
+  // or unvisited word against this before touching the NT-word payload, so
+  // near-empty tiles (scattered matrices) cost O(popcount) instead of
+  // O(NT) per visit.
+  std::vector<Word> csr_row_summary;
+
+  // CSC over the tile grid ("A1"): tile (tr, tc) stores, for each local
+  // column lc, the word csc_masks[t*NT + lc] whose bit lr is set iff the
+  // same entry is nonzero.
+  //
+  // Symmetric sharing (paper §3.2.3): for an undirected graph, the column
+  // masks of tile (tr, tc) equal the row masks of its mirror tile
+  // (tc, tr), so materializing csc_masks would duplicate every word. When
+  // the pattern is symmetric, csc_masks stays empty and csc_mirror[t]
+  // holds the CSR-order index of the mirror tile instead — halving the
+  // mask storage exactly as the paper describes. csc_mask(t) hides the
+  // difference from the kernels.
+  std::vector<offset_t> csc_tile_ptr;  // length tile_n + 1
+  std::vector<index_t> csc_tile_row;
+  std::vector<Word> csc_masks;          // empty when masks are shared
+  std::vector<offset_t> csc_mirror;     // empty unless masks are shared
+  bool shared_masks = false;
+
+  // Column-occupancy summary of the CSC form (same role as above).
+  std::vector<Word> csc_col_summary;
+
+  /// Column-mask block of CSC-order tile t (NT words).
+  const Word* csc_mask(offset_t t) const {
+    return shared_masks
+               ? &csr_masks[static_cast<std::size_t>(csc_mirror[t]) * NT]
+               : &csc_masks[static_cast<std::size_t>(t) * NT];
+  }
+
+  /// Bytes spent on tile masks (shows the symmetric-sharing saving).
+  std::size_t mask_bytes() const {
+    return (csr_masks.size() + csc_masks.size()) * sizeof(Word) +
+           csc_mirror.size() * sizeof(offset_t);
+  }
+
+  // Extracted very-sparse part, indexed by source vertex so the BFS side
+  // pass can expand only the frontier's edges: side_dst[side_ptr[u] ..
+  // side_ptr[u+1]) are the out-neighbors of u among extracted edges
+  // (A[dst][u] entries).
+  std::vector<offset_t> side_ptr;  // length n + 1
+  std::vector<index_t> side_dst;
+
+  offset_t side_edge_count() const {
+    return static_cast<offset_t>(side_dst.size());
+  }
+
+  index_t num_tiles() const {
+    return static_cast<index_t>(csr_tile_col.size());
+  }
+
+  double tile_occupancy() const {
+    const double grid = static_cast<double>(tile_n) * tile_n;
+    return grid == 0.0 ? 0.0 : num_tiles() / grid;
+  }
+
+  /// Builds both tile forms from a square CSR pattern (values ignored).
+  /// When `share_symmetric` is set and the pattern is symmetric, the CSC
+  /// masks alias the CSR ones (§3.2.3 storage halving).
+  static BitTileGraph from_csr(const Csr<value_t>& a,
+                               index_t extract_threshold = 0,
+                               bool share_symmetric = true) {
+    assert(a.rows == a.cols);
+    BitTileGraph g;
+    g.n = a.rows;
+    g.tile_n = ceil_div<index_t>(a.rows, NT);
+    g.edges = a.nnz();
+    g.csr_tile_ptr.assign(g.tile_n + 1, 0);
+
+    // Pass 1: per tile row, count nnz per tile column; decide kept vs
+    // extracted (same structure as TileMatrix::from_csr).
+    std::vector<offset_t> tile_nnz(g.tile_n, 0);
+    std::vector<index_t> touched;
+    std::vector<index_t> kept_cols;
+    for (index_t tr = 0; tr < g.tile_n; ++tr) {
+      touched.clear();
+      const index_t r_begin = tr * NT;
+      const index_t r_end = std::min<index_t>(r_begin + NT, a.rows);
+      for (index_t r = r_begin; r < r_end; ++r) {
+        for (offset_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+          const index_t tc = a.col_idx[i] / NT;
+          if (tile_nnz[tc] == 0) touched.push_back(tc);
+          ++tile_nnz[tc];
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      for (index_t tc : touched) {
+        if (tile_nnz[tc] > extract_threshold) {
+          kept_cols.push_back(tc);
+          ++g.csr_tile_ptr[tr + 1];
+        }
+        tile_nnz[tc] = 0;
+      }
+    }
+    for (index_t tr = 0; tr < g.tile_n; ++tr) {
+      g.csr_tile_ptr[tr + 1] += g.csr_tile_ptr[tr];
+    }
+    const index_t ntiles = static_cast<index_t>(kept_cols.size());
+    g.csr_tile_col = std::move(kept_cols);
+    g.csr_masks.assign(static_cast<std::size_t>(ntiles) * NT, Word{0});
+
+    // Pass 2: fill the CSR row masks; route extracted entries to a
+    // temporary (src=col, dst=row) edge list, bucketed by source below.
+    std::vector<std::pair<index_t, index_t>> extracted_edges;
+    std::vector<index_t> slot_of(g.tile_n, kEmptyTile);
+    for (index_t tr = 0; tr < g.tile_n; ++tr) {
+      const offset_t t_begin = g.csr_tile_ptr[tr];
+      const offset_t t_end = g.csr_tile_ptr[tr + 1];
+      for (offset_t t = t_begin; t < t_end; ++t) {
+        slot_of[g.csr_tile_col[t]] = static_cast<index_t>(t);
+      }
+      const index_t r_begin = tr * NT;
+      const index_t r_end = std::min<index_t>(r_begin + NT, a.rows);
+      for (index_t r = r_begin; r < r_end; ++r) {
+        const index_t lr = r - r_begin;
+        for (offset_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+          const index_t c = a.col_idx[i];
+          const index_t t = slot_of[c / NT];
+          if (t == kEmptyTile) {
+            extracted_edges.emplace_back(c, r);
+            continue;
+          }
+          g.csr_masks[static_cast<std::size_t>(t) * NT + lr] |=
+              msb_bit<Word>(c % NT);
+        }
+      }
+      for (offset_t t = t_begin; t < t_end; ++t) {
+        slot_of[g.csr_tile_col[t]] = kEmptyTile;
+      }
+    }
+
+    // Bucket the extracted edges by source (counting sort).
+    g.side_ptr.assign(g.n + 1, 0);
+    g.side_dst.resize(extracted_edges.size());
+    for (const auto& [src, dst] : extracted_edges) {
+      ++g.side_ptr[src + 1];
+    }
+    for (index_t v = 0; v < g.n; ++v) {
+      g.side_ptr[v + 1] += g.side_ptr[v];
+    }
+    {
+      std::vector<offset_t> cursor(g.side_ptr.begin(), g.side_ptr.end() - 1);
+      for (const auto& [src, dst] : extracted_edges) {
+        g.side_dst[cursor[src]++] = dst;
+      }
+    }
+
+    g.shared_masks = share_symmetric && is_pattern_symmetric(a);
+    g.build_csc_from_csr();
+    g.build_summaries();
+    return g;
+  }
+
+  /// True iff the sparsity pattern equals its transpose.
+  static bool is_pattern_symmetric(const Csr<value_t>& a) {
+    if (a.rows != a.cols) return false;
+    const Csr<value_t> t = a.transpose();
+    return t.row_ptr == a.row_ptr && t.col_idx == a.col_idx;
+  }
+
+ private:
+  void build_summaries() {
+    const index_t ntiles = num_tiles();
+    csr_row_summary.assign(ntiles, Word{0});
+    csc_col_summary.assign(ntiles, Word{0});
+    for (index_t t = 0; t < ntiles; ++t) {
+      for (index_t l = 0; l < NT; ++l) {
+        if (csr_masks[static_cast<std::size_t>(t) * NT + l] != 0) {
+          csr_row_summary[t] |= msb_bit<Word>(l);
+        }
+      }
+    }
+    for (index_t t = 0; t < ntiles; ++t) {
+      if (shared_masks) {
+        csc_col_summary[t] = csr_row_summary[csc_mirror[t]];
+      } else {
+        for (index_t l = 0; l < NT; ++l) {
+          if (csc_masks[static_cast<std::size_t>(t) * NT + l] != 0) {
+            csc_col_summary[t] |= msb_bit<Word>(l);
+          }
+        }
+      }
+    }
+  }
+
+  /// Derives the CSC tile form from the CSR one (tile-grid transpose plus
+  /// per-tile mask transpose, or mirror references when masks are shared).
+  void build_csc_from_csr() {
+    const index_t ntiles = num_tiles();
+    csc_tile_ptr.assign(tile_n + 1, 0);
+    for (index_t tc : csr_tile_col) {
+      ++csc_tile_ptr[tc + 1];
+    }
+    for (index_t c = 0; c < tile_n; ++c) {
+      csc_tile_ptr[c + 1] += csc_tile_ptr[c];
+    }
+    csc_tile_row.resize(ntiles);
+    if (shared_masks) {
+      csc_mirror.resize(ntiles);
+    } else {
+      csc_masks.assign(static_cast<std::size_t>(ntiles) * NT, Word{0});
+    }
+    std::vector<offset_t> cursor(csc_tile_ptr.begin(), csc_tile_ptr.end() - 1);
+    for (index_t tr = 0; tr < tile_n; ++tr) {
+      for (offset_t t = csr_tile_ptr[tr]; t < csr_tile_ptr[tr + 1]; ++t) {
+        const index_t tc = csr_tile_col[t];
+        const offset_t u = cursor[tc]++;
+        csc_tile_row[u] = tr;
+        if (shared_masks) {
+          // Column masks of (tr, tc) == row masks of the mirror (tc, tr);
+          // find it in tile row tc (the kept-tile pattern is symmetric
+          // because extraction decisions depend only on per-tile nnz).
+          csc_mirror[u] = find_csr_tile(tc, tr);
+        } else {
+          // Transpose the NT×NT bit tile: row mask bit lc becomes column
+          // mask bit lr.
+          const Word* row_masks =
+              &csr_masks[static_cast<std::size_t>(t) * NT];
+          Word* col_masks = &csc_masks[static_cast<std::size_t>(u) * NT];
+          for (index_t lr = 0; lr < NT; ++lr) {
+            for_each_set_bit(row_masks[lr], [&](int lc) {
+              col_masks[lc] |= msb_bit<Word>(lr);
+            });
+          }
+        }
+      }
+    }
+  }
+
+  /// CSR-order index of grid tile (tr, tc); the tile must exist.
+  offset_t find_csr_tile(index_t tr, index_t tc) const {
+    const auto* begin = csr_tile_col.data() + csr_tile_ptr[tr];
+    const auto* end = csr_tile_col.data() + csr_tile_ptr[tr + 1];
+    const auto* it = std::lower_bound(begin, end, tc);
+    assert(it != end && *it == tc);
+    return csr_tile_ptr[tr] + (it - begin);
+  }
+};
+
+}  // namespace tilespmspv

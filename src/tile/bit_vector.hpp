@@ -1,0 +1,93 @@
+// Tiled dense bitmask vector (paper §3.2.3).
+//
+// The BFS frontier x and visited mask m are stored as one machine word per
+// length-NT tile, msb-first within the word (the paper's figures write the
+// tile {1,0,0,0} as the value 8). The "sparse form" the paper maintains in
+// parallel is the list of non-empty word slots, recomputed per iteration.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "util/bitops.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+template <int NT>
+struct BitVector {
+  using Word = bitword_t<NT>;
+
+  index_t n = 0;            // logical length
+  std::vector<Word> words;  // ceil(n/NT) tiles
+
+  BitVector() = default;
+  explicit BitVector(index_t len)
+      : n(len), words(ceil_div<index_t>(len, NT), Word{0}) {}
+
+  index_t num_words() const { return static_cast<index_t>(words.size()); }
+
+  void clear() { std::fill(words.begin(), words.end(), Word{0}); }
+
+  void set(index_t i) {
+    assert(i >= 0 && i < n);
+    words[i / NT] |= msb_bit<Word>(i % NT);
+  }
+
+  bool test(index_t i) const {
+    assert(i >= 0 && i < n);
+    return test_msb_bit(words[i / NT], i % NT);
+  }
+
+  /// Number of set bits (frontier size / visited count).
+  index_t count() const {
+    index_t c = 0;
+    for (Word w : words) c += popcount(w);
+    return c;
+  }
+
+  bool any() const {
+    for (Word w : words) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  /// Fraction of set bits over the logical length — the vector sparsity the
+  /// kernel selector compares against 0.01.
+  double density() const {
+    return n == 0 ? 0.0 : static_cast<double>(count()) / n;
+  }
+
+  /// Indices of all set bits in ascending order.
+  std::vector<index_t> to_indices() const {
+    std::vector<index_t> out;
+    out.reserve(count());
+    for (index_t s = 0; s < num_words(); ++s) {
+      for_each_set_bit(words[s], [&](int b) { out.push_back(s * NT + b); });
+    }
+    return out;
+  }
+
+  /// Compact slot list of non-empty words — the sparse form driving the
+  /// vector-driven kernels.
+  std::vector<index_t> nonempty_slots() const {
+    std::vector<index_t> out;
+    for (index_t s = 0; s < num_words(); ++s) {
+      if (words[s] != 0) out.push_back(s);
+    }
+    return out;
+  }
+
+  /// Word masking off the padding bits of the final partial tile, so that
+  /// complement-based kernels never touch positions >= n.
+  Word valid_mask(index_t slot) const {
+    const index_t base = slot * NT;
+    if (base + NT <= n) return ~Word{0};
+    Word m{0};
+    for (index_t j = 0; base + j < n; ++j) m |= msb_bit<Word>(j);
+    return m;
+  }
+};
+
+}  // namespace tilespmspv

@@ -1,0 +1,84 @@
+// Format advisor: recommends a storage configuration from the tile
+// statistics of a matrix. The paper's introduction motivates this
+// explicitly — "it is well known that no one matrix storage formulation
+// works for any sparsity structure, but there currently lacks work
+// considering effective format for SpMSpV" — and the repo's ablations
+// quantify the trade-offs the advisor encodes:
+//   - intra-tile layout: packed byte beats intra-CSR below ~8 nnz/tile
+//     (bench_ablation_intra_tile);
+//   - extraction threshold: worth raising when many near-empty tiles
+//     exist (bench_ablation_coo_extract);
+//   - tile size: larger tiles when nonzeros concentrate (Table 2);
+//   - plain CSR when tiling adds structure without density (uniform
+//     scatter with ~1 nnz/tile gains nothing from tiles).
+#pragma once
+
+#include "tile/tile_stats.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+enum class IntraTileLayout { kIntraCsr, kPackedByte };
+enum class StorageFamily { kTiled, kPlainCsr };
+
+struct FormatAdvice {
+  StorageFamily family = StorageFamily::kTiled;
+  IntraTileLayout layout = IntraTileLayout::kIntraCsr;
+  index_t nt = 16;
+  index_t extract_threshold = 2;
+  /// Human-readable justification (printed by the CLI).
+  const char* rationale = "";
+};
+
+/// Tunable decision boundaries (defaults fitted from the ablation benches
+/// on this substrate).
+struct AdvisorThresholds {
+  double packed_below_nnz_per_tile = 16.0;
+  double plain_csr_below_nnz_per_tile = 1.5;
+  double raise_extract_when_le2_fraction = 0.5;
+  index_t large_order = 100000;  // prefer nt=32 beyond this
+};
+
+template <typename T>
+FormatAdvice advise_format(const Csr<T>& a, AdvisorThresholds th = {}) {
+  FormatAdvice advice;
+  const TileStats s16 = tile_stats(a, 16);
+
+  if (s16.nonempty_tiles > 0 &&
+      s16.avg_nnz_per_tile < th.plain_csr_below_nnz_per_tile) {
+    advice.family = StorageFamily::kPlainCsr;
+    advice.rationale =
+        "near-singleton tiles everywhere: tiling adds metadata without "
+        "locality; stay on plain CSR (or tile with full extraction)";
+    return advice;
+  }
+
+  advice.family = StorageFamily::kTiled;
+  advice.nt = a.rows > th.large_order || a.cols > th.large_order ? 32 : 16;
+  advice.layout = s16.avg_nnz_per_tile < th.packed_below_nnz_per_tile
+                      ? IntraTileLayout::kPackedByte
+                      : IntraTileLayout::kIntraCsr;
+
+  const double le2_fraction =
+      s16.nonempty_tiles == 0
+          ? 0.0
+          : static_cast<double>(s16.tiles_le2) / s16.nonempty_tiles;
+  advice.extract_threshold =
+      le2_fraction > th.raise_extract_when_le2_fraction ? 4 : 2;
+
+  advice.rationale =
+      advice.layout == IntraTileLayout::kPackedByte
+          ? "sparse tiles: packed-byte payload, per-nonzero metadata only"
+          : "dense tiles: intra-CSR payload, row runs amortize the pointer";
+  return advice;
+}
+
+inline const char* to_string(IntraTileLayout l) {
+  return l == IntraTileLayout::kPackedByte ? "packed-byte" : "intra-CSR";
+}
+
+inline const char* to_string(StorageFamily f) {
+  return f == StorageFamily::kTiled ? "tiled" : "plain-CSR";
+}
+
+}  // namespace tilespmspv

@@ -1,0 +1,288 @@
+// Numeric tiled sparse matrix (paper §3.2.1).
+//
+// The matrix is partitioned into nt×nt tiles; non-empty tiles are the
+// "nonzeros" of a CSR over the tile grid (tile_row_ptr / tile_col_id).
+// Inside a tile only the actual nonzeros are kept, in a tile-local CSR:
+// a (nt+1)-entry row pointer, 8-bit local column indices and the values.
+// Tiles with at most `extract_threshold` nonzeros are *extracted* into a
+// side COO matrix so their tile metadata is never paid for (§3.2.1).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "formats/coo.hpp"
+#include "formats/csr.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+template <typename T = value_t>
+struct TileMatrix {
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t nt = 16;
+  index_t tile_rows = 0;  // ceil(rows/nt)
+  index_t tile_cols = 0;  // ceil(cols/nt)
+
+  // CSR over the tile grid.
+  std::vector<offset_t> tile_row_ptr;  // length tile_rows + 1
+  std::vector<index_t> tile_col_id;    // per non-empty tile
+
+  // Per-tile intra storage, concatenated. Tile t's local row pointer lives
+  // at intra_row_ptr[t*(nt+1) .. t*(nt+1)+nt]; its entries start at
+  // tile_nnz_ptr[t].
+  std::vector<offset_t> tile_nnz_ptr;      // length ntiles + 1
+  std::vector<std::uint16_t> intra_row_ptr;  // ntiles * (nt+1)
+  std::vector<std::uint8_t> local_col;       // per entry, < nt (nt <= 256)
+  std::vector<T> vals;
+
+  // Nonzeros extracted from very sparse tiles (empty when extraction off).
+  Coo<T> extracted;
+
+  // The same extracted nonzeros indexed by column, so multiply kernels can
+  // visit only the columns selected by the sparse input vector instead of
+  // sweeping the whole side matrix (work-proportionality; see DESIGN.md).
+  std::vector<offset_t> side_col_ptr;  // length cols + 1
+  std::vector<index_t> side_row_idx;
+  std::vector<T> side_vals;
+
+  // Row pointer into `extracted` (which from_csr builds row-major sorted),
+  // for kernels that consume this matrix as a transposed view.
+  std::vector<offset_t> side_row_ptr;  // length rows + 1
+
+  index_t num_tiles() const {
+    return static_cast<index_t>(tile_col_id.size());
+  }
+  offset_t tiled_nnz() const { return static_cast<offset_t>(vals.size()); }
+  offset_t total_nnz() const { return tiled_nnz() + extracted.nnz(); }
+
+  /// Fraction of grid positions occupied by stored (non-extracted) tiles.
+  double tile_occupancy() const {
+    const double grid = static_cast<double>(tile_rows) * tile_cols;
+    return grid == 0.0 ? 0.0 : num_tiles() / grid;
+  }
+
+  /// Partitions `a` into nt×nt tiles. Tiles with nnz <= extract_threshold
+  /// are moved to the side COO matrix (0 disables extraction).
+  static TileMatrix from_csr(const Csr<T>& a, index_t nt,
+                             index_t extract_threshold = 0) {
+    assert(nt > 0 && nt <= 256);
+    TileMatrix m;
+    m.rows = a.rows;
+    m.cols = a.cols;
+    m.nt = nt;
+    m.tile_rows = ceil_div(a.rows, nt);
+    m.tile_cols = ceil_div(a.cols, nt);
+    m.tile_row_ptr.assign(m.tile_rows + 1, 0);
+    m.extracted = Coo<T>(a.rows, a.cols);
+
+    // Dense per-tile-row scratch, reused across tile rows.
+    std::vector<offset_t> tile_nnz(m.tile_cols, 0);
+    std::vector<index_t> touched;       // tile cols seen in this tile row
+    std::vector<index_t> slot_of(m.tile_cols, kEmptyTile);
+
+    // Pass 1 per tile row: count nnz per tile, decide which tiles are kept
+    // vs extracted, and lay out the global arrays.
+    std::vector<index_t> kept_cols;        // tile col ids of kept tiles
+    std::vector<offset_t> kept_tile_nnz;   // nnz of each kept tile
+    for (index_t tr = 0; tr < m.tile_rows; ++tr) {
+      touched.clear();
+      const index_t r_begin = tr * nt;
+      const index_t r_end = std::min<index_t>(r_begin + nt, a.rows);
+      for (index_t r = r_begin; r < r_end; ++r) {
+        for (offset_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+          const index_t tc = a.col_idx[i] / nt;
+          if (tile_nnz[tc] == 0) touched.push_back(tc);
+          ++tile_nnz[tc];
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      for (index_t tc : touched) {
+        if (tile_nnz[tc] > extract_threshold) {
+          kept_cols.push_back(tc);
+          kept_tile_nnz.push_back(tile_nnz[tc]);
+          ++m.tile_row_ptr[tr + 1];
+        }
+        tile_nnz[tc] = 0;  // reset scratch
+      }
+    }
+    for (index_t tr = 0; tr < m.tile_rows; ++tr) {
+      m.tile_row_ptr[tr + 1] += m.tile_row_ptr[tr];
+    }
+    const index_t ntiles = static_cast<index_t>(kept_cols.size());
+    m.tile_col_id = std::move(kept_cols);
+    m.tile_nnz_ptr.assign(ntiles + 1, 0);
+    for (index_t t = 0; t < ntiles; ++t) {
+      m.tile_nnz_ptr[t + 1] = m.tile_nnz_ptr[t] + kept_tile_nnz[t];
+    }
+    m.intra_row_ptr.assign(static_cast<std::size_t>(ntiles) * (nt + 1), 0);
+    m.local_col.resize(m.tile_nnz_ptr[ntiles]);
+    m.vals.resize(m.tile_nnz_ptr[ntiles]);
+
+    // Pass 2: fill per-tile CSR. Rows are visited in order inside each tile
+    // row, so entries arrive tile-row-major and the intra row pointer can
+    // be built with running cursors.
+    std::vector<offset_t> cursor;  // per kept tile in this tile row
+    for (index_t tr = 0; tr < m.tile_rows; ++tr) {
+      const offset_t t_begin = m.tile_row_ptr[tr];
+      const offset_t t_end = m.tile_row_ptr[tr + 1];
+      for (offset_t t = t_begin; t < t_end; ++t) {
+        slot_of[m.tile_col_id[t]] = static_cast<index_t>(t);
+      }
+      cursor.assign(static_cast<std::size_t>(t_end - t_begin), 0);
+      const index_t r_begin = tr * nt;
+      const index_t r_end = std::min<index_t>(r_begin + nt, a.rows);
+      for (index_t r = r_begin; r < r_end; ++r) {
+        const index_t lr = r - r_begin;
+        for (offset_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+          const index_t c = a.col_idx[i];
+          const index_t t = slot_of[c / nt];
+          if (t == kEmptyTile) {
+            m.extracted.push(r, c, a.vals[i]);
+            continue;
+          }
+          const offset_t pos = m.tile_nnz_ptr[t] + cursor[t - t_begin]++;
+          m.local_col[pos] = static_cast<std::uint8_t>(c % nt);
+          m.vals[pos] = a.vals[i];
+          // intra_row_ptr counts per local row first; prefix-summed below.
+          ++m.intra_row_ptr[t * (nt + 1) + lr + 1];
+        }
+      }
+      for (offset_t t = t_begin; t < t_end; ++t) {
+        slot_of[m.tile_col_id[t]] = kEmptyTile;
+        std::uint16_t* p = &m.intra_row_ptr[t * (nt + 1)];
+        for (index_t lr = 0; lr < nt; ++lr) {
+          p[lr + 1] = static_cast<std::uint16_t>(p[lr + 1] + p[lr]);
+        }
+      }
+    }
+    m.build_side_index();
+    return m;
+  }
+
+  /// Builds the column index over the extracted part (called by from_csr;
+  /// re-call after mutating `extracted` manually in tests).
+  void build_side_index() {
+    side_col_ptr.assign(cols + 1, 0);
+    side_row_idx.resize(extracted.nnz());
+    side_vals.resize(extracted.nnz());
+    for (index_t c : extracted.col_idx) {
+      ++side_col_ptr[c + 1];
+    }
+    for (index_t c = 0; c < cols; ++c) {
+      side_col_ptr[c + 1] += side_col_ptr[c];
+    }
+    std::vector<offset_t> cursor(side_col_ptr.begin(), side_col_ptr.end() - 1);
+    for (index_t i = 0; i < extracted.nnz(); ++i) {
+      const offset_t pos = cursor[extracted.col_idx[i]]++;
+      side_row_idx[pos] = extracted.row_idx[i];
+      side_vals[pos] = extracted.vals[i];
+    }
+    side_row_ptr.assign(rows + 1, 0);
+    for (index_t r : extracted.row_idx) {
+      ++side_row_ptr[r + 1];
+    }
+    for (index_t r = 0; r < rows; ++r) {
+      side_row_ptr[r + 1] += side_row_ptr[r];
+    }
+  }
+
+  /// Updates the value of an existing nonzero in place (dynamic-graph /
+  /// iterative-solver support: edge reweighting without retiling).
+  /// Returns false if (r, c) is not a stored nonzero — the tiled layout
+  /// cannot grow a pattern in place; pattern changes require a rebuild.
+  bool update_value(index_t r, index_t c, T v) {
+    assert(r >= 0 && r < rows && c >= 0 && c < cols);
+    // Locate the tile via binary search in the tile row.
+    const index_t tr = r / nt;
+    const index_t tc = c / nt;
+    const index_t* begin = tile_col_id.data() + tile_row_ptr[tr];
+    const index_t* end = tile_col_id.data() + tile_row_ptr[tr + 1];
+    const index_t* it = std::lower_bound(begin, end, tc);
+    if (it != end && *it == tc) {
+      const offset_t t = tile_row_ptr[tr] + (it - begin);
+      const std::uint16_t* p = &intra_row_ptr[t * (nt + 1)];
+      const index_t lr = r % nt;
+      const auto lc = static_cast<std::uint8_t>(c % nt);
+      const offset_t base = tile_nnz_ptr[t];
+      // Local columns are sorted within the row.
+      const auto* cb = local_col.data() + base + p[lr];
+      const auto* ce = local_col.data() + base + p[lr + 1];
+      const auto* ci = std::lower_bound(cb, ce, lc);
+      if (ci != ce && *ci == lc) {
+        vals[base + p[lr] + (ci - cb)] = v;
+        return true;
+      }
+      return false;
+    }
+    // Not in a kept tile: the entry may live in the extracted part.
+    for (offset_t i = side_col_ptr[c]; i < side_col_ptr[c + 1]; ++i) {
+      if (side_row_idx[i] == r) {
+        side_vals[i] = v;
+        // Keep the COO mirror consistent (row-major sorted: search the
+        // row range via side_row_ptr).
+        for (offset_t k = side_row_ptr[r]; k < side_row_ptr[r + 1]; ++k) {
+          if (extracted.col_idx[k] == c) {
+            extracted.vals[k] = v;
+            break;
+          }
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Reads the stored value at (r, c); returns T{} when not present
+  /// (matching the mathematical matrix).
+  T value_at(index_t r, index_t c) const {
+    const index_t tr = r / nt;
+    const index_t tc = c / nt;
+    const index_t* begin = tile_col_id.data() + tile_row_ptr[tr];
+    const index_t* end = tile_col_id.data() + tile_row_ptr[tr + 1];
+    const index_t* it = std::lower_bound(begin, end, tc);
+    if (it != end && *it == tc) {
+      const offset_t t = tile_row_ptr[tr] + (it - begin);
+      const std::uint16_t* p = &intra_row_ptr[t * (nt + 1)];
+      const index_t lr = r % nt;
+      const auto lc = static_cast<std::uint8_t>(c % nt);
+      const offset_t base = tile_nnz_ptr[t];
+      const auto* cb = local_col.data() + base + p[lr];
+      const auto* ce = local_col.data() + base + p[lr + 1];
+      const auto* ci = std::lower_bound(cb, ce, lc);
+      if (ci != ce && *ci == lc) return vals[base + p[lr] + (ci - cb)];
+    }
+    for (offset_t i = side_col_ptr[c]; i < side_col_ptr[c + 1]; ++i) {
+      if (side_row_idx[i] == r) return side_vals[i];
+    }
+    return T{};
+  }
+
+  /// Reassembles the full matrix (tiled part + extracted part) as sorted
+  /// row-major COO — the round-trip used by the property tests.
+  Coo<T> to_coo() const {
+    Coo<T> out(rows, cols);
+    out.reserve(static_cast<std::size_t>(total_nnz()));
+    for (index_t tr = 0; tr < tile_rows; ++tr) {
+      for (offset_t t = tile_row_ptr[tr]; t < tile_row_ptr[tr + 1]; ++t) {
+        const index_t col_base = tile_col_id[t] * nt;
+        const std::uint16_t* p = &intra_row_ptr[t * (nt + 1)];
+        for (index_t lr = 0; lr < nt; ++lr) {
+          for (offset_t i = tile_nnz_ptr[t] + p[lr];
+               i < tile_nnz_ptr[t] + p[lr + 1]; ++i) {
+            out.push(tr * nt + lr, col_base + local_col[i], vals[i]);
+          }
+        }
+      }
+    }
+    for (index_t i = 0; i < extracted.nnz(); ++i) {
+      out.push(extracted.row_idx[i], extracted.col_idx[i], extracted.vals[i]);
+    }
+    out.sort_row_major();
+    return out;
+  }
+};
+
+}  // namespace tilespmspv

@@ -1,0 +1,94 @@
+// Tile-structure analysis: per-matrix statistics over the nt×nt grid
+// (occupancy, nnz-per-tile distribution, row-tile lengths). These are the
+// quantities the paper's narrative reasons with — "less non-empty tiles
+// occupation and dense distribution of nonzeros in the tiles" — exposed
+// as a reusable module for the harnesses, the CLI's `stats` command and
+// format-selection heuristics.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "formats/csr.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+struct TileStats {
+  index_t nt = 0;
+  index_t tile_rows = 0;
+  index_t tile_cols = 0;
+  index_t nonempty_tiles = 0;
+  offset_t nnz = 0;
+
+  double occupancy = 0.0;       // non-empty / grid positions
+  double avg_nnz_per_tile = 0.0;
+  index_t max_nnz_per_tile = 0;
+  double avg_tile_fill = 0.0;   // avg nnz / (nt*nt) over non-empty tiles
+  index_t max_row_tiles = 0;    // longest tile row (load-balance proxy)
+  double avg_row_tiles = 0.0;
+
+  /// Histogram of nnz-per-tile in powers of two: bucket b counts tiles
+  /// with nnz in [2^b, 2^(b+1)).
+  std::vector<offset_t> nnz_histogram;
+
+  /// Exact count of tiles the default extraction rule (threshold 2) would
+  /// move to the COO side matrix.
+  offset_t tiles_le2 = 0;
+};
+
+/// Computes the statistics in one pass over the CSR structure (no tiled
+/// matrix is materialized).
+template <typename T>
+TileStats tile_stats(const Csr<T>& a, index_t nt) {
+  TileStats s;
+  s.nt = nt;
+  s.tile_rows = ceil_div(a.rows, nt);
+  s.tile_cols = ceil_div(a.cols, nt);
+  s.nnz = a.nnz();
+
+  std::vector<offset_t> tile_nnz(s.tile_cols, 0);
+  std::vector<index_t> touched;
+  for (index_t tr = 0; tr < s.tile_rows; ++tr) {
+    touched.clear();
+    const index_t r_end = std::min<index_t>((tr + 1) * nt, a.rows);
+    for (index_t r = tr * nt; r < r_end; ++r) {
+      for (offset_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+        const index_t tc = a.col_idx[i] / nt;
+        if (tile_nnz[tc] == 0) touched.push_back(tc);
+        ++tile_nnz[tc];
+      }
+    }
+    s.nonempty_tiles += static_cast<index_t>(touched.size());
+    s.max_row_tiles =
+        std::max(s.max_row_tiles, static_cast<index_t>(touched.size()));
+    for (index_t tc : touched) {
+      const offset_t c = tile_nnz[tc];
+      s.max_nnz_per_tile = std::max<index_t>(s.max_nnz_per_tile,
+                                             static_cast<index_t>(c));
+      if (c <= 2) ++s.tiles_le2;
+      const auto bucket = static_cast<std::size_t>(
+          63 - std::countl_zero(static_cast<std::uint64_t>(c)));
+      if (s.nnz_histogram.size() <= bucket) {
+        s.nnz_histogram.resize(bucket + 1, 0);
+      }
+      ++s.nnz_histogram[bucket];
+      tile_nnz[tc] = 0;
+    }
+  }
+  const double grid = static_cast<double>(s.tile_rows) * s.tile_cols;
+  s.occupancy = grid == 0.0 ? 0.0 : s.nonempty_tiles / grid;
+  s.avg_nnz_per_tile =
+      s.nonempty_tiles == 0
+          ? 0.0
+          : static_cast<double>(s.nnz) / static_cast<double>(s.nonempty_tiles);
+  s.avg_tile_fill = s.avg_nnz_per_tile / (static_cast<double>(nt) * nt);
+  s.avg_row_tiles = s.tile_rows == 0
+                        ? 0.0
+                        : static_cast<double>(s.nonempty_tiles) / s.tile_rows;
+  return s;
+}
+
+}  // namespace tilespmspv

@@ -1,0 +1,94 @@
+// Tiled sparse vector storage (paper §3.2.2, Fig. 3).
+//
+// A length-n vector is cut into n/nt tiles. Empty tiles are dropped; the
+// remaining tiles are stored densely and contiguously in `x_tile`, while
+// `x_ptr` maps each tile slot to its compact position (or -1 when empty).
+// Element i is recovered as x_tile[x_ptr[i/nt]*nt + i%nt] — the O(1)
+// positioning the TileSpMSpV kernel relies on to skip work.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "formats/sparse_vector.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+template <typename T = value_t>
+struct TileVector {
+  index_t n = 0;              // logical length
+  index_t nt = 16;            // tile size
+  index_t nnz = 0;            // nonzeros of the source vector
+  std::vector<index_t> x_ptr; // ceil(n/nt) slots: compact index or kEmptyTile
+  std::vector<T> x_tile;      // non-empty tiles, nt values each
+
+  /// True vector sparsity nnz/n (the quantity the paper's kernel
+  /// selection compares against its thresholds).
+  double sparsity() const {
+    return n == 0 ? 0.0 : static_cast<double>(nnz) / static_cast<double>(n);
+  }
+
+  index_t num_tiles() const { return static_cast<index_t>(x_ptr.size()); }
+  index_t num_nonempty_tiles() const {
+    return static_cast<index_t>(x_tile.size()) / nt;
+  }
+
+  /// Fraction of tile slots that are non-empty — the quantity the paper's
+  /// kernel-selection heuristics reason about.
+  double tile_density() const {
+    return x_ptr.empty() ? 0.0
+                         : static_cast<double>(num_nonempty_tiles()) /
+                               static_cast<double>(num_tiles());
+  }
+
+  /// O(1) random access (zero for elements in empty tiles).
+  T at(index_t i) const {
+    assert(i >= 0 && i < n);
+    const index_t slot = x_ptr[i / nt];
+    return slot == kEmptyTile ? T{} : x_tile[slot * nt + i % nt];
+  }
+
+  /// Builds the tiled form from a plain sparse vector.
+  static TileVector from_sparse(const SparseVec<T>& x, index_t nt) {
+    TileVector v;
+    v.n = x.n;
+    v.nt = nt;
+    v.nnz = x.nnz();
+    const index_t tiles = ceil_div(x.n, nt);
+    v.x_ptr.assign(tiles, kEmptyTile);
+    // Pass 1: mark which tiles are non-empty and assign compact slots in
+    // tile order (matching the paper's 0,1,2,... numbering).
+    index_t slots = 0;
+    for (index_t i : x.idx) {
+      index_t& p = v.x_ptr[i / nt];
+      if (p == kEmptyTile) p = slots++;
+    }
+    // A nonzero in the last partial tile must not read past n, so tiles are
+    // zero-padded to a full nt.
+    v.x_tile.assign(static_cast<std::size_t>(slots) * nt, T{});
+    for (std::size_t k = 0; k < x.idx.size(); ++k) {
+      const index_t i = x.idx[k];
+      v.x_tile[v.x_ptr[i / nt] * nt + i % nt] = x.vals[k];
+    }
+    return v;
+  }
+
+  /// Converts back to the plain sparse form (exact zeros inside non-empty
+  /// tiles are dropped, matching SparseVec's invariant).
+  SparseVec<T> to_sparse() const {
+    SparseVec<T> x(n);
+    for (index_t t = 0; t < num_tiles(); ++t) {
+      const index_t slot = x_ptr[t];
+      if (slot == kEmptyTile) continue;
+      const index_t base = t * nt;
+      for (index_t j = 0; j < nt && base + j < n; ++j) {
+        const T v = x_tile[slot * nt + j];
+        if (v != T{}) x.push(base + j, v);
+      }
+    }
+    return x;
+  }
+};
+
+}  // namespace tilespmspv

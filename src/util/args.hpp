@@ -1,0 +1,73 @@
+// Minimal command-line flag parser for the CLI tool and benchmark
+// harnesses: --key value pairs, boolean switches, and positional words.
+#pragma once
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tilespmspv {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      tokens_.emplace_back(argv[i]);
+    }
+  }
+
+  /// True if the switch is present (e.g. "--verbose").
+  bool has(const std::string& flag) const {
+    for (const auto& t : tokens_) {
+      if (t == flag) return true;
+    }
+    return false;
+  }
+
+  /// Value following the flag, or `def` when absent. Throws if the flag
+  /// is present but the value is missing.
+  std::string get(const std::string& flag, const std::string& def = "") const {
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (tokens_[i] == flag) {
+        if (i + 1 >= tokens_.size()) {
+          throw std::invalid_argument("missing value for " + flag);
+        }
+        return tokens_[i + 1];
+      }
+    }
+    return def;
+  }
+
+  long get_int(const std::string& flag, long def) const {
+    const std::string v = get(flag);
+    return v.empty() ? def : std::strtol(v.c_str(), nullptr, 10);
+  }
+
+  double get_double(const std::string& flag, double def) const {
+    const std::string v = get(flag);
+    return v.empty() ? def : std::strtod(v.c_str(), nullptr);
+  }
+
+  /// Positional arguments (tokens that are not flags or flag values).
+  std::vector<std::string> positional() const {
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (tokens_[i].rfind("--", 0) == 0) {
+        // A switch consumes its value token unless the next token is also
+        // a flag (boolean switch).
+        if (i + 1 < tokens_.size() && tokens_[i + 1].rfind("--", 0) != 0) {
+          ++i;
+        }
+      } else {
+        out.push_back(tokens_[i]);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+};
+
+}  // namespace tilespmspv

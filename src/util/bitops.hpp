@@ -1,0 +1,76 @@
+// Bit-manipulation helpers for the bitmask tile formats. The BFS kernels in
+// the paper compress each tile row/column into one machine word; these
+// wrappers pick the right word type per tile size and provide the popcount /
+// scan primitives the kernels need.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace tilespmspv {
+
+/// Word type whose bit width equals the tile size NT (paper §3.4: "32
+/// corresponds to the bit length of the unsigned integer, and 64 to unsigned
+/// long long").
+template <int NT>
+struct BitWord;
+
+template <>
+struct BitWord<8> {
+  using type = std::uint8_t;
+};
+template <>
+struct BitWord<16> {
+  using type = std::uint16_t;
+};
+template <>
+struct BitWord<32> {
+  using type = std::uint32_t;
+};
+template <>
+struct BitWord<64> {
+  using type = std::uint64_t;
+};
+
+template <int NT>
+using bitword_t = typename BitWord<NT>::type;
+
+/// Set bit `i` counting from the most significant bit, matching the paper's
+/// figures where the first vector element maps to the leading bit (e.g. the
+/// length-4 tile {1,0,0,0} is written as the value 8).
+template <typename W>
+constexpr W msb_bit(int i) {
+  constexpr int bits = static_cast<int>(sizeof(W) * 8);
+  return static_cast<W>(W{1} << (bits - 1 - i));
+}
+
+/// Tests bit `i` counting from the most significant bit.
+template <typename W>
+constexpr bool test_msb_bit(W w, int i) {
+  return (w & msb_bit<W>(i)) != 0;
+}
+
+template <typename W>
+constexpr int popcount(W w) {
+  return std::popcount(static_cast<std::make_unsigned_t<W>>(w));
+}
+
+/// Index (msb-first) of the highest set bit; undefined for w == 0.
+template <typename W>
+constexpr int first_set_msb(W w) {
+  return std::countl_zero(static_cast<std::make_unsigned_t<W>>(w));
+}
+
+/// Visits the msb-first index of every set bit in `w`.
+template <typename W, typename Fn>
+void for_each_set_bit(W w, Fn&& fn) {
+  auto u = static_cast<std::make_unsigned_t<W>>(w);
+  while (u != 0) {
+    const int i = std::countl_zero(u);
+    fn(i);
+    u &= ~msb_bit<std::make_unsigned_t<W>>(i);
+  }
+}
+
+}  // namespace tilespmspv

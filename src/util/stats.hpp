@@ -1,0 +1,77 @@
+// Summary statistics used by the benchmark harnesses: the paper reports
+// geometric-mean and maximum speedups plus win percentages, so those are
+// first-class here.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace tilespmspv {
+
+/// Geometric mean of strictly positive samples. Returns 0 for empty input.
+inline double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) {
+    assert(x > 0.0);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+inline double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+inline double max_of(const std::vector<double>& xs) {
+  double m = 0.0;
+  for (double x : xs) m = std::max(m, x);
+  return m;
+}
+
+inline double min_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double m = xs[0];
+  for (double x : xs) m = std::min(m, x);
+  return m;
+}
+
+/// Fraction (in percent) of samples strictly greater than 1 — "on X% of the
+/// matrices our algorithm is faster", as the paper phrases its BFS results.
+inline double percent_above_one(const std::vector<double>& speedups) {
+  if (speedups.empty()) return 0.0;
+  std::size_t wins = 0;
+  for (double s : speedups) {
+    if (s > 1.0) ++wins;
+  }
+  return 100.0 * static_cast<double>(wins) /
+         static_cast<double>(speedups.size());
+}
+
+/// Accumulates per-matrix speedups of "this work" over one baseline and
+/// reports the aggregate the paper uses (geomean / max / win-rate).
+class SpeedupAggregate {
+ public:
+  void add(double this_work_time, double baseline_time) {
+    if (this_work_time > 0.0 && baseline_time > 0.0) {
+      speedups_.push_back(baseline_time / this_work_time);
+    }
+  }
+
+  double geomean_speedup() const { return geomean(speedups_); }
+  double max_speedup() const { return max_of(speedups_); }
+  double win_rate_percent() const { return percent_above_one(speedups_); }
+  std::size_t count() const { return speedups_.size(); }
+  const std::vector<double>& speedups() const { return speedups_; }
+
+ private:
+  std::vector<double> speedups_;
+};
+
+}  // namespace tilespmspv

@@ -1,0 +1,42 @@
+// Console table / CSV rendering for the benchmark harnesses. Every bench
+// binary prints the rows the corresponding paper table or figure reports;
+// this keeps that output aligned and optionally mirrors it to CSV so the
+// figures can be re-plotted.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tilespmspv {
+
+/// A simple column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+  /// Renders as comma-separated values (headers first).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals (fixed notation).
+std::string fmt(double v, int digits = 2);
+
+/// Formats a count with thousands grouping disabled (plain digits) but
+/// abbreviated to K/M for readability, e.g. 503000 -> "503K".
+std::string fmt_count(long long v);
+
+}  // namespace tilespmspv

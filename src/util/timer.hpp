@@ -1,0 +1,44 @@
+// Wall-clock timing helpers for the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace tilespmspv {
+
+/// Monotonic wall-clock stopwatch measuring milliseconds.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last reset(), in milliseconds.
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double elapsed_s() const { return elapsed_ms() * 1e-3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` once to warm caches, then `iters` more times, returning the
+/// minimum per-run time in milliseconds. Minimum (not mean) is used so that
+/// scheduler noise on a shared host does not distort algorithm comparisons.
+template <typename Fn>
+double time_best_ms(Fn&& fn, int iters = 3) {
+  fn();  // warm-up
+  double best = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    Timer t;
+    fn();
+    best = std::min(best, t.elapsed_ms());
+  }
+  return best;
+}
+
+}  // namespace tilespmspv

@@ -1,0 +1,40 @@
+// Common scalar and index types used across the library.
+//
+// The library follows the paper's conventions: matrices are indexed with
+// 32-bit signed integers (large enough for every SuiteSparse matrix and for
+// the synthetic suite) and values default to double precision.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace tilespmspv {
+
+/// Row/column index type. Signed so that -1 can serve as the "empty tile"
+/// sentinel used by the tiled vector format (paper Fig. 3).
+using index_t = std::int32_t;
+
+/// Offset type for nonzero positions (CSR row pointers etc.). 64-bit so
+/// matrices with more than 2^31 nonzeros are representable.
+using offset_t = std::int64_t;
+
+/// Default numeric value type.
+using value_t = double;
+
+/// Sentinel marking an empty tile slot in tiled vector index arrays.
+inline constexpr index_t kEmptyTile = -1;
+
+/// Ceiling division for non-negative integers.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+/// Rounds `a` up to the next multiple of `b`.
+template <typename T>
+constexpr T round_up(T a, T b) {
+  return ceil_div(a, b) * b;
+}
+
+}  // namespace tilespmspv

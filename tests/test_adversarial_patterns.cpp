@@ -1,0 +1,185 @@
+// Adversarial sparsity patterns: structures chosen to hit the tiling
+// machinery's corners — dense single rows/columns (hub vertices), exact
+// anti-diagonals (every tile touched once), checkerboards (half the tiles
+// empty in a regular pattern), tile-aligned blocks, and single-column
+// matrices. Every pattern runs through tiling round trips, both SpMSpV
+// kernels, and BFS where square.
+#include <gtest/gtest.h>
+
+#include "baselines/serial_bfs.hpp"
+#include "bfs/tile_bfs.hpp"
+#include "core/spmspv.hpp"
+#include "core/spmspv_reference.hpp"
+#include "gen/vector_gen.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace tilespmspv {
+namespace {
+
+struct Pattern {
+  const char* name;
+  Coo<value_t> coo;
+};
+
+std::vector<Pattern> patterns() {
+  std::vector<Pattern> out;
+  {
+    // One dense row: a vertex with in-edges from everyone.
+    Coo<value_t> m(200, 200);
+    for (index_t c = 0; c < 200; ++c) m.push(100, c, 1.0 + c);
+    out.push_back({"dense-row", std::move(m)});
+  }
+  {
+    // One dense column: a vertex with out-edges to everyone.
+    Coo<value_t> m(200, 200);
+    for (index_t r = 0; r < 200; ++r) m.push(r, 55, 2.0 + r);
+    out.push_back({"dense-column", std::move(m)});
+  }
+  {
+    // Anti-diagonal: nnz = n, every diagonal-crossing tile gets exactly
+    // nt entries, every vector tile maps to a distinct matrix tile row.
+    Coo<value_t> m(256, 256);
+    for (index_t i = 0; i < 256; ++i) m.push(i, 255 - i, 1.0);
+    out.push_back({"anti-diagonal", std::move(m)});
+  }
+  {
+    // Checkerboard of 16x16 dense blocks.
+    Coo<value_t> m(128, 128);
+    for (index_t br = 0; br < 8; ++br) {
+      for (index_t bc = 0; bc < 8; ++bc) {
+        if ((br + bc) % 2) continue;
+        for (index_t r = 0; r < 16; ++r) {
+          for (index_t c = 0; c < 16; ++c) {
+            m.push(br * 16 + r, bc * 16 + c, 0.5);
+          }
+        }
+      }
+    }
+    out.push_back({"checkerboard", std::move(m)});
+  }
+  {
+    // Single column matrix (m x 1) — the SpGEMM-strawman shape.
+    Coo<value_t> m(300, 1);
+    for (index_t r = 0; r < 300; r += 3) m.push(r, 0, 1.0);
+    out.push_back({"single-column", std::move(m)});
+  }
+  {
+    // Single row matrix (1 x n).
+    Coo<value_t> m(1, 300);
+    for (index_t c = 1; c < 300; c += 7) m.push(0, c, 1.0);
+    out.push_back({"single-row", std::move(m)});
+  }
+  {
+    // Entries only in the last partial tile (n not a tile multiple).
+    Coo<value_t> m(105, 105);
+    for (index_t i = 96; i < 105; ++i) {
+      for (index_t j = 96; j < 105; ++j) m.push(i, j, 1.0);
+    }
+    out.push_back({"partial-tile-corner", std::move(m)});
+  }
+  {
+    // Arrow matrix: dense first row + first column + diagonal.
+    Coo<value_t> m(150, 150);
+    for (index_t i = 0; i < 150; ++i) {
+      m.push(i, i, 2.0);
+      if (i > 0) {
+        m.push(0, i, 1.0);
+        m.push(i, 0, 1.0);
+      }
+    }
+    out.push_back({"arrow", std::move(m)});
+  }
+  return out;
+}
+
+class AdversarialPatterns : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static const std::vector<Pattern>& all() {
+    static const std::vector<Pattern> p = patterns();
+    return p;
+  }
+};
+
+TEST_P(AdversarialPatterns, TilingRoundTripsAtEveryTileSize) {
+  const Pattern& p = all()[GetParam()];
+  Coo<value_t> sorted = p.coo;
+  sorted.sort_row_major();
+  Csr<value_t> a = Csr<value_t>::from_coo(p.coo);
+  for (index_t nt : {16, 32, 64}) {
+    for (index_t extract : {0, 2}) {
+      TileMatrix<value_t> t = TileMatrix<value_t>::from_csr(a, nt, extract);
+      Coo<value_t> back = t.to_coo();
+      ASSERT_EQ(back.row_idx, sorted.row_idx) << p.name << " nt=" << nt;
+      ASSERT_EQ(back.vals, sorted.vals) << p.name << " nt=" << nt;
+    }
+  }
+}
+
+TEST_P(AdversarialPatterns, BothKernelsMatchReference) {
+  const Pattern& p = all()[GetParam()];
+  Csr<value_t> a = Csr<value_t>::from_coo(p.coo);
+  for (double sp : {0.01, 0.3}) {
+    SparseVec<value_t> x = gen_sparse_vector(a.cols, sp, 1601);
+    const SparseVec<value_t> expect = spmspv_rowwise_reference(a, x);
+    SpmspvConfig csr_cfg, csc_cfg;
+    csr_cfg.kernel = SpmspvKernel::kCsr;
+    csc_cfg.kernel = SpmspvKernel::kCsc;
+    SpmspvOperator<value_t> op_csr(a, csr_cfg);
+    SpmspvOperator<value_t> op_csc(a, csc_cfg);
+    EXPECT_TRUE(approx_equal(op_csr.multiply(x), expect))
+        << p.name << " csr sp=" << sp;
+    EXPECT_TRUE(approx_equal(op_csc.multiply(x), expect))
+        << p.name << " csc sp=" << sp;
+  }
+}
+
+TEST_P(AdversarialPatterns, BfsMatchesSerialWhenSquare) {
+  const Pattern& p = all()[GetParam()];
+  if (p.coo.rows != p.coo.cols) GTEST_SKIP();
+  Coo<value_t> sym = p.coo;
+  sym.symmetrize();
+  Csr<value_t> a = Csr<value_t>::from_coo(sym);
+  const auto expect = serial_bfs(a, 0);
+  for (unsigned mask : {1u, 2u, 4u, 7u}) {
+    TileBfsConfig cfg;
+    cfg.kernel_mask = mask;
+    EXPECT_EQ(TileBfs(a, cfg).run(0).levels, expect)
+        << p.name << " mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, AdversarialPatterns,
+                         ::testing::Range<std::size_t>(0, patterns().size()));
+
+TEST(AdversarialTileCounts, AntiDiagonalTouchesOneTilePerRowTile) {
+  Coo<value_t> m(256, 256);
+  for (index_t i = 0; i < 256; ++i) m.push(i, 255 - i, 1.0);
+  Csr<value_t> a = Csr<value_t>::from_coo(m);
+  TileMatrix<value_t> t = TileMatrix<value_t>::from_csr(a, 16, 0);
+  EXPECT_EQ(t.num_tiles(), 16);  // one tile per tile row
+  for (index_t tr = 0; tr < 16; ++tr) {
+    EXPECT_EQ(t.tile_row_ptr[tr + 1] - t.tile_row_ptr[tr], 1);
+    EXPECT_EQ(t.tile_col_id[t.tile_row_ptr[tr]], 15 - tr);
+  }
+}
+
+TEST(AdversarialTileCounts, CheckerboardOccupancyIsHalf) {
+  Coo<value_t> m(128, 128);
+  for (index_t br = 0; br < 8; ++br) {
+    for (index_t bc = 0; bc < 8; ++bc) {
+      if ((br + bc) % 2) continue;
+      for (index_t r = 0; r < 16; ++r) {
+        for (index_t c = 0; c < 16; ++c) {
+          m.push(br * 16 + r, bc * 16 + c, 1.0);
+        }
+      }
+    }
+  }
+  Csr<value_t> a = Csr<value_t>::from_coo(m);
+  TileMatrix<value_t> t = TileMatrix<value_t>::from_csr(a, 16, 0);
+  EXPECT_EQ(t.num_tiles(), 32);
+  EXPECT_DOUBLE_EQ(t.tile_occupancy(), 0.5);
+}
+
+}  // namespace
+}  // namespace tilespmspv

@@ -1,0 +1,358 @@
+// Tests for the application layer built on the SpMSpV primitive:
+// algebraic BFS (paper Alg. 3), RCM ordering, and betweenness centrality,
+// each validated against an independent reference.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "apps/algebraic_bfs.hpp"
+#include "apps/betweenness.hpp"
+#include "apps/rcm.hpp"
+#include "apps/triangles.hpp"
+#include "baselines/serial_bfs.hpp"
+#include "gen/banded.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/grid.hpp"
+#include "gen/rmat.hpp"
+
+namespace tilespmspv {
+namespace {
+
+Csr<value_t> undirected(index_t n, double p, std::uint64_t seed) {
+  Coo<value_t> coo = gen_erdos_renyi(n, n, p, seed);
+  coo.symmetrize();
+  return Csr<value_t>::from_coo(coo);
+}
+
+// ---------------------------------------------------------------- Alg. 3
+
+class AlgebraicBfsGraphs
+    : public ::testing::TestWithParam<std::tuple<index_t, double>> {};
+
+TEST_P(AlgebraicBfsGraphs, MatchesSerialBfs) {
+  const auto [n, p] = GetParam();
+  Csr<value_t> g = undirected(n, p, 501 + n);
+  EXPECT_EQ(algebraic_bfs(g, 0), serial_bfs(g, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AlgebraicBfsGraphs,
+    ::testing::Combine(::testing::Values<index_t>(50, 500, 3000),
+                       ::testing::Values(0.002, 0.01, 0.05)));
+
+TEST(AlgebraicBfs, MatchesTileBfsLevels) {
+  Csr<value_t> g = Csr<value_t>::from_coo(gen_grid2d(40, 30, 0.9, 503));
+  TileBfs tb(g);
+  EXPECT_EQ(algebraic_bfs(g, 5), tb.run(5).levels);
+}
+
+TEST(AlgebraicBfs, SignedValuesDoNotHideEdges) {
+  // Values that would cancel numerically must not affect reachability.
+  Coo<value_t> coo(4, 4);
+  coo.push(1, 0, 1.0);
+  coo.push(2, 0, -1.0);
+  coo.push(3, 1, 2.0);
+  coo.push(3, 2, -2.0);  // y_3 = 2 - 2 = 0 numerically at level 2
+  Csr<value_t> a = Csr<value_t>::from_coo(coo);
+  const auto levels = algebraic_bfs(a, 0);
+  EXPECT_EQ(levels, (std::vector<index_t>{0, 1, 1, 2}));
+}
+
+TEST(AlgebraicBfs, DisconnectedGraph) {
+  Coo<value_t> coo(6, 6);
+  coo.push(0, 1, 1.0);
+  coo.push(1, 0, 1.0);
+  coo.push(3, 4, 1.0);
+  coo.push(4, 3, 1.0);
+  Csr<value_t> a = Csr<value_t>::from_coo(coo);
+  const auto levels = algebraic_bfs(a, 0);
+  EXPECT_EQ(levels[1], 1);
+  EXPECT_EQ(levels[3], -1);
+  EXPECT_EQ(levels[5], -1);
+}
+
+// ------------------------------------------------------------------- RCM
+
+TEST(Rcm, PermutationIsValid) {
+  Csr<value_t> a = undirected(300, 0.02, 507);
+  const auto perm = rcm_ordering(a);
+  ASSERT_EQ(perm.size(), 300u);
+  std::vector<bool> seen(300, false);
+  for (index_t p : perm) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 300);
+    ASSERT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(Rcm, ReducesBandwidthOfShuffledBandMatrix) {
+  // Build a narrow-band matrix, destroy the ordering with a random
+  // permutation, and check RCM recovers a small bandwidth.
+  BandedParams prm;
+  prm.n = 600;
+  prm.block = 4;
+  prm.band_blocks = 2;
+  Csr<value_t> band = Csr<value_t>::from_coo(gen_banded(prm, 509));
+  // Random shuffle permutation.
+  Prng rng(510);
+  std::vector<index_t> shuffle(600);
+  std::iota(shuffle.begin(), shuffle.end(), index_t{0});
+  for (index_t i = 599; i > 0; --i) {
+    std::swap(shuffle[i], shuffle[rng.next_below(i + 1)]);
+  }
+  Csr<value_t> shuffled = permute_symmetric(band, shuffle);
+  const index_t before = bandwidth(shuffled);
+  Csr<value_t> reordered = permute_symmetric(shuffled, rcm_ordering(shuffled));
+  const index_t after = bandwidth(reordered);
+  EXPECT_LT(after, before / 4) << "before=" << before << " after=" << after;
+}
+
+TEST(Rcm, HandlesDisconnectedComponents) {
+  Coo<value_t> coo(10, 10);
+  coo.push(0, 1, 1.0);
+  coo.push(1, 0, 1.0);
+  coo.push(5, 6, 1.0);
+  coo.push(6, 5, 1.0);
+  Csr<value_t> a = Csr<value_t>::from_coo(coo);
+  const auto perm = rcm_ordering(a);
+  EXPECT_EQ(perm.size(), 10u);  // isolated vertices included
+}
+
+TEST(Rcm, PermuteSymmetricRoundTrip) {
+  Csr<value_t> a = undirected(80, 0.05, 511);
+  std::vector<index_t> identity(80);
+  std::iota(identity.begin(), identity.end(), index_t{0});
+  Csr<value_t> same = permute_symmetric(a, identity);
+  EXPECT_EQ(same.row_ptr, a.row_ptr);
+  EXPECT_EQ(same.col_idx, a.col_idx);
+}
+
+TEST(Rcm, BandwidthDefinition) {
+  Coo<value_t> coo(5, 5);
+  coo.push(0, 4, 1.0);
+  coo.push(2, 2, 1.0);
+  Csr<value_t> a = Csr<value_t>::from_coo(coo);
+  EXPECT_EQ(bandwidth(a), 4);
+}
+
+// ---------------------------------------------------------- Betweenness
+
+// Serial Brandes reference (queues + explicit predecessor lists).
+std::vector<double> brandes_reference(const Csr<value_t>& g, bool halve) {
+  const index_t n = g.rows;
+  std::vector<double> bc(n, 0.0);
+  for (index_t s = 0; s < n; ++s) {
+    std::vector<std::vector<index_t>> preds(n);
+    std::vector<double> sigma(n, 0.0);
+    std::vector<index_t> dist(n, -1);
+    std::vector<index_t> order;
+    std::queue<index_t> q;
+    sigma[s] = 1.0;
+    dist[s] = 0;
+    q.push(s);
+    while (!q.empty()) {
+      const index_t v = q.front();
+      q.pop();
+      order.push_back(v);
+      for (offset_t i = g.row_ptr[v]; i < g.row_ptr[v + 1]; ++i) {
+        const index_t w = g.col_idx[i];
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          q.push(w);
+        }
+        if (dist[w] == dist[v] + 1) {
+          sigma[w] += sigma[v];
+          preds[w].push_back(v);
+        }
+      }
+    }
+    std::vector<double> delta(n, 0.0);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const index_t w = *it;
+      for (index_t v : preds[w]) {
+        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+      }
+      if (w != s) bc[w] += delta[w];
+    }
+  }
+  if (halve) {
+    for (double& v : bc) v *= 0.5;
+  }
+  return bc;
+}
+
+TEST(Betweenness, PathGraphExact) {
+  // Path 0-1-2-3-4: bc (undirected, halved) = {0, 3, 4, 3, 0}.
+  Coo<value_t> coo(5, 5);
+  for (index_t i = 0; i + 1 < 5; ++i) {
+    coo.push(i, i + 1, 1.0);
+    coo.push(i + 1, i, 1.0);
+  }
+  Csr<value_t> g = Csr<value_t>::from_coo(coo);
+  std::vector<index_t> all{0, 1, 2, 3, 4};
+  const auto bc = betweenness_centrality(g, all);
+  EXPECT_NEAR(bc[0], 0.0, 1e-12);
+  EXPECT_NEAR(bc[1], 3.0, 1e-12);
+  EXPECT_NEAR(bc[2], 4.0, 1e-12);
+  EXPECT_NEAR(bc[3], 3.0, 1e-12);
+  EXPECT_NEAR(bc[4], 0.0, 1e-12);
+}
+
+TEST(Betweenness, StarGraphCenterDominates) {
+  Coo<value_t> coo(7, 7);
+  for (index_t i = 1; i < 7; ++i) {
+    coo.push(0, i, 1.0);
+    coo.push(i, 0, 1.0);
+  }
+  Csr<value_t> g = Csr<value_t>::from_coo(coo);
+  std::vector<index_t> all(7);
+  std::iota(all.begin(), all.end(), index_t{0});
+  const auto bc = betweenness_centrality(g, all);
+  EXPECT_NEAR(bc[0], 15.0, 1e-12);  // C(6,2) pairs route through center
+  for (index_t i = 1; i < 7; ++i) EXPECT_NEAR(bc[i], 0.0, 1e-12);
+}
+
+class BetweennessRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BetweennessRandom, MatchesBrandesReference) {
+  Csr<value_t> g = undirected(60, 0.08, GetParam());
+  std::vector<index_t> all(60);
+  std::iota(all.begin(), all.end(), index_t{0});
+  const auto got = betweenness_centrality(g, all);
+  const auto expect = brandes_reference(g, true);
+  for (index_t v = 0; v < 60; ++v) {
+    EXPECT_NEAR(got[v], expect[v], 1e-9) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BetweennessRandom,
+                         ::testing::Values(601, 602, 603, 604));
+
+TEST(Betweenness, WeightedValuesIgnored) {
+  // Same pattern, different values -> identical centrality (pattern is
+  // normalized internally).
+  Coo<value_t> coo(5, 5);
+  for (index_t i = 0; i + 1 < 5; ++i) {
+    coo.push(i, i + 1, 0.5 + i);
+    coo.push(i + 1, i, 0.5 + i);
+  }
+  Csr<value_t> g = Csr<value_t>::from_coo(coo);
+  std::vector<index_t> all{0, 1, 2, 3, 4};
+  const auto bc = betweenness_centrality(g, all);
+  EXPECT_NEAR(bc[2], 4.0, 1e-12);
+}
+
+TEST(Betweenness, SampledSourcesScaleDown) {
+  Csr<value_t> g = Csr<value_t>::from_coo(gen_rmat(
+      [] {
+        RmatParams p;
+        p.scale = 8;
+        p.edge_factor = 4;
+        return p;
+      }(),
+      605));
+  const auto bc_one = betweenness_centrality(g, {0});
+  const auto bc_two = betweenness_centrality(g, {0, 1});
+  // More sources only add non-negative contributions.
+  for (index_t v = 0; v < g.rows; ++v) {
+    EXPECT_GE(bc_two[v] + 1e-12, bc_one[v]);
+  }
+}
+
+// ------------------------------------------------------------ triangles
+
+Csr<value_t> clique(index_t n) {
+  Coo<value_t> coo(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      if (i != j) coo.push(i, j, 1.0);
+    }
+  }
+  return Csr<value_t>::from_coo(coo);
+}
+
+TEST(Triangles, CliqueCounts) {
+  // K_n has C(n,3) triangles.
+  EXPECT_EQ(count_triangles(clique(3)), 1u);
+  EXPECT_EQ(count_triangles(clique(4)), 4u);
+  EXPECT_EQ(count_triangles(clique(6)), 20u);
+  EXPECT_EQ(count_triangles(clique(10)), 120u);
+}
+
+TEST(Triangles, TriangleFreeGraphs) {
+  // Paths, stars and even cycles have no triangles.
+  Coo<value_t> path(20, 20);
+  for (index_t i = 0; i + 1 < 20; ++i) {
+    path.push(i, i + 1, 1.0);
+    path.push(i + 1, i, 1.0);
+  }
+  EXPECT_EQ(count_triangles(Csr<value_t>::from_coo(path)), 0u);
+
+  Coo<value_t> cycle(8, 8);
+  for (index_t i = 0; i < 8; ++i) {
+    cycle.push(i, (i + 1) % 8, 1.0);
+    cycle.push((i + 1) % 8, i, 1.0);
+  }
+  EXPECT_EQ(count_triangles(Csr<value_t>::from_coo(cycle)), 0u);
+}
+
+TEST(Triangles, PetersenGraphHasNone) {
+  // The Petersen graph is famously triangle-free.
+  const index_t outer[5][2] = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}};
+  Coo<value_t> coo(10, 10);
+  for (const auto& e : outer) {
+    coo.push(e[0], e[1], 1.0);
+    coo.push(e[1], e[0], 1.0);
+  }
+  for (index_t i = 0; i < 5; ++i) {
+    // spokes and inner pentagram (i+5) -- ((i+2)%5+5)
+    coo.push(i, i + 5, 1.0);
+    coo.push(i + 5, i, 1.0);
+    const index_t a = i + 5, b = (i + 2) % 5 + 5;
+    coo.push(a, b, 1.0);
+    coo.push(b, a, 1.0);
+  }
+  Csr<value_t> g = Csr<value_t>::from_coo(coo);
+  EXPECT_EQ(g.nnz(), 30);  // 15 undirected edges
+  EXPECT_EQ(count_triangles(g), 0u);
+}
+
+TEST(Triangles, MatchesBruteForceOnRandomGraphs) {
+  for (std::uint64_t seed : {611, 612}) {
+    Csr<value_t> g = undirected(120, 0.08, seed);
+    // Brute force over vertex triples via adjacency matrix.
+    std::vector<std::vector<bool>> adj(120, std::vector<bool>(120, false));
+    for (index_t r = 0; r < 120; ++r) {
+      for (offset_t i = g.row_ptr[r]; i < g.row_ptr[r + 1]; ++i) {
+        adj[r][g.col_idx[i]] = true;
+      }
+    }
+    std::uint64_t expect = 0;
+    for (index_t i = 0; i < 120; ++i) {
+      for (index_t j = i + 1; j < 120; ++j) {
+        if (!adj[i][j]) continue;
+        for (index_t k = j + 1; k < 120; ++k) {
+          if (adj[i][k] && adj[j][k]) ++expect;
+        }
+      }
+    }
+    EXPECT_EQ(count_triangles(g), expect) << seed;
+  }
+}
+
+TEST(Triangles, PerVertexSumsToThreePerTriangle) {
+  Csr<value_t> g = undirected(200, 0.05, 613);
+  const auto tri = triangles_per_vertex(g);
+  std::uint64_t sum = 0;
+  for (std::uint64_t t : tri) sum += t;
+  EXPECT_EQ(sum, 3 * count_triangles(g));
+}
+
+TEST(Triangles, PerVertexOnK4) {
+  const auto tri = triangles_per_vertex(clique(4));
+  for (std::uint64_t t : tri) EXPECT_EQ(t, 3u);  // each vertex in C(3,2)=3
+}
+
+}  // namespace
+}  // namespace tilespmspv

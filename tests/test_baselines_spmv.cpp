@@ -1,0 +1,138 @@
+// Correctness of every SpMV/SpMSpV baseline against the serial references.
+// The Fig. 6 comparison is only meaningful if all four algorithms compute
+// the same product.
+#include <gtest/gtest.h>
+
+#include "baselines/bsr_spmv.hpp"
+#include "baselines/csr_spmv.hpp"
+#include "baselines/spmspv_bucket.hpp"
+#include "baselines/spmspv_sort.hpp"
+#include "baselines/tile_spmv.hpp"
+#include "core/spmspv_reference.hpp"
+#include "gen/banded.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/vector_gen.hpp"
+
+namespace tilespmspv {
+namespace {
+
+struct Fixture {
+  Csr<value_t> a;
+  Csc<value_t> c;
+  SparseVec<value_t> x;
+  SparseVec<value_t> expect;
+
+  Fixture(index_t rows, index_t cols, double density, double sparsity,
+          std::uint64_t seed) {
+    a = Csr<value_t>::from_coo(gen_erdos_renyi(rows, cols, density, seed));
+    c = Csc<value_t>::from_csr(a);
+    x = gen_sparse_vector(cols, sparsity, seed + 1);
+    expect = spmspv_rowwise_reference(a, x);
+  }
+};
+
+class BaselineSweep
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, double>> {
+ protected:
+  Fixture make() const {
+    const auto [rows, cols, sparsity] = GetParam();
+    return Fixture(rows, cols, 0.02, sparsity, 101 + rows + cols);
+  }
+};
+
+TEST_P(BaselineSweep, CsrSpmv) {
+  Fixture f = make();
+  EXPECT_TRUE(approx_equal(csr_spmv(f.a, f.x), f.expect));
+}
+
+TEST_P(BaselineSweep, BsrSpmvBlock4) {
+  Fixture f = make();
+  Bsr<value_t> b = Bsr<value_t>::from_csr(f.a, 4);
+  EXPECT_TRUE(approx_equal(bsr_spmv(b, f.x), f.expect));
+}
+
+TEST_P(BaselineSweep, BsrSpmvBlock8) {
+  Fixture f = make();
+  Bsr<value_t> b = Bsr<value_t>::from_csr(f.a, 8);
+  EXPECT_TRUE(approx_equal(bsr_spmv(b, f.x), f.expect));
+}
+
+TEST_P(BaselineSweep, TileSpmv) {
+  Fixture f = make();
+  TileMatrix<value_t> t = TileMatrix<value_t>::from_csr(f.a, 16, 0);
+  EXPECT_TRUE(approx_equal(tile_spmv(t, f.x), f.expect));
+}
+
+TEST_P(BaselineSweep, TileSpmvWithExtraction) {
+  Fixture f = make();
+  TileMatrix<value_t> t = TileMatrix<value_t>::from_csr(f.a, 16, 2);
+  EXPECT_TRUE(approx_equal(tile_spmv(t, f.x), f.expect));
+}
+
+TEST_P(BaselineSweep, SpmspvBucket) {
+  Fixture f = make();
+  for (index_t buckets : {1, 4, 16, 64}) {
+    EXPECT_TRUE(approx_equal(spmspv_bucket(f.c, f.x, buckets), f.expect))
+        << "buckets=" << buckets;
+  }
+}
+
+TEST_P(BaselineSweep, SpmspvSort) {
+  Fixture f = make();
+  EXPECT_TRUE(approx_equal(spmspv_sort(f.c, f.x), f.expect));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BaselineSweep,
+    ::testing::Combine(::testing::Values<index_t>(63, 256, 700),
+                       ::testing::Values<index_t>(65, 256, 500),
+                       ::testing::Values(0.001, 0.05, 0.5)));
+
+TEST(Bsr, BlockLayoutRoundTrip) {
+  Coo<value_t> coo(10, 10);
+  coo.push(0, 0, 1.0);
+  coo.push(1, 1, 2.0);
+  coo.push(9, 9, 3.0);
+  Csr<value_t> a = Csr<value_t>::from_coo(coo);
+  Bsr<value_t> b = Bsr<value_t>::from_csr(a, 4);
+  EXPECT_EQ(b.block_rows, 3);
+  // Block (0,0) holds entries (0,0) and (1,1) on its diagonal.
+  EXPECT_DOUBLE_EQ(b.blocks[0], 1.0);
+  EXPECT_DOUBLE_EQ(b.blocks[1 * 4 + 1], 2.0);
+}
+
+TEST(SpmspvBucket, WorkspaceReuse) {
+  Fixture f(300, 300, 0.02, 0.1, 211);
+  BucketWorkspace<value_t> ws;
+  EXPECT_TRUE(approx_equal(spmspv_bucket(f.c, f.x, ws, 8), f.expect));
+  // Second call with different vector through the same workspace.
+  SparseVec<value_t> x2 = gen_sparse_vector(300, 0.01, 212);
+  EXPECT_TRUE(approx_equal(spmspv_bucket(f.c, x2, ws, 8),
+                           spmspv_rowwise_reference(f.a, x2)));
+}
+
+TEST(SpmspvBucket, MoreBucketsThanRows) {
+  Fixture f(10, 10, 0.3, 0.5, 213);
+  EXPECT_TRUE(approx_equal(spmspv_bucket(f.c, f.x, 64), f.expect));
+}
+
+TEST(BaselinesAgreeOnBanded, AllFour) {
+  BandedParams p;
+  p.n = 500;
+  p.block = 4;
+  p.band_blocks = 4;
+  Csr<value_t> a = Csr<value_t>::from_coo(gen_banded(p, 11));
+  Csc<value_t> c = Csc<value_t>::from_csr(a);
+  SparseVec<value_t> x = gen_sparse_vector(500, 0.02, 214);
+  SparseVec<value_t> expect = spmspv_rowwise_reference(a, x);
+  EXPECT_TRUE(approx_equal(csr_spmv(a, x), expect));
+  Bsr<value_t> b = Bsr<value_t>::from_csr(a, 4);
+  EXPECT_TRUE(approx_equal(bsr_spmv(b, x), expect));
+  TileMatrix<value_t> t = TileMatrix<value_t>::from_csr(a, 16, 0);
+  EXPECT_TRUE(approx_equal(tile_spmv(t, x), expect));
+  EXPECT_TRUE(approx_equal(spmspv_bucket(c, x, 16), expect));
+  EXPECT_TRUE(approx_equal(spmspv_sort(c, x), expect));
+}
+
+}  // namespace
+}  // namespace tilespmspv

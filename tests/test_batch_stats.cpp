@@ -1,0 +1,122 @@
+// Tests for batched SpMSpV (Y = A X) and the tile-statistics module.
+#include <gtest/gtest.h>
+
+#include "core/spmspv_reference.hpp"
+#include "core/tile_spmspv.hpp"
+#include "core/tile_spmspv_batch.hpp"
+#include "gen/banded.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/vector_gen.hpp"
+#include "tile/tile_stats.hpp"
+
+namespace tilespmspv {
+namespace {
+
+class BatchSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, index_t>> {};
+
+TEST_P(BatchSweep, EachVectorMatchesIndividualMultiply) {
+  const auto [k, sparsity, extract] = GetParam();
+  Csr<value_t> a =
+      Csr<value_t>::from_coo(gen_erdos_renyi(600, 500, 0.01, 1201));
+  TileMatrix<value_t> tiled = TileMatrix<value_t>::from_csr(a, 16, extract);
+  std::vector<SparseVec<value_t>> xs;
+  for (int v = 0; v < k; ++v) {
+    xs.push_back(gen_sparse_vector(500, sparsity, 1300 + v));
+  }
+  ThreadPool pool(4);
+  const auto ys = tile_spmspv_batch(tiled, xs, &pool);
+  ASSERT_EQ(ys.size(), static_cast<std::size_t>(k));
+  for (int v = 0; v < k; ++v) {
+    EXPECT_TRUE(approx_equal(ys[v], spmspv_rowwise_reference(a, xs[v])))
+        << "vector " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BatchSweep,
+    ::testing::Combine(::testing::Values(1, 3, 16),
+                       ::testing::Values(0.001, 0.1),
+                       ::testing::Values<index_t>(0, 2)));
+
+TEST(Batch, EmptyBatch) {
+  Csr<value_t> a =
+      Csr<value_t>::from_coo(gen_erdos_renyi(100, 100, 0.02, 1202));
+  TileMatrix<value_t> tiled = TileMatrix<value_t>::from_csr(a, 16);
+  EXPECT_TRUE(tile_spmspv_batch(tiled, std::vector<SparseVec<value_t>>{})
+                  .empty());
+}
+
+TEST(Batch, MatchesSingleKernelBitwise) {
+  // Batch traversal order per vector equals the single-vector kernel's, so
+  // results are bitwise identical, not just approximately equal.
+  Csr<value_t> a =
+      Csr<value_t>::from_coo(gen_erdos_renyi(400, 400, 0.02, 1203));
+  TileMatrix<value_t> tiled = TileMatrix<value_t>::from_csr(a, 16, 2);
+  SparseVec<value_t> x = gen_sparse_vector(400, 0.05, 7);
+  TileVector<value_t> xt = TileVector<value_t>::from_sparse(x, 16);
+  SparseVec<value_t> single = tile_spmspv(tiled, xt);
+  const auto batch = tile_spmspv_batch(tiled, std::vector<SparseVec<value_t>>{x});
+  EXPECT_EQ(batch[0].idx, single.idx);
+  EXPECT_EQ(batch[0].vals, single.vals);
+}
+
+TEST(TileStatsModule, SimpleKnownMatrix) {
+  // One dense 16x16 tile plus one singleton tile.
+  Coo<value_t> coo(32, 32);
+  for (index_t r = 0; r < 16; ++r) {
+    for (index_t c = 0; c < 16; ++c) coo.push(r, c, 1.0);
+  }
+  coo.push(20, 20, 1.0);
+  Csr<value_t> a = Csr<value_t>::from_coo(coo);
+  const TileStats s = tile_stats(a, 16);
+  EXPECT_EQ(s.tile_rows, 2);
+  EXPECT_EQ(s.tile_cols, 2);
+  EXPECT_EQ(s.nonempty_tiles, 2);
+  EXPECT_EQ(s.nnz, 257);
+  EXPECT_DOUBLE_EQ(s.occupancy, 0.5);
+  EXPECT_EQ(s.max_nnz_per_tile, 256);
+  EXPECT_EQ(s.tiles_le2, 1);
+  // Histogram: one tile in bucket 0 (nnz 1), one in bucket 8 (nnz 256).
+  ASSERT_GE(s.nnz_histogram.size(), 9u);
+  EXPECT_EQ(s.nnz_histogram[0], 1);
+  EXPECT_EQ(s.nnz_histogram[8], 1);
+}
+
+TEST(TileStatsModule, MatchesTileMatrixCounts) {
+  BandedParams p;
+  p.n = 3000;
+  p.block = 5;
+  p.band_blocks = 4;
+  Csr<value_t> a = Csr<value_t>::from_coo(gen_banded(p, 1204));
+  for (index_t nt : {16, 32, 64}) {
+    const TileStats s = tile_stats(a, nt);
+    const TileMatrix<value_t> m = TileMatrix<value_t>::from_csr(a, nt, 0);
+    EXPECT_EQ(s.nonempty_tiles, m.num_tiles()) << nt;
+    EXPECT_DOUBLE_EQ(s.occupancy, m.tile_occupancy());
+    // Histogram totals must equal the tile count.
+    offset_t total = 0;
+    for (offset_t h : s.nnz_histogram) total += h;
+    EXPECT_EQ(total, s.nonempty_tiles);
+  }
+}
+
+TEST(TileStatsModule, Tiles_le2MatchesExtraction) {
+  Csr<value_t> a =
+      Csr<value_t>::from_coo(gen_erdos_renyi(800, 800, 0.002, 1205));
+  const TileStats s = tile_stats(a, 16);
+  const TileMatrix<value_t> kept = TileMatrix<value_t>::from_csr(a, 16, 2);
+  const TileMatrix<value_t> all = TileMatrix<value_t>::from_csr(a, 16, 0);
+  EXPECT_EQ(s.tiles_le2, all.num_tiles() - kept.num_tiles());
+}
+
+TEST(TileStatsModule, EmptyMatrix) {
+  Csr<value_t> a(10, 10);
+  const TileStats s = tile_stats(a, 16);
+  EXPECT_EQ(s.nonempty_tiles, 0);
+  EXPECT_EQ(s.occupancy, 0.0);
+  EXPECT_TRUE(s.nnz_histogram.empty());
+}
+
+}  // namespace
+}  // namespace tilespmspv

@@ -1,0 +1,138 @@
+// Tests for BFS parent construction and the Graph500-style validator:
+// valid traversals from every implementation must pass; corrupted level
+// or parent arrays must be rejected with the right diagnostic.
+#include <gtest/gtest.h>
+
+#include "baselines/dobfs.hpp"
+#include "baselines/serial_bfs.hpp"
+#include "bfs/bfs_validate.hpp"
+#include "bfs/tile_bfs.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/grid.hpp"
+
+namespace tilespmspv {
+namespace {
+
+Csr<value_t> undirected(index_t n, double p, std::uint64_t seed) {
+  Coo<value_t> coo = gen_erdos_renyi(n, n, p, seed);
+  coo.symmetrize();
+  return Csr<value_t>::from_coo(coo);
+}
+
+TEST(BfsParents, SourceAndUnreachable) {
+  Coo<value_t> coo(5, 5);
+  coo.push(0, 1, 1.0);
+  coo.push(1, 0, 1.0);
+  Csr<value_t> a = Csr<value_t>::from_coo(coo);
+  const auto levels = serial_bfs(a, 0);
+  const auto parents = bfs_parents(a, levels, 0);
+  EXPECT_EQ(parents[0], 0);
+  EXPECT_EQ(parents[1], 0);
+  EXPECT_EQ(parents[2], -1);
+}
+
+TEST(BfsParents, DeterministicSmallestId) {
+  // Vertex 3 reachable from both 1 and 2 at level 1: parent must be 1.
+  Coo<value_t> coo(4, 4);
+  for (auto [u, v] : std::vector<std::pair<index_t, index_t>>{
+           {0, 1}, {0, 2}, {1, 3}, {2, 3}}) {
+    coo.push(v, u, 1.0);
+    coo.push(u, v, 1.0);
+  }
+  Csr<value_t> a = Csr<value_t>::from_coo(coo);
+  const auto levels = serial_bfs(a, 0);
+  const auto parents = bfs_parents(a, levels, 0);
+  EXPECT_EQ(parents[3], 1);
+}
+
+class ValidateAcrossGraphs : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ValidateAcrossGraphs, TileBfsTreeValidates) {
+  Csr<value_t> g = undirected(800, 0.004, GetParam());
+  TileBfs bfs(g);
+  const BfsResult r = bfs.run(0);
+  const auto parents = bfs_parents(g, r.levels, 0);
+  std::string error;
+  EXPECT_TRUE(validate_bfs(g, 0, r.levels, parents, &error)) << error;
+}
+
+TEST_P(ValidateAcrossGraphs, DobfsTreeValidates) {
+  Csr<value_t> g = undirected(800, 0.004, GetParam() + 50);
+  const auto levels = dobfs(g, g, 0);
+  const auto parents = bfs_parents(g, levels, 0);
+  std::string error;
+  EXPECT_TRUE(validate_bfs(g, 0, levels, parents, &error)) << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValidateAcrossGraphs,
+                         ::testing::Values(1101, 1102, 1103));
+
+TEST(Validate, RejectsWrongSourceLevel) {
+  Csr<value_t> g = undirected(100, 0.05, 1104);
+  auto levels = serial_bfs(g, 0);
+  auto parents = bfs_parents(g, levels, 0);
+  levels[0] = 1;
+  std::string error;
+  EXPECT_FALSE(validate_bfs(g, 0, levels, parents, &error));
+  EXPECT_NE(error.find("source level"), std::string::npos);
+}
+
+TEST(Validate, RejectsSkippedLevel) {
+  Csr<value_t> g = Csr<value_t>::from_coo(gen_grid2d(10, 10, 1.0, 1105));
+  auto levels = serial_bfs(g, 0);
+  auto parents = bfs_parents(g, levels, 0);
+  // Pretend some vertex was found two levels late.
+  for (index_t v = 0; v < g.rows; ++v) {
+    if (levels[v] == 3) {
+      levels[v] = 5;
+      break;
+    }
+  }
+  std::string error;
+  EXPECT_FALSE(validate_bfs(g, 0, levels, parents, &error));
+}
+
+TEST(Validate, RejectsForeignParent) {
+  Csr<value_t> g = undirected(200, 0.03, 1106);
+  const auto levels = serial_bfs(g, 0);
+  auto parents = bfs_parents(g, levels, 0);
+  // Replace one parent with a non-neighbor at the right level.
+  for (index_t v = 0; v < g.rows; ++v) {
+    if (levels[v] == 2) {
+      for (index_t cand = 0; cand < g.rows; ++cand) {
+        if (levels[cand] == 1 && cand != parents[v]) {
+          bool neighbor = false;
+          for (offset_t i = g.row_ptr[v]; i < g.row_ptr[v + 1]; ++i) {
+            if (g.col_idx[i] == cand) neighbor = true;
+          }
+          if (!neighbor) {
+            parents[v] = cand;
+            std::string error;
+            EXPECT_FALSE(validate_bfs(g, 0, levels, parents, &error));
+            EXPECT_NE(error.find("parent not a neighbor"),
+                      std::string::npos);
+            return;
+          }
+        }
+      }
+    }
+  }
+  GTEST_SKIP() << "no suitable corruption site found";
+}
+
+TEST(Validate, RejectsVisitedWithoutParent) {
+  Csr<value_t> g = undirected(100, 0.05, 1107);
+  const auto levels = serial_bfs(g, 0);
+  auto parents = bfs_parents(g, levels, 0);
+  for (index_t v = 1; v < g.rows; ++v) {
+    if (levels[v] > 0) {
+      parents[v] = -1;
+      break;
+    }
+  }
+  std::string error;
+  EXPECT_FALSE(validate_bfs(g, 0, levels, parents, &error));
+}
+
+}  // namespace
+}  // namespace tilespmspv

@@ -1,0 +1,73 @@
+// Tests for the format advisor: the recommendations must match the
+// structural classes the ablation benches characterized.
+#include <gtest/gtest.h>
+
+#include "gen/banded.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/grid.hpp"
+#include "gen/suite.hpp"
+#include "tile/format_advisor.hpp"
+
+namespace tilespmspv {
+namespace {
+
+TEST(FormatAdvisor, DenseTileFemGetsIntraCsr) {
+  BandedParams p;
+  p.n = 4000;
+  p.block = 6;
+  p.band_blocks = 5;
+  const Csr<value_t> a = Csr<value_t>::from_coo(gen_banded(p, 1801));
+  const FormatAdvice advice = advise_format(a);
+  EXPECT_EQ(advice.family, StorageFamily::kTiled);
+  EXPECT_EQ(advice.layout, IntraTileLayout::kIntraCsr);
+}
+
+TEST(FormatAdvisor, RoadNetworkGetsPackedByte) {
+  const Csr<value_t> a =
+      Csr<value_t>::from_coo(gen_grid2d(150, 150, 0.85, 1802));
+  const FormatAdvice advice = advise_format(a);
+  EXPECT_EQ(advice.family, StorageFamily::kTiled);
+  EXPECT_EQ(advice.layout, IntraTileLayout::kPackedByte);
+}
+
+TEST(FormatAdvisor, UniformScatterGetsPlainCsr) {
+  const Csr<value_t> a =
+      Csr<value_t>::from_coo(gen_erdos_renyi(20000, 20000, 3e-4, 1803));
+  const FormatAdvice advice = advise_format(a);
+  EXPECT_EQ(advice.family, StorageFamily::kPlainCsr);
+}
+
+TEST(FormatAdvisor, LargeOrderPrefersBiggerTiles) {
+  AdvisorThresholds th;
+  th.large_order = 1000;
+  const Csr<value_t> a =
+      Csr<value_t>::from_coo(gen_grid2d(60, 60, 1.0, 1804));  // n = 3600
+  const FormatAdvice advice = advise_format(a, th);
+  EXPECT_EQ(advice.nt, 32);
+}
+
+TEST(FormatAdvisor, ManyNearEmptyTilesRaisesExtraction) {
+  // Band + scatter: more than half the tiles hold <= 2 nonzeros.
+  const Csr<value_t> a =
+      Csr<value_t>::from_coo(suite_matrix("band-scattered"));
+  const FormatAdvice advice = advise_format(a);
+  EXPECT_EQ(advice.family, StorageFamily::kTiled);
+  EXPECT_EQ(advice.extract_threshold, 4);
+}
+
+TEST(FormatAdvisor, EmptyMatrixStaysTiledDefault) {
+  Csr<value_t> a(100, 100);
+  const FormatAdvice advice = advise_format(a);
+  EXPECT_EQ(advice.family, StorageFamily::kTiled);
+  EXPECT_FALSE(std::string(advice.rationale).empty());
+}
+
+TEST(FormatAdvisor, RationaleAlwaysSet) {
+  for (const char* name : {"cant", "roadNet-TX", "er-medium", "in-2004"}) {
+    const Csr<value_t> a = Csr<value_t>::from_coo(suite_matrix(name));
+    EXPECT_FALSE(std::string(advise_format(a).rationale).empty()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace tilespmspv

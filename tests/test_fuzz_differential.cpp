@@ -1,0 +1,84 @@
+// Differential fuzzing: many random (matrix, vector, configuration)
+// draws, every SpMSpV implementation in the repo compared against the
+// serial reference on each. Seeds are fixed, so failures replay exactly;
+// the loop count keeps the whole binary under a second.
+#include <gtest/gtest.h>
+
+#include "baselines/bsr_spmv.hpp"
+#include "baselines/csr_spmv.hpp"
+#include "baselines/spmspv_bucket.hpp"
+#include "baselines/spmspv_sort.hpp"
+#include "baselines/tile_spmv.hpp"
+#include "core/spmspv.hpp"
+#include "core/spmspv_reference.hpp"
+#include "core/tile_spmspv_semiring.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/vector_gen.hpp"
+#include "spgemm/gustavson.hpp"
+#include "tile/packed_tile_matrix.hpp"
+
+namespace tilespmspv {
+namespace {
+
+TEST(FuzzDifferential, AllSpmspvImplementationsAgreeOnRandomDraws) {
+  Prng meta_rng(0xF00D);
+  for (int round = 0; round < 40; ++round) {
+    // Random shape / density / vector sparsity / configuration.
+    const auto rows = static_cast<index_t>(1 + meta_rng.next_below(500));
+    const auto cols = static_cast<index_t>(1 + meta_rng.next_below(500));
+    const double density = meta_rng.next_double(0.001, 0.1);
+    const double sparsity = meta_rng.next_double(0.0, 0.6);
+    const auto nt = std::vector<index_t>{16, 32, 64}[meta_rng.next_below(3)];
+    const auto extract = static_cast<index_t>(meta_rng.next_below(4));
+    const std::uint64_t seed = meta_rng.next_u64();
+    SCOPED_TRACE("round " + std::to_string(round) + " rows=" +
+                 std::to_string(rows) + " cols=" + std::to_string(cols) +
+                 " nt=" + std::to_string(nt) + " extract=" +
+                 std::to_string(extract) + " seed=" + std::to_string(seed));
+
+    const Csr<value_t> a =
+        Csr<value_t>::from_coo(gen_erdos_renyi(rows, cols, density, seed));
+    const Csc<value_t> c = Csc<value_t>::from_csr(a);
+    const SparseVec<value_t> x = gen_sparse_vector(cols, sparsity, seed + 1);
+    const SparseVec<value_t> expect = spmspv_rowwise_reference(a, x);
+
+    // Optimized tiled kernels at the drawn configuration.
+    {
+      const TileMatrix<value_t> tiled =
+          TileMatrix<value_t>::from_csr(a, nt, extract);
+      const TileVector<value_t> xt = TileVector<value_t>::from_sparse(x, nt);
+      ASSERT_TRUE(approx_equal(tile_spmspv(tiled, xt), expect));
+      const TileMatrix<value_t> at =
+          TileMatrix<value_t>::from_csr(a.transpose(), nt, extract);
+      ASSERT_TRUE(approx_equal(tile_spmspv_csc(at, xt), expect));
+    }
+    // Operator with auto selection.
+    {
+      SpmspvOperator<value_t> op(a);
+      ASSERT_TRUE(approx_equal(op.multiply(x), expect));
+    }
+    // Baselines.
+    ASSERT_TRUE(approx_equal(csr_spmv(a, x), expect));
+    ASSERT_TRUE(approx_equal(spmspv_colwise_reference(c, x), expect));
+    ASSERT_TRUE(approx_equal(spmspv_bucket(c, x, 8), expect));
+    ASSERT_TRUE(approx_equal(spmspv_sort(c, x), expect));
+    ASSERT_TRUE(approx_equal(spmspv_via_spgemm(a, x), expect));
+    {
+      const Bsr<value_t> b = Bsr<value_t>::from_csr(a, 4);
+      ASSERT_TRUE(approx_equal(bsr_spmv(b, x), expect));
+    }
+    // Packed layout (fixed nt = 16) and the semiring path.
+    {
+      const PackedTileMatrix<value_t> p =
+          PackedTileMatrix<value_t>::from_csr(a);
+      const TileVector<value_t> xt16 =
+          TileVector<value_t>::from_sparse(x, 16);
+      ASSERT_TRUE(approx_equal(packed_tile_spmspv(p, xt16), expect));
+      SemiringOperator<PlusTimes<value_t>> sop(a, nt, extract);
+      ASSERT_TRUE(approx_equal(sop.multiply(x), expect));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tilespmspv

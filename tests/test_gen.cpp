@@ -1,0 +1,218 @@
+// Sanity tests for the workload generators: determinism, structural
+// properties (symmetry, degree profiles, banding), and size accounting.
+#include <gtest/gtest.h>
+
+#include "gen/banded.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/grid.hpp"
+#include "gen/powerlaw.hpp"
+#include "gen/rmat.hpp"
+#include "gen/vector_gen.hpp"
+
+namespace tilespmspv {
+namespace {
+
+template <typename T>
+bool is_symmetric_pattern(const Coo<T>& coo) {
+  std::set<std::pair<index_t, index_t>> entries;
+  for (index_t i = 0; i < coo.nnz(); ++i) {
+    entries.insert({coo.row_idx[i], coo.col_idx[i]});
+  }
+  for (const auto& [r, c] : entries) {
+    if (!entries.count({c, r})) return false;
+  }
+  return true;
+}
+
+TEST(ErdosRenyi, DeterministicForSeed) {
+  const auto a = gen_erdos_renyi(500, 500, 0.01, 42);
+  const auto b = gen_erdos_renyi(500, 500, 0.01, 42);
+  EXPECT_EQ(a.row_idx, b.row_idx);
+  EXPECT_EQ(a.col_idx, b.col_idx);
+  EXPECT_EQ(a.vals, b.vals);
+}
+
+TEST(ErdosRenyi, DensityClose) {
+  const auto m = gen_erdos_renyi(1000, 1000, 0.01, 43);
+  const double got = static_cast<double>(m.nnz()) / 1e6;
+  EXPECT_NEAR(got, 0.01, 0.002);
+}
+
+TEST(ErdosRenyi, ZeroProbabilityEmpty) {
+  EXPECT_EQ(gen_erdos_renyi(100, 100, 0.0, 44).nnz(), 0);
+}
+
+TEST(ErdosRenyi, EntriesInBounds) {
+  const auto m = gen_erdos_renyi(50, 77, 0.05, 45);
+  for (index_t i = 0; i < m.nnz(); ++i) {
+    EXPECT_GE(m.row_idx[i], 0);
+    EXPECT_LT(m.row_idx[i], 50);
+    EXPECT_GE(m.col_idx[i], 0);
+    EXPECT_LT(m.col_idx[i], 77);
+  }
+}
+
+TEST(UniformNnz, ApproximateCount) {
+  const auto m = gen_uniform_nnz(400, 400, 5000, 46);
+  // Duplicates are merged, so nnz <= requested but close for sparse fill.
+  EXPECT_LE(m.nnz(), 5000);
+  EXPECT_GT(m.nnz(), 4800);
+}
+
+TEST(Rmat, SymmetricByDefault) {
+  RmatParams p;
+  p.scale = 9;
+  p.edge_factor = 6;
+  const auto m = gen_rmat(p, 47);
+  EXPECT_EQ(m.rows, 512);
+  EXPECT_TRUE(is_symmetric_pattern(m));
+}
+
+TEST(Rmat, NoSelfLoops) {
+  RmatParams p;
+  p.scale = 9;
+  const auto m = gen_rmat(p, 48);
+  for (index_t i = 0; i < m.nnz(); ++i) {
+    EXPECT_NE(m.row_idx[i], m.col_idx[i]);
+  }
+}
+
+TEST(Rmat, SkewedDegrees) {
+  // R-MAT with default parameters must produce hub vertices: max degree
+  // well above the average.
+  RmatParams p;
+  p.scale = 11;
+  p.edge_factor = 8;
+  const auto m = gen_rmat(p, 49);
+  std::vector<index_t> deg(m.rows, 0);
+  for (index_t i = 0; i < m.nnz(); ++i) ++deg[m.row_idx[i]];
+  const index_t max_deg = *std::max_element(deg.begin(), deg.end());
+  const double avg = static_cast<double>(m.nnz()) / m.rows;
+  EXPECT_GT(max_deg, 5 * avg);
+}
+
+TEST(Grid2d, FullGridDegreeBounds) {
+  const auto m = gen_grid2d(10, 8, 1.0, 50);
+  EXPECT_EQ(m.rows, 80);
+  EXPECT_TRUE(is_symmetric_pattern(m));
+  std::vector<index_t> deg(m.rows, 0);
+  for (index_t i = 0; i < m.nnz(); ++i) ++deg[m.row_idx[i]];
+  for (index_t d : deg) {
+    EXPECT_GE(d, 2);
+    EXPECT_LE(d, 4);
+  }
+  // Interior vertex count check: 2*nx*ny - nx - ny undirected edges.
+  EXPECT_EQ(m.nnz(), 2 * (2 * 10 * 8 - 10 - 8));
+}
+
+TEST(Grid2d, ThinningReducesEdges) {
+  const auto full = gen_grid2d(30, 30, 1.0, 51);
+  const auto thin = gen_grid2d(30, 30, 0.5, 51);
+  EXPECT_LT(thin.nnz(), full.nnz());
+  EXPECT_GT(thin.nnz(), 0);
+  EXPECT_TRUE(is_symmetric_pattern(thin));
+}
+
+TEST(Grid3d, SevenPointStencil) {
+  const auto m = gen_grid3d(5, 5, 5);
+  EXPECT_EQ(m.rows, 125);
+  EXPECT_TRUE(is_symmetric_pattern(m));
+  std::vector<index_t> deg(m.rows, 0);
+  for (index_t i = 0; i < m.nnz(); ++i) ++deg[m.row_idx[i]];
+  EXPECT_EQ(*std::max_element(deg.begin(), deg.end()), 6);
+  EXPECT_EQ(*std::min_element(deg.begin(), deg.end()), 3);  // corners
+}
+
+TEST(Banded, EntriesWithinBand) {
+  BandedParams p;
+  p.n = 200;
+  p.block = 4;
+  p.band_blocks = 3;
+  const auto m = gen_banded(p, 52);
+  const index_t max_band = (p.band_blocks + 1) * p.block;
+  for (index_t i = 0; i < m.nnz(); ++i) {
+    EXPECT_LE(std::abs(m.row_idx[i] - m.col_idx[i]), max_band);
+  }
+  EXPECT_TRUE(is_symmetric_pattern(m));
+}
+
+TEST(Banded, DiagonalAlwaysPresent) {
+  BandedParams p;
+  p.n = 100;
+  p.block = 4;
+  p.band_blocks = 2;
+  p.block_fill = 0.1;  // even with sparse band, diagonal blocks stay
+  const auto m = gen_banded(p, 53);
+  std::vector<bool> has_diag(p.n, false);
+  for (index_t i = 0; i < m.nnz(); ++i) {
+    if (m.row_idx[i] == m.col_idx[i]) has_diag[m.row_idx[i]] = true;
+  }
+  for (index_t r = 0; r < p.n; ++r) EXPECT_TRUE(has_diag[r]) << r;
+}
+
+TEST(Powerlaw, DirectedAndSkewed) {
+  PowerlawParams p;
+  p.n = 5000;
+  p.avg_degree = 8;
+  const auto m = gen_powerlaw(p, 54);
+  const double avg = static_cast<double>(m.nnz()) / p.n;
+  EXPECT_NEAR(avg, 8.0, 3.0);
+  // In-degree skew (columns hold sources; rows hold targets).
+  std::vector<index_t> out_deg(p.n, 0);
+  for (index_t i = 0; i < m.nnz(); ++i) ++out_deg[m.col_idx[i]];
+  const index_t max_deg =
+      *std::max_element(out_deg.begin(), out_deg.end());
+  EXPECT_GT(max_deg, 4 * avg);
+}
+
+TEST(Powerlaw, LocalityConcentratesNearDiagonal) {
+  PowerlawParams local;
+  local.n = 4000;
+  local.locality = 0.95;
+  local.window = 64;
+  PowerlawParams global = local;
+  global.locality = 0.0;
+  const auto ml = gen_powerlaw(local, 55);
+  const auto mg = gen_powerlaw(global, 55);
+  auto near_frac = [](const Coo<value_t>& m, index_t w) {
+    index_t near = 0;
+    for (index_t i = 0; i < m.nnz(); ++i) {
+      if (std::abs(m.row_idx[i] - m.col_idx[i]) <= w) ++near;
+    }
+    return static_cast<double>(near) / m.nnz();
+  };
+  EXPECT_GT(near_frac(ml, 64), 0.8);
+  EXPECT_LT(near_frac(mg, 64), 0.2);
+}
+
+TEST(VectorGen, SparsityAndDeterminism) {
+  const auto a = gen_sparse_vector(10000, 0.01, 1);
+  const auto b = gen_sparse_vector(10000, 0.01, 1);
+  EXPECT_EQ(a.idx, b.idx);
+  EXPECT_EQ(a.vals, b.vals);
+  EXPECT_EQ(a.nnz(), 100);
+  // Sorted unique indices in range.
+  for (std::size_t i = 1; i < a.idx.size(); ++i) {
+    EXPECT_LT(a.idx[i - 1], a.idx[i]);
+  }
+  EXPECT_LT(a.idx.back(), 10000);
+}
+
+TEST(VectorGen, AtLeastOneNonzero) {
+  const auto v = gen_sparse_vector(1000, 0.0, 2);
+  EXPECT_EQ(v.nnz(), 1);
+}
+
+TEST(VectorGen, ClusteredTouchesFewerTiles) {
+  const auto scattered = gen_sparse_vector(16000, 0.01, 3);
+  const auto clustered = gen_clustered_vector(16000, 0.01, 16, 3);
+  auto tiles_touched = [](const SparseVec<value_t>& v) {
+    std::set<index_t> tiles;
+    for (index_t i : v.idx) tiles.insert(i / 16);
+    return tiles.size();
+  };
+  EXPECT_LT(tiles_touched(clustered), tiles_touched(scattered) / 2);
+}
+
+}  // namespace
+}  // namespace tilespmspv

@@ -1,0 +1,138 @@
+// Integration tests: every SpMSpV algorithm and every BFS implementation
+// in the repo, run against each other on the named suite matrices — the
+// same matrices the benchmark harnesses sweep — plus an end-to-end Matrix
+// Market file round trip through the full pipeline.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "apps/algebraic_bfs.hpp"
+#include "baselines/bsr_spmv.hpp"
+#include "baselines/csr_spmv.hpp"
+#include "baselines/dobfs.hpp"
+#include "baselines/enterprise_bfs.hpp"
+#include "baselines/gswitch_bfs.hpp"
+#include "baselines/serial_bfs.hpp"
+#include "baselines/spmspv_bucket.hpp"
+#include "baselines/spmspv_sort.hpp"
+#include "baselines/tile_spmv.hpp"
+#include "bfs/tile_bfs.hpp"
+#include "core/spmspv.hpp"
+#include "core/spmspv_reference.hpp"
+#include "formats/mm_io.hpp"
+#include "gen/suite.hpp"
+#include "gen/vector_gen.hpp"
+#include "tile/packed_tile_matrix.hpp"
+
+namespace tilespmspv {
+namespace {
+
+// Small, structurally diverse subset of the suite (keeps ctest fast while
+// covering every generator class).
+const std::vector<std::string>& integration_matrices() {
+  static const std::vector<std::string> names = {
+      "cavity23", "band-tiny", "er-small", "roadNet-TX", "band-scattered",
+      "diag-only"};
+  return names;
+}
+
+class SuiteIntegration : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteIntegration, AllSpmspvAlgorithmsAgree) {
+  const Csr<value_t> a =
+      Csr<value_t>::from_coo(suite_matrix(GetParam()));
+  const Csc<value_t> c = Csc<value_t>::from_csr(a);
+  for (double sp : {0.001, 0.05}) {
+    const SparseVec<value_t> x = gen_sparse_vector(a.cols, sp, 1);
+    const SparseVec<value_t> expect = spmspv_rowwise_reference(a, x);
+    SCOPED_TRACE(GetParam() + " sparsity " + std::to_string(sp));
+
+    EXPECT_TRUE(approx_equal(spmspv_colwise_reference(c, x), expect));
+    EXPECT_TRUE(approx_equal(csr_spmv(a, x), expect));
+    EXPECT_TRUE(
+        approx_equal(bsr_spmv(Bsr<value_t>::from_csr(a, 4), x), expect));
+    EXPECT_TRUE(approx_equal(
+        tile_spmv(TileMatrix<value_t>::from_csr(a, 16, 0), x), expect));
+    EXPECT_TRUE(approx_equal(spmspv_bucket(c, x, 16), expect));
+    EXPECT_TRUE(approx_equal(spmspv_sort(c, x), expect));
+    {
+      SpmspvOperator<value_t> op(a);
+      EXPECT_TRUE(approx_equal(op.multiply(x), expect));
+    }
+    {
+      const PackedTileMatrix<value_t> p = PackedTileMatrix<value_t>::from_csr(a);
+      const TileVector<value_t> xt = TileVector<value_t>::from_sparse(x, 16);
+      EXPECT_TRUE(approx_equal(packed_tile_spmspv(p, xt), expect));
+    }
+  }
+}
+
+TEST_P(SuiteIntegration, AllBfsAlgorithmsAgree) {
+  Coo<value_t> coo = suite_matrix(GetParam());
+  if (coo.rows != coo.cols) GTEST_SKIP() << "BFS needs square";
+  // Symmetrize so every implementation's edge convention coincides
+  // (directed-graph conventions are covered by the per-module tests).
+  coo.symmetrize();
+  const Csr<value_t> a = Csr<value_t>::from_coo(coo);
+  const index_t source = 0;
+  const auto expect = serial_bfs(a, source);
+  ThreadPool pool(4);
+
+  EXPECT_EQ(TileBfs(a, {}, &pool).run(source).levels, expect);
+  EXPECT_EQ(dobfs(a, a, source, {}, &pool), expect);
+  EXPECT_EQ(gswitch_bfs(a, a, source, &pool), expect);
+  EXPECT_EQ(enterprise_bfs(a, a, source, {}, &pool), expect);
+  EXPECT_EQ(algebraic_bfs(a, source, {}, &pool), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, SuiteIntegration,
+                         ::testing::ValuesIn(integration_matrices()));
+
+TEST(Integration, MatrixMarketPipelineRoundTrip) {
+  // Write a suite matrix to .mtx, read it back, and run the full SpMSpV +
+  // BFS pipeline on the file-loaded copy.
+  const Coo<value_t> original = suite_matrix("band-tiny");
+  const std::string path = "/tmp/tilespmspv_integration.mtx";
+  {
+    std::ofstream out(path);
+    write_matrix_market(out, original);
+  }
+  const Coo<value_t> loaded = read_matrix_market_file(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.nnz(), original.nnz());
+
+  const Csr<value_t> a = Csr<value_t>::from_coo(loaded);
+  const Csr<value_t> b = Csr<value_t>::from_coo(original);
+  const SparseVec<value_t> x = gen_sparse_vector(a.cols, 0.02, 1);
+  SpmspvOperator<value_t> op_a(a), op_b(b);
+  EXPECT_TRUE(approx_equal(op_a.multiply(x), op_b.multiply(x), 1e-6, 1e-8));
+  EXPECT_EQ(TileBfs(a).run(0).levels, TileBfs(b).run(0).levels);
+}
+
+TEST(Integration, RepeatedMultipliesAreIndependent) {
+  // One operator, many vectors of wildly different sparsity, interleaved
+  // with both kernels; results must match fresh computations.
+  const Csr<value_t> a =
+      Csr<value_t>::from_coo(suite_matrix("band-scattered"));
+  SpmspvOperator<value_t> op(a);
+  for (int round = 0; round < 8; ++round) {
+    const double sp = (round % 2 == 0) ? 0.0005 : 0.2;  // CSC then CSR path
+    const SparseVec<value_t> x =
+        gen_sparse_vector(a.cols, sp, 40 + round);
+    EXPECT_TRUE(approx_equal(op.multiply(x), spmspv_rowwise_reference(a, x)))
+        << "round " << round;
+  }
+}
+
+TEST(Integration, BfsPreprocessOnceManySources) {
+  const Csr<value_t> a = Csr<value_t>::from_coo(suite_matrix("roadNet-TX"));
+  TileBfs bfs(a);
+  for (index_t source : {0, 1234, 45000, 89999}) {
+    EXPECT_EQ(bfs.run(source).levels, serial_bfs(a, source))
+        << "source " << source;
+  }
+}
+
+}  // namespace
+}  // namespace tilespmspv

@@ -1,0 +1,176 @@
+// Tests for bit-parallel multi-source BFS: every batched traversal must
+// match an independent single-source run, across batch sizes, pool sizes
+// and graph classes.
+#include <gtest/gtest.h>
+
+#include "apps/ms_bfs.hpp"
+#include "baselines/serial_bfs.hpp"
+#include "bfs/tile_ms_bfs.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/grid.hpp"
+#include "gen/rmat.hpp"
+
+namespace tilespmspv {
+namespace {
+
+Csr<value_t> undirected(index_t n, double p, std::uint64_t seed) {
+  Coo<value_t> coo = gen_erdos_renyi(n, n, p, seed);
+  coo.symmetrize();
+  return Csr<value_t>::from_coo(coo);
+}
+
+class MsBfsBatch : public ::testing::TestWithParam<int> {};
+
+TEST_P(MsBfsBatch, EverySourceMatchesSerial) {
+  const int k = GetParam();
+  Csr<value_t> g = undirected(1000, 0.004, 801);
+  std::vector<index_t> sources;
+  for (int s = 0; s < k; ++s) {
+    sources.push_back(static_cast<index_t>((s * 131) % 1000));
+  }
+  const MsBfsResult r = ms_bfs(g, sources);
+  ASSERT_EQ(r.levels.size(), static_cast<std::size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    EXPECT_EQ(r.levels[s], serial_bfs(g, sources[s])) << "source slot " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, MsBfsBatch,
+                         ::testing::Values(1, 2, 7, 32, 64));
+
+TEST(MsBfs, RejectsTooManySources) {
+  Csr<value_t> g = undirected(100, 0.05, 802);
+  std::vector<index_t> sources(65, 0);
+  EXPECT_THROW(ms_bfs(g, sources), std::invalid_argument);
+}
+
+TEST(MsBfs, EmptySourceList) {
+  Csr<value_t> g = undirected(50, 0.05, 803);
+  const MsBfsResult r = ms_bfs(g, {});
+  EXPECT_TRUE(r.levels.empty());
+  EXPECT_EQ(r.rounds, 0);
+}
+
+TEST(MsBfs, DuplicateSourcesAreIndependentSlots) {
+  Csr<value_t> g = undirected(200, 0.02, 804);
+  const MsBfsResult r = ms_bfs(g, {5, 5, 5});
+  EXPECT_EQ(r.levels[0], r.levels[1]);
+  EXPECT_EQ(r.levels[1], r.levels[2]);
+  EXPECT_EQ(r.levels[0], serial_bfs(g, 5));
+}
+
+TEST(MsBfs, DirectedGraph) {
+  Coo<value_t> coo(150, 150);
+  Prng rng(805);
+  for (int e = 0; e < 500; ++e) {
+    const auto u = static_cast<index_t>(rng.next_below(150));
+    const auto v = static_cast<index_t>(rng.next_below(150));
+    if (u != v) coo.push(u, v, 1.0);  // row u = out-neighbors of u
+  }
+  coo.sort_row_major();
+  coo.sum_duplicates();
+  Csr<value_t> g = Csr<value_t>::from_coo(coo);
+  const MsBfsResult r = ms_bfs(g, {0, 10, 149});
+  EXPECT_EQ(r.levels[0], serial_bfs(g, 0));
+  EXPECT_EQ(r.levels[1], serial_bfs(g, 10));
+  EXPECT_EQ(r.levels[2], serial_bfs(g, 149));
+}
+
+TEST(MsBfs, PoolSizesAgree) {
+  Csr<value_t> g = Csr<value_t>::from_coo(gen_grid2d(30, 30, 0.9, 806));
+  std::vector<index_t> sources{0, 450, 899};
+  const MsBfsResult base = ms_bfs(g, sources);
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    const MsBfsResult r = ms_bfs(g, sources, &pool);
+    for (int s = 0; s < 3; ++s) {
+      EXPECT_EQ(r.levels[s], base.levels[s]) << "threads " << threads;
+    }
+  }
+}
+
+TEST(MsBfs, RoundsEqualMaxEccentricityOfBatch) {
+  // Path graph: source at one end needs n-1 rounds; batching with a
+  // middle source must still run to the deepest traversal.
+  Coo<value_t> coo(100, 100);
+  for (index_t i = 0; i + 1 < 100; ++i) {
+    coo.push(i, i + 1, 1.0);
+    coo.push(i + 1, i, 1.0);
+  }
+  Csr<value_t> g = Csr<value_t>::from_coo(coo);
+  const MsBfsResult r = ms_bfs(g, {0, 50});
+  // 99 productive rounds plus the final round that discovers nothing.
+  EXPECT_EQ(r.rounds, 100);
+  EXPECT_EQ(r.levels[0][99], 99);
+  EXPECT_EQ(r.levels[1][99], 49);
+}
+
+class TileMsBfsBatch : public ::testing::TestWithParam<int> {};
+
+TEST_P(TileMsBfsBatch, EverySourceMatchesSerial) {
+  const int k = GetParam();
+  Csr<value_t> g = undirected(900, 0.005, 821);
+  std::vector<index_t> sources;
+  for (int s = 0; s < k; ++s) {
+    sources.push_back(static_cast<index_t>((s * 97) % 900));
+  }
+  const TileMsBfsResult r = tile_ms_bfs(g, sources);
+  for (int s = 0; s < k; ++s) {
+    EXPECT_EQ(r.levels[s], serial_bfs(g, sources[s])) << "slot " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, TileMsBfsBatch,
+                         ::testing::Values(1, 5, 31, 64));
+
+TEST(TileMsBfs, MatchesPlainMsBfs) {
+  Csr<value_t> g = Csr<value_t>::from_coo(gen_grid2d(25, 25, 0.9, 822));
+  std::vector<index_t> sources{0, 300, 624};
+  const MsBfsResult plain = ms_bfs(g, sources);
+  const TileMsBfsResult tiled = tile_ms_bfs(g, sources);
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(tiled.levels[s], plain.levels[s]);
+  }
+}
+
+TEST(TileMsBfs, ExtractionThresholdsAgree) {
+  Csr<value_t> g = undirected(700, 0.004, 823);
+  std::vector<index_t> sources{1, 350, 699};
+  const TileMsBfsResult base = tile_ms_bfs(g, sources, 0);
+  for (index_t extract : {2, 8, 1 << 20}) {
+    const TileMsBfsResult r = tile_ms_bfs(g, sources, extract);
+    for (int s = 0; s < 3; ++s) {
+      EXPECT_EQ(r.levels[s], base.levels[s]) << "extract " << extract;
+    }
+  }
+}
+
+TEST(TileMsBfs, Nt64Path) {
+  Csr<value_t> g = undirected(2000, 0.003, 824);
+  const auto tiles = BitTileGraph<64>::from_csr(g, 2);
+  const TileMsBfsResult r = tile_ms_bfs(tiles, {0, 1000});
+  EXPECT_EQ(r.levels[0], serial_bfs(g, 0));
+  EXPECT_EQ(r.levels[1], serial_bfs(g, 1000));
+}
+
+TEST(TileMsBfs, RejectsTooManySources) {
+  Csr<value_t> g = undirected(64, 0.1, 825);
+  EXPECT_THROW(tile_ms_bfs(g, std::vector<index_t>(65, 0)),
+               std::invalid_argument);
+}
+
+TEST(MsBfs, SharedEdgeScansOnRmat) {
+  RmatParams p;
+  p.scale = 11;
+  p.edge_factor = 8;
+  Csr<value_t> g = Csr<value_t>::from_coo(gen_rmat(p, 807));
+  std::vector<index_t> sources;
+  for (index_t s = 0; s < 16; ++s) sources.push_back(s * 100);
+  const MsBfsResult r = ms_bfs(g, sources);
+  for (int s = 0; s < 16; ++s) {
+    ASSERT_EQ(r.levels[s], serial_bfs(g, sources[s])) << s;
+  }
+}
+
+}  // namespace
+}  // namespace tilespmspv

@@ -1,0 +1,104 @@
+// Tests for binary serialization of CSR and tiled matrices: byte-exact
+// round trips, derived-index reconstruction, and rejection of corrupt or
+// mismatched streams.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/spmspv_reference.hpp"
+#include "core/tile_spmspv.hpp"
+#include "formats/serialize.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/vector_gen.hpp"
+
+namespace tilespmspv {
+namespace {
+
+TEST(SerializeCsr, RoundTripExact) {
+  Csr<value_t> a =
+      Csr<value_t>::from_coo(gen_erdos_renyi(300, 250, 0.02, 1501));
+  std::stringstream ss;
+  write_csr(ss, a);
+  Csr<value_t> b = read_csr(ss);
+  EXPECT_EQ(b.rows, a.rows);
+  EXPECT_EQ(b.cols, a.cols);
+  EXPECT_EQ(b.row_ptr, a.row_ptr);
+  EXPECT_EQ(b.col_idx, a.col_idx);
+  EXPECT_EQ(b.vals, a.vals);  // bitwise: binary format
+}
+
+TEST(SerializeCsr, EmptyMatrix) {
+  Csr<value_t> a(5, 7);
+  std::stringstream ss;
+  write_csr(ss, a);
+  Csr<value_t> b = read_csr(ss);
+  EXPECT_EQ(b.rows, 5);
+  EXPECT_EQ(b.cols, 7);
+  EXPECT_EQ(b.nnz(), 0);
+}
+
+TEST(SerializeTile, RoundTripPreservesMultiplySemantics) {
+  Csr<value_t> a =
+      Csr<value_t>::from_coo(gen_erdos_renyi(500, 500, 0.005, 1502));
+  TileMatrix<value_t> m = TileMatrix<value_t>::from_csr(a, 16, 2);
+  std::stringstream ss;
+  write_tile_matrix(ss, m);
+  TileMatrix<value_t> loaded = read_tile_matrix(ss);
+
+  EXPECT_EQ(loaded.num_tiles(), m.num_tiles());
+  EXPECT_EQ(loaded.extracted.nnz(), m.extracted.nnz());
+  // Derived side indices were rebuilt, not stored: verify functionally.
+  EXPECT_EQ(loaded.side_col_ptr, m.side_col_ptr);
+  EXPECT_EQ(loaded.side_row_ptr, m.side_row_ptr);
+
+  SparseVec<value_t> x = gen_sparse_vector(500, 0.02, 5);
+  TileVector<value_t> xt = TileVector<value_t>::from_sparse(x, 16);
+  SparseVec<value_t> y1 = tile_spmspv(m, xt);
+  SparseVec<value_t> y2 = tile_spmspv(loaded, xt);
+  EXPECT_EQ(y1.idx, y2.idx);
+  EXPECT_EQ(y1.vals, y2.vals);
+}
+
+TEST(SerializeTile, FileRoundTrip) {
+  Csr<value_t> a =
+      Csr<value_t>::from_coo(gen_erdos_renyi(100, 100, 0.05, 1503));
+  TileMatrix<value_t> m = TileMatrix<value_t>::from_csr(a, 32, 1);
+  const std::string path = "/tmp/tilespmspv_serialize_test.bin";
+  write_tile_matrix_file(path, m);
+  TileMatrix<value_t> loaded = read_tile_matrix_file(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.nt, 32);
+  EXPECT_EQ(loaded.to_coo().vals, m.to_coo().vals);
+}
+
+TEST(Serialize, RejectsWrongMagic) {
+  Csr<value_t> a =
+      Csr<value_t>::from_coo(gen_erdos_renyi(50, 50, 0.1, 1504));
+  std::stringstream ss;
+  write_csr(ss, a);
+  // Reading a CSR stream as a tiled matrix must fail cleanly.
+  EXPECT_THROW(read_tile_matrix(ss), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  Csr<value_t> a =
+      Csr<value_t>::from_coo(gen_erdos_renyi(50, 50, 0.1, 1505));
+  std::stringstream ss;
+  write_csr(ss, a);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_csr(cut), std::runtime_error);
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream ss("not a tile matrix at all");
+  EXPECT_THROW(read_tile_matrix(ss), std::runtime_error);
+}
+
+TEST(SerializeTile, MissingFileThrows) {
+  EXPECT_THROW(read_tile_matrix_file("/tmp/does-not-exist-tilespmspv.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tilespmspv

@@ -1,0 +1,110 @@
+// Tests for the named matrix suite: every name resolves, builds a valid
+// matrix with the expected structural class, and the sweep lists are
+// consistent.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "formats/csr.hpp"
+#include "gen/suite.hpp"
+
+namespace tilespmspv {
+namespace {
+
+TEST(Suite, AllNamesBuild) {
+  for (const auto& name : suite_all_names()) {
+    SCOPED_TRACE(name);
+    const Coo<value_t> m = suite_matrix(name);
+    EXPECT_GT(m.rows, 0);
+    EXPECT_GT(m.cols, 0);
+    EXPECT_GT(m.nnz(), 0);
+    for (index_t i = 0; i < m.nnz(); ++i) {
+      ASSERT_GE(m.row_idx[i], 0);
+      ASSERT_LT(m.row_idx[i], m.rows);
+      ASSERT_GE(m.col_idx[i], 0);
+      ASSERT_LT(m.col_idx[i], m.cols);
+    }
+    EXPECT_FALSE(suite_description(name).empty());
+  }
+}
+
+TEST(Suite, UnknownNameThrows) {
+  EXPECT_THROW(suite_matrix("no-such-matrix"), std::invalid_argument);
+  EXPECT_THROW(suite_description("no-such-matrix"), std::invalid_argument);
+}
+
+TEST(Suite, Representative12AreTwelveAndSquare) {
+  const auto names = suite_representative12();
+  ASSERT_EQ(names.size(), 12u);
+  for (const auto& name : names) {
+    const Coo<value_t> m = suite_matrix(name);
+    EXPECT_EQ(m.rows, m.cols) << name;
+  }
+}
+
+TEST(Suite, Enterprise6AreSixAndSquare) {
+  const auto names = suite_enterprise6();
+  ASSERT_EQ(names.size(), 6u);
+  for (const auto& name : names) {
+    const Coo<value_t> m = suite_matrix(name);
+    EXPECT_EQ(m.rows, m.cols) << name;
+  }
+}
+
+TEST(Suite, BfsSweepAllSquare) {
+  for (const auto& name : suite_bfs_sweep()) {
+    const Coo<value_t> m = suite_matrix(name);
+    EXPECT_EQ(m.rows, m.cols) << name;
+  }
+}
+
+TEST(Suite, SpmspvSweepIncludesRectangular) {
+  bool any_rect = false;
+  for (const auto& name : suite_spmspv_sweep()) {
+    const Coo<value_t> m = suite_matrix(name);
+    if (m.rows != m.cols) any_rect = true;
+  }
+  EXPECT_TRUE(any_rect);
+}
+
+TEST(Suite, SweepNamesAreValidAndUnique) {
+  const std::set<std::string> all = [] {
+    const auto v = suite_all_names();
+    return std::set<std::string>(v.begin(), v.end());
+  }();
+  for (const auto& list : {suite_spmspv_sweep(), suite_bfs_sweep()}) {
+    std::set<std::string> seen;
+    for (const auto& name : list) {
+      EXPECT_TRUE(all.count(name)) << name;
+      EXPECT_TRUE(seen.insert(name).second) << "duplicate " << name;
+    }
+  }
+}
+
+TEST(Suite, DeterministicAcrossCalls) {
+  const auto a = suite_matrix("cant");
+  const auto b = suite_matrix("cant");
+  EXPECT_EQ(a.row_idx, b.row_idx);
+  EXPECT_EQ(a.col_idx, b.col_idx);
+  EXPECT_EQ(a.vals, b.vals);
+}
+
+TEST(Suite, StructuralClassesMatchDescriptions) {
+  // Road-network analogs must have tiny max degree; social analogs hubs.
+  {
+    const auto m = suite_matrix("roadNet-TX");
+    std::vector<index_t> deg(m.rows, 0);
+    for (index_t i = 0; i < m.nnz(); ++i) ++deg[m.row_idx[i]];
+    EXPECT_LE(*std::max_element(deg.begin(), deg.end()), 4);
+  }
+  {
+    const auto m = suite_matrix("FB");
+    std::vector<index_t> deg(m.rows, 0);
+    for (index_t i = 0; i < m.nnz(); ++i) ++deg[m.row_idx[i]];
+    const double avg = static_cast<double>(m.nnz()) / m.rows;
+    EXPECT_GT(*std::max_element(deg.begin(), deg.end()), 10 * avg);
+  }
+}
+
+}  // namespace
+}  // namespace tilespmspv

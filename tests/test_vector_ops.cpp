@@ -1,0 +1,128 @@
+// Tests for the GraphBLAS-style element-wise sparse vector operations.
+#include <gtest/gtest.h>
+
+#include "formats/vector_ops.hpp"
+#include "gen/vector_gen.hpp"
+
+namespace tilespmspv {
+namespace {
+
+SparseVec<value_t> make(std::initializer_list<std::pair<index_t, value_t>> e,
+                        index_t n = 16) {
+  SparseVec<value_t> v(n);
+  for (const auto& [i, val] : e) v.push(i, val);
+  return v;
+}
+
+TEST(EwiseAdd, UnionSemantics) {
+  const auto a = make({{1, 1.0}, {4, 2.0}, {9, 3.0}});
+  const auto b = make({{0, 5.0}, {4, 7.0}, {15, 1.0}});
+  const auto c = ewise_add(a, b);
+  EXPECT_EQ(c.idx, (std::vector<index_t>{0, 1, 4, 9, 15}));
+  EXPECT_EQ(c.vals, (std::vector<value_t>{5.0, 1.0, 9.0, 3.0, 1.0}));
+}
+
+TEST(EwiseAdd, CancellationDropsEntry) {
+  const auto a = make({{3, 2.0}});
+  const auto b = make({{3, -2.0}});
+  EXPECT_EQ(ewise_add(a, b).nnz(), 0);
+}
+
+TEST(EwiseAdd, EmptyOperands) {
+  const auto a = make({{2, 1.0}});
+  const SparseVec<value_t> empty(16);
+  EXPECT_EQ(ewise_add(a, empty).idx, a.idx);
+  EXPECT_EQ(ewise_add(empty, a).vals, a.vals);
+  EXPECT_EQ(ewise_add(empty, empty).nnz(), 0);
+}
+
+TEST(EwiseAdd, CustomOp) {
+  const auto a = make({{1, 3.0}});
+  const auto b = make({{1, 5.0}});
+  const auto c = ewise_add(a, b, [](value_t x, value_t y) {
+    return std::max(x, y);
+  });
+  EXPECT_EQ(c.vals, (std::vector<value_t>{5.0}));
+}
+
+TEST(EwiseMult, IntersectionSemantics) {
+  const auto a = make({{1, 2.0}, {4, 3.0}, {9, 4.0}});
+  const auto b = make({{4, 5.0}, {9, 0.5}, {10, 9.0}});
+  const auto c = ewise_mult(a, b);
+  EXPECT_EQ(c.idx, (std::vector<index_t>{4, 9}));
+  EXPECT_EQ(c.vals, (std::vector<value_t>{15.0, 2.0}));
+}
+
+TEST(EwiseMult, DisjointGivesEmpty) {
+  const auto a = make({{1, 1.0}});
+  const auto b = make({{2, 1.0}});
+  EXPECT_EQ(ewise_mult(a, b).nnz(), 0);
+}
+
+TEST(Mask, KeepAndComplement) {
+  const auto a = make({{1, 1.0}, {4, 2.0}, {9, 3.0}});
+  const auto m = make({{4, 1.0}, {8, 1.0}});
+  const auto kept = mask(a, m);
+  EXPECT_EQ(kept.idx, (std::vector<index_t>{4}));
+  const auto dropped = mask(a, m, /*complement=*/true);
+  EXPECT_EQ(dropped.idx, (std::vector<index_t>{1, 9}));
+}
+
+TEST(Mask, BfsFrontierFilterPattern) {
+  // next = y masked by complement(visited): the Alg. 3 update.
+  const auto y = make({{2, 1.0}, {3, 1.0}, {5, 1.0}});
+  const auto visited = make({{0, 1.0}, {3, 1.0}});
+  const auto next = mask(y, visited, /*complement=*/true);
+  EXPECT_EQ(next.idx, (std::vector<index_t>{2, 5}));
+}
+
+TEST(Select, ByIndexAndValue) {
+  const auto a = make({{1, -1.0}, {4, 2.0}, {9, -3.0}});
+  const auto positive =
+      select(a, [](index_t, value_t v) { return v > 0; });
+  EXPECT_EQ(positive.idx, (std::vector<index_t>{4}));
+  const auto low_index =
+      select(a, [](index_t i, value_t) { return i < 5; });
+  EXPECT_EQ(low_index.idx, (std::vector<index_t>{1, 4}));
+}
+
+TEST(Apply, MapsValuesAndDropsZeros) {
+  const auto a = make({{1, 1.0}, {4, 2.0}});
+  const auto squared = apply(a, [](value_t v) { return v * v; });
+  EXPECT_EQ(squared.vals, (std::vector<value_t>{1.0, 4.0}));
+  const auto zeroed = apply(a, [](value_t v) { return v < 1.5 ? 0.0 : v; });
+  EXPECT_EQ(zeroed.idx, (std::vector<index_t>{4}));
+}
+
+TEST(Reduce, SumAndMax) {
+  const auto a = make({{1, 1.5}, {4, 2.5}, {9, -1.0}});
+  EXPECT_DOUBLE_EQ(reduce(a), 3.0);
+  EXPECT_DOUBLE_EQ(
+      reduce(a, -1e30, [](value_t x, value_t y) { return std::max(x, y); }),
+      2.5);
+}
+
+TEST(VectorOps, RandomizedAlgebraicProperties) {
+  // ewise_add commutes; mask(a, a) == a; mult distributes over structure.
+  for (std::uint64_t seed : {1401, 1402, 1403}) {
+    const auto a = gen_sparse_vector(500, 0.05, seed);
+    const auto b = gen_sparse_vector(500, 0.08, seed + 10);
+    const auto ab = ewise_add(a, b);
+    const auto ba = ewise_add(b, a);
+    EXPECT_EQ(ab.idx, ba.idx);
+    EXPECT_EQ(ab.vals, ba.vals);
+    const auto self = mask(a, a);
+    EXPECT_EQ(self.idx, a.idx);
+    // |mask(a,b)| + |mask(a,b,complement)| == |a|
+    EXPECT_EQ(mask(a, b).nnz() + mask(a, b, true).nnz(), a.nnz());
+    // ewise_mult's structure is the index intersection.
+    const auto m = ewise_mult(a, b);
+    for (index_t i : m.idx) {
+      EXPECT_TRUE(std::binary_search(a.idx.begin(), a.idx.end(), i));
+      EXPECT_TRUE(std::binary_search(b.idx.begin(), b.idx.end(), i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tilespmspv
