@@ -10,6 +10,8 @@
 
 #include "formats/csr.hpp"
 #include "gen/suite.hpp"
+#include "obs/counters.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -17,6 +19,41 @@
 #include "util/types.hpp"
 
 namespace tilespmspv::bench {
+
+/// Timing distribution of repeated runs. Best-of stays the comparison
+/// metric (immune to scheduler noise, same as the paper's methodology);
+/// mean/p50/p95 expose the variance that best-of hides, so exported
+/// BENCH_*.json files capture both.
+struct TimingStats {
+  double best = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  std::vector<double> samples;
+};
+
+/// Runs `fn` once to warm caches, then `iters` timed runs.
+template <typename Fn>
+TimingStats time_stats_ms(Fn&& fn, int iters = 5) {
+  fn();  // warm-up
+  TimingStats t;
+  t.samples.reserve(static_cast<std::size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    Timer timer;
+    fn();
+    t.samples.push_back(timer.elapsed_ms());
+  }
+  t.best = min_of(t.samples);
+  t.mean = tilespmspv::mean(t.samples);
+  t.p50 = percentile(t.samples, 50.0);
+  t.p95 = percentile(t.samples, 95.0);
+  return t;
+}
+
+/// Dumps the current global counter snapshot into `m` under "counters.*".
+inline void counters_to_metrics(obs::MetricsRegistry& m) {
+  m.add_counters(obs::counters_snapshot());
+}
 
 /// Vertex with the highest out-degree: the standard benchmark source (it
 /// guarantees a non-trivial traversal and is deterministic).

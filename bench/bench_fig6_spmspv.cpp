@@ -2,7 +2,13 @@
 // TileSpMV, the cuSPARSE BSR stand-in, and the CombBLAS SpMSpV-bucket
 // stand-in, at input-vector sparsities 0.1, 0.01, 0.001 and 0.0001
 // (random vectors, seed 1, as in the paper).
+//
+//   bench_fig6_spmspv [iters] [--iters N] [--metrics out.json|out.csv]
+//
+// --metrics exports per-(matrix, sparsity) best/mean/p95 timings, the
+// aggregate speedups, and the merged kernel counters of the whole run.
 #include <iostream>
+#include <string>
 
 #include "baselines/bsr_spmv.hpp"
 #include "baselines/spmspv_bucket.hpp"
@@ -11,23 +17,31 @@
 #include "core/spmspv.hpp"
 #include "formats/csc.hpp"
 #include "gen/vector_gen.hpp"
+#include "util/args.hpp"
 
 using namespace tilespmspv;
 using namespace tilespmspv::bench;
 
 int main(int argc, char** argv) {
-  const int iters = argc > 1 ? std::atoi(argv[1]) : 3;
+  Args args(argc, argv);
+  const auto pos = args.positional();
+  int iters = static_cast<int>(args.get_int("--iters", 3));
+  if (!pos.empty()) iters = std::atoi(pos[0].c_str());
+  const std::string metrics_path = args.get("--metrics");
   const std::vector<double> sparsities = {0.1, 0.01, 0.001, 0.0001};
   ThreadPool pool(4);
+  obs::MetricsRegistry metrics;
+  metrics.put_str("bench", "fig6_spmspv");
+  metrics.put_int("iters", iters);
 
   std::cout << "Figure 6: SpMSpV comparison over the matrix suite\n"
             << "algorithms: TileSpMSpV (this work), TileSpMV, cuSPARSE-BSR "
                "(stand-in), CombBLAS-bucket (stand-in)\n\n";
 
   for (const double sp : sparsities) {
-    Table table({"matrix", "x nnz", "useful GFlops: this", "TileSpMV",
-                 "cuSPARSE", "CombBLAS", "spdup vs TileSpMV",
-                 "vs cuSPARSE", "vs CombBLAS"});
+    Table table({"matrix", "x nnz", "this ms best", "mean", "p95",
+                 "useful GFlops: this", "TileSpMV", "cuSPARSE", "CombBLAS",
+                 "spdup vs TileSpMV", "vs cuSPARSE", "vs CombBLAS"});
     SpeedupAggregate vs_tilespmv, vs_cusparse, vs_combblas;
 
     for (const auto& name : suite_spmspv_sweep()) {
@@ -52,8 +66,8 @@ int main(int argc, char** argv) {
       BucketWorkspace<value_t> bws;
       std::vector<value_t> yd;
 
-      const double t_this =
-          time_best_ms([&] { (void)op.multiply(xt); }, iters);
+      const TimingStats t_this =
+          time_stats_ms([&] { (void)op.multiply(xt); }, iters);
       const double t_tilespmv = time_best_ms(
           [&] { (void)tile_spmv(tiled_noextract, xd, yd, &pool); }, iters);
       const double t_cusparse =
@@ -61,15 +75,24 @@ int main(int argc, char** argv) {
       const double t_combblas = time_best_ms(
           [&] { (void)spmspv_bucket(c, x, bws, 16, &pool); }, iters);
 
-      vs_tilespmv.add(t_this, t_tilespmv);
-      vs_cusparse.add(t_this, t_cusparse);
-      vs_combblas.add(t_this, t_combblas);
-      table.add_row({name, fmt_count(x.nnz()), fmt(gflops(flops, t_this), 3),
+      vs_tilespmv.add(t_this.best, t_tilespmv);
+      vs_cusparse.add(t_this.best, t_cusparse);
+      vs_combblas.add(t_this.best, t_combblas);
+      table.add_row({name, fmt_count(x.nnz()), fmt(t_this.best, 4),
+                     fmt(t_this.mean, 4), fmt(t_this.p95, 4),
+                     fmt(gflops(flops, t_this.best), 3),
                      fmt(gflops(flops, t_tilespmv), 3),
                      fmt(gflops(flops, t_cusparse), 3),
                      fmt(gflops(flops, t_combblas), 3),
-                     fmt(t_tilespmv / t_this, 2), fmt(t_cusparse / t_this, 2),
-                     fmt(t_combblas / t_this, 2)});
+                     fmt(t_tilespmv / t_this.best, 2),
+                     fmt(t_cusparse / t_this.best, 2),
+                     fmt(t_combblas / t_this.best, 2)});
+      if (!metrics_path.empty()) {
+        const std::string key = name + "@" + fmt(sp, 4);
+        metrics.put_double(key + ".ms_best", t_this.best);
+        metrics.put_double(key + ".ms_mean", t_this.mean);
+        metrics.put_double(key + ".ms_p95", t_this.p95);
+      }
     }
 
     std::cout << "--- vector sparsity = " << sp << " ---\n";
@@ -81,9 +104,24 @@ int main(int argc, char** argv) {
               << "x / " << fmt(vs_cusparse.max_speedup(), 2) << "x\n"
               << "  vs CombBLAS:  " << fmt(vs_combblas.geomean_speedup(), 2)
               << "x / " << fmt(vs_combblas.max_speedup(), 2) << "x\n\n";
+    if (!metrics_path.empty()) {
+      const std::string key = "speedup_geomean@" + fmt(sp, 4);
+      metrics.put_double(key + ".vs_tilespmv", vs_tilespmv.geomean_speedup());
+      metrics.put_double(key + ".vs_cusparse", vs_cusparse.geomean_speedup());
+      metrics.put_double(key + ".vs_combblas", vs_combblas.geomean_speedup());
+    }
   }
   std::cout << "Expected shape (paper): the advantage over the dense-vector\n"
                "SpMV baselines (TileSpMV, cuSPARSE) grows as the vector gets\n"
                "sparser; CombBLAS trails across the board.\n";
+  if (!metrics_path.empty()) {
+    counters_to_metrics(metrics);
+    if (metrics.write_file(metrics_path)) {
+      std::cout << "metrics written to " << metrics_path << "\n";
+    } else {
+      std::cerr << "failed to write metrics to " << metrics_path << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

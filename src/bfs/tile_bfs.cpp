@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "tile/bit_tile_graph.hpp"
@@ -148,8 +150,11 @@ void side_edges_pass(const BitTileGraph<NT>& g, const BitVector<NT>& x,
       [&](index_t s) {
         const Word xw = x.words[s];
         if (xw == 0) return;
+        std::uint64_t relaxed = 0;
         for_each_set_bit(xw, [&](int b) {
           const index_t u = s * NT + b;
+          relaxed +=
+              static_cast<std::uint64_t>(g.side_ptr[u + 1] - g.side_ptr[u]);
           for (offset_t k = g.side_ptr[u]; k < g.side_ptr[u + 1]; ++k) {
             const index_t dst = g.side_dst[k];
             if (!m.test(dst)) {
@@ -157,6 +162,7 @@ void side_edges_pass(const BitTileGraph<NT>& g, const BitVector<NT>& x,
             }
           }
         });
+        obs::counter_add(obs::Counter::kBfsSideEdges, relaxed);
       },
       pool, /*chunk=*/64);
 }
@@ -212,17 +218,21 @@ BfsResult run_bfs(const BitTileGraph<NT>& g, index_t source,
         cfg, g.n, frontier_size, frontier_words, x.num_words(), unvisited);
 
     Timer iter;
+    obs::TraceSpan span("bfs/iteration", "bfs", bfs_kernel_name(kernel));
     y.clear();
     switch (kernel) {
       case BfsKernel::kPushCsc: {
+        obs::counter_add(obs::Counter::kBfsIterPushCsc, 1);
         const std::vector<index_t> slots = x.nonempty_slots();
         kernel_push_csc(g, x, m, y, slots, pool);
         break;
       }
       case BfsKernel::kPushCsr:
+        obs::counter_add(obs::Counter::kBfsIterPushCsr, 1);
         kernel_push_csr(g, x, m, y, pool);
         break;
       case BfsKernel::kPullCsc:
+        obs::counter_add(obs::Counter::kBfsIterPullCsc, 1);
         kernel_pull_csc(g, m, y, pool);
         break;
     }
@@ -241,8 +251,12 @@ BfsResult run_bfs(const BitTileGraph<NT>& g, index_t source,
       });
       m.words[s] |= w;
     }
-    result.iterations.push_back({level, kernel, frontier_size, unvisited,
-                                 iter.elapsed_ms()});
+    if (cfg.record_iterations) {
+      result.iterations.push_back(
+          {level, kernel, frontier_size, unvisited,
+           static_cast<double>(frontier_size) / g.n,
+           static_cast<double>(unvisited) / g.n, iter.elapsed_ms()});
+    }
     if (discovered == 0) break;
     visited += discovered;
     frontier_size = discovered;
@@ -275,6 +289,7 @@ TileBfs::TileBfs(const Csr<value_t>& a, TileBfsConfig cfg, ThreadPool* pool)
   impl_->cfg = cfg;
   impl_->pool = pool;
   Timer t;
+  obs::TraceSpan span("bfs/preprocess", "convert");
   if (a.rows > cfg.order_threshold) {
     impl_->nt = 64;
     impl_->g64 = std::make_unique<BitTileGraph<64>>(

@@ -63,13 +63,20 @@ struct TileBfsConfig {
   index_t extract_threshold = 2;
   /// Matrix order above which 64×64 tiles are used instead of 32×32.
   index_t order_threshold = 10000;
+  /// Record one BfsIterationLog per iteration (kernel choice plus the
+  /// frontier-density / unvisited-fraction inputs the selector saw). The
+  /// Fig. 9/10 harnesses and --verbose/--json CLI output consume these;
+  /// switch off for production queries that only need levels.
+  bool record_iterations = true;
 };
 
 struct BfsIterationLog {
   int level = 0;
   BfsKernel kernel = BfsKernel::kPushCsc;
-  index_t frontier_size = 0;   // |x| entering the iteration
-  index_t unvisited = 0;       // n - |m| entering the iteration
+  index_t frontier_size = 0;      // |x| entering the iteration
+  index_t unvisited = 0;          // n - |m| entering the iteration
+  double frontier_density = 0.0;  // |x| / n, the selector's K2 input
+  double unvisited_frac = 0.0;    // unvisited / n, the selector's K3 input
   double ms = 0.0;
 };
 

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "formats/sparse_vector.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "tile/tile_matrix.hpp"
@@ -47,46 +49,62 @@ SparseVec<T> tile_spmspv(const TileMatrix<T>& a, const TileVector<T>& x,
   T* yd = ws.y_dense.data();
   unsigned char* flag = ws.tile_flag.data();
 
-  // Phase 1: tiled part, one task per tile row (paper Alg. 4).
-  parallel_for(
-      a.tile_rows,
-      [&](index_t tr) {
-        T acc[256];  // nt <= 256 by TileMatrix invariant
-        bool any = false;
-        for (offset_t t = a.tile_row_ptr[tr]; t < a.tile_row_ptr[tr + 1];
-             ++t) {
-          const index_t tile_colid = a.tile_col_id[t];
-          const index_t x_offset = x.x_ptr[tile_colid];  // O(1) positioning
-          if (x_offset == kEmptyTile) continue;          // skip empty x tile
-          const T* xt = &x.x_tile[static_cast<std::size_t>(x_offset) * nt];
-          if (!any) {
-            for (index_t i = 0; i < nt; ++i) acc[i] = T{};
-            any = true;
-          }
-          const std::uint16_t* p = &a.intra_row_ptr[t * (nt + 1)];
-          const offset_t base = a.tile_nnz_ptr[t];
-          for (index_t lr = 0; lr < nt; ++lr) {
-            T sum{};
-            for (offset_t i = base + p[lr]; i < base + p[lr + 1]; ++i) {
-              sum += a.vals[i] * xt[a.local_col[i]];
+  // Phase 1: tiled part, one task per tile row (paper Alg. 4). Counters
+  // accumulate into locals and flush once per tile row; with counters
+  // compiled out the adds are dead and the locals fold away.
+  {
+    obs::TraceSpan span("spmspv/phase1_tiled", "spmspv", "csr");
+    parallel_for(
+        a.tile_rows,
+        [&](index_t tr) {
+          T acc[256];  // nt <= 256 by TileMatrix invariant
+          bool any = false;
+          std::uint64_t scanned = 0, computed = 0, macs = 0;
+          for (offset_t t = a.tile_row_ptr[tr]; t < a.tile_row_ptr[tr + 1];
+               ++t) {
+            ++scanned;
+            const index_t tile_colid = a.tile_col_id[t];
+            const index_t x_offset = x.x_ptr[tile_colid];  // O(1) positioning
+            if (x_offset == kEmptyTile) continue;          // skip empty x tile
+            ++computed;
+            macs += static_cast<std::uint64_t>(a.tile_nnz_ptr[t + 1] -
+                                               a.tile_nnz_ptr[t]);
+            const T* xt = &x.x_tile[static_cast<std::size_t>(x_offset) * nt];
+            if (!any) {
+              for (index_t i = 0; i < nt; ++i) acc[i] = T{};
+              any = true;
             }
-            acc[lr] += sum;
+            const std::uint16_t* p = &a.intra_row_ptr[t * (nt + 1)];
+            const offset_t base = a.tile_nnz_ptr[t];
+            for (index_t lr = 0; lr < nt; ++lr) {
+              T sum{};
+              for (offset_t i = base + p[lr]; i < base + p[lr + 1]; ++i) {
+                sum += a.vals[i] * xt[a.local_col[i]];
+              }
+              acc[lr] += sum;
+            }
           }
-        }
-        if (any) {
-          const index_t r_begin = tr * nt;
-          const index_t r_end = std::min<index_t>(r_begin + nt, a.rows);
-          for (index_t r = r_begin; r < r_end; ++r) {
-            yd[r] = acc[r - r_begin];
+          obs::counter_add(obs::Counter::kTilesScanned, scanned);
+          obs::counter_add(obs::Counter::kTilesSkippedEmpty,
+                           scanned - computed);
+          obs::counter_add(obs::Counter::kTilesComputed, computed);
+          obs::counter_add(obs::Counter::kPayloadMacs, macs);
+          if (any) {
+            const index_t r_begin = tr * nt;
+            const index_t r_end = std::min<index_t>(r_begin + nt, a.rows);
+            for (index_t r = r_begin; r < r_end; ++r) {
+              yd[r] = acc[r - r_begin];
+            }
+            flag[tr] = 1;
           }
-          flag[tr] = 1;
-        }
-      },
-      pool, /*chunk=*/8);
+        },
+        pool, /*chunk=*/8);
+  }
 
   // Phase 2: extracted very-sparse part, driven by the active columns so
   // its cost is proportional to nnz(x), not to the side-matrix size.
   if (a.extracted.nnz() > 0) {
+    obs::TraceSpan span("spmspv/phase2_side", "spmspv", "csr");
     std::vector<index_t> active;
     for (index_t s = 0; s < x.num_tiles(); ++s) {
       if (x.x_ptr[s] != kEmptyTile) active.push_back(s);
@@ -96,11 +114,14 @@ SparseVec<T> tile_spmspv(const TileMatrix<T>& a, const TileVector<T>& x,
         [&](index_t ai) {
           const index_t s = active[ai];
           const T* xt = &x.x_tile[static_cast<std::size_t>(x.x_ptr[s]) * nt];
+          std::uint64_t side = 0;
           for (index_t lj = 0; lj < nt; ++lj) {
             const index_t j = s * nt + lj;
             if (j >= a.cols) break;
             const T xv = xt[lj];
             if (xv == T{}) continue;
+            side += static_cast<std::uint64_t>(a.side_col_ptr[j + 1] -
+                                               a.side_col_ptr[j]);
             for (offset_t i = a.side_col_ptr[j]; i < a.side_col_ptr[j + 1];
                  ++i) {
               const index_t r = a.side_row_idx[i];
@@ -108,12 +129,16 @@ SparseVec<T> tile_spmspv(const TileMatrix<T>& a, const TileVector<T>& x,
               atomic_or<unsigned char>(&flag[r / nt], 1);
             }
           }
+          obs::counter_add(obs::Counter::kSideMacs, side);
         },
         pool, /*chunk=*/16);
   }
 
   // Phase 3: gather touched tile rows into the sparse result and restore
   // the workspace's all-zero invariant.
+  obs::TraceSpan span("spmspv/phase3_gather", "spmspv", "csr");
+  obs::counter_add(obs::Counter::kGatherSlots,
+                   static_cast<std::uint64_t>(a.tile_rows));
   SparseVec<T> y(a.rows);
   for (index_t tr = 0; tr < a.tile_rows; ++tr) {
     if (!flag[tr]) continue;
@@ -171,36 +196,48 @@ SparseVec<T> tile_spmspv_csc(const TileMatrix<T>& at, const TileVector<T>& x,
     }
   }
 
-  parallel_for(
-      static_cast<index_t>(active.size()),
-      [&](index_t ai) {
-        const index_t s = active[ai];
-        const T* xt =
-            &x.x_tile[static_cast<std::size_t>(x.x_ptr[s]) * nt];
-        for (offset_t t = at.tile_row_ptr[s]; t < at.tile_row_ptr[s + 1];
-             ++t) {
-          const index_t out_tile = at.tile_col_id[t];
-          const index_t out_base = out_tile * nt;
-          const std::uint16_t* p = &at.intra_row_ptr[t * (nt + 1)];
-          const offset_t base = at.tile_nnz_ptr[t];
-          bool touched = false;
-          for (index_t lj = 0; lj < nt; ++lj) {  // local input index
-            const T xv = xt[lj];
-            if (xv == T{}) continue;
-            for (offset_t i = base + p[lj]; i < base + p[lj + 1]; ++i) {
-              atomic_add(&yd[out_base + at.local_col[i]], at.vals[i] * xv);
-              touched = true;
+  {
+    obs::TraceSpan span("spmspv/phase1_tiled", "spmspv", "csc");
+    parallel_for(
+        static_cast<index_t>(active.size()),
+        [&](index_t ai) {
+          const index_t s = active[ai];
+          const T* xt =
+              &x.x_tile[static_cast<std::size_t>(x.x_ptr[s]) * nt];
+          std::uint64_t scanned = 0, macs = 0;
+          for (offset_t t = at.tile_row_ptr[s]; t < at.tile_row_ptr[s + 1];
+               ++t) {
+            ++scanned;
+            const index_t out_tile = at.tile_col_id[t];
+            const index_t out_base = out_tile * nt;
+            const std::uint16_t* p = &at.intra_row_ptr[t * (nt + 1)];
+            const offset_t base = at.tile_nnz_ptr[t];
+            bool touched = false;
+            for (index_t lj = 0; lj < nt; ++lj) {  // local input index
+              const T xv = xt[lj];
+              if (xv == T{}) continue;
+              macs += static_cast<std::uint64_t>(p[lj + 1] - p[lj]);
+              for (offset_t i = base + p[lj]; i < base + p[lj + 1]; ++i) {
+                atomic_add(&yd[out_base + at.local_col[i]], at.vals[i] * xv);
+                touched = true;
+              }
             }
+            if (touched) atomic_or<unsigned char>(&flag[out_tile], 1);
           }
-          if (touched) atomic_or<unsigned char>(&flag[out_tile], 1);
-        }
-      },
-      pool, /*chunk=*/2);
+          // Vector-driven form: every scanned tile is computed (there is no
+          // metadata-only skip), so the two counters move together.
+          obs::counter_add(obs::Counter::kTilesScanned, scanned);
+          obs::counter_add(obs::Counter::kTilesComputed, scanned);
+          obs::counter_add(obs::Counter::kPayloadMacs, macs);
+        },
+        pool, /*chunk=*/2);
+  }
 
   // Extracted side part of Aᵀ: entry (j, i) of Aᵀ is A[i][j], so walking
   // extracted *rows* j selected by x visits exactly the active columns of
   // A (side_row_ptr indexes the row-major extracted COO).
   if (at.extracted.nnz() > 0) {
+    obs::TraceSpan span("spmspv/phase2_side", "spmspv", "csc");
     std::vector<index_t> x_active;
     for (index_t s = 0; s < x.num_tiles(); ++s) {
       if (x.x_ptr[s] != kEmptyTile) x_active.push_back(s);
@@ -210,11 +247,14 @@ SparseVec<T> tile_spmspv_csc(const TileMatrix<T>& at, const TileVector<T>& x,
         [&](index_t ai) {
           const index_t s = x_active[ai];
           const T* xt = &x.x_tile[static_cast<std::size_t>(x.x_ptr[s]) * nt];
+          std::uint64_t side = 0;
           for (index_t lj = 0; lj < nt; ++lj) {
             const index_t j = s * nt + lj;
             if (j >= at.rows) break;
             const T xv = xt[lj];
             if (xv == T{}) continue;
+            side += static_cast<std::uint64_t>(at.side_row_ptr[j + 1] -
+                                               at.side_row_ptr[j]);
             for (offset_t k = at.side_row_ptr[j]; k < at.side_row_ptr[j + 1];
                  ++k) {
               const index_t i = at.extracted.col_idx[k];
@@ -222,11 +262,15 @@ SparseVec<T> tile_spmspv_csc(const TileMatrix<T>& at, const TileVector<T>& x,
               atomic_or<unsigned char>(&flag[i / nt], 1);
             }
           }
+          obs::counter_add(obs::Counter::kSideMacs, side);
         },
         pool, /*chunk=*/16);
   }
 
   // Gather touched output tiles (same as the CSR form's phase 3).
+  obs::TraceSpan span("spmspv/phase3_gather", "spmspv", "csc");
+  obs::counter_add(obs::Counter::kGatherSlots,
+                   static_cast<std::uint64_t>(out_tiles));
   SparseVec<T> y(out_n);
   for (index_t tr = 0; tr < out_tiles; ++tr) {
     if (!flag[tr]) continue;
@@ -269,39 +313,53 @@ SparseVec<T> tile_spmspv_masked(const TileMatrix<T>& a,
   T* yd = ws.y_dense.data();
   unsigned char* flag = ws.tile_flag.data();
 
-  parallel_for(
-      a.tile_rows,
-      [&](index_t tr) {
-        T acc[256];
-        bool any = false;
-        for (offset_t t = a.tile_row_ptr[tr]; t < a.tile_row_ptr[tr + 1];
-             ++t) {
-          const index_t x_offset = x.x_ptr[a.tile_col_id[t]];
-          if (x_offset == kEmptyTile) continue;
-          const T* xt = &x.x_tile[static_cast<std::size_t>(x_offset) * nt];
-          if (!any) {
-            for (index_t i = 0; i < nt; ++i) acc[i] = T{};
-            any = true;
-          }
-          const std::uint16_t* p = &a.intra_row_ptr[t * (nt + 1)];
-          const offset_t base = a.tile_nnz_ptr[t];
-          for (index_t lr = 0; lr < nt; ++lr) {
-            T sum{};
-            for (offset_t i = base + p[lr]; i < base + p[lr + 1]; ++i) {
-              sum += a.vals[i] * xt[a.local_col[i]];
+  {
+    obs::TraceSpan span("spmspv/phase1_tiled", "spmspv", "masked");
+    parallel_for(
+        a.tile_rows,
+        [&](index_t tr) {
+          T acc[256];
+          bool any = false;
+          std::uint64_t scanned = 0, computed = 0, macs = 0;
+          for (offset_t t = a.tile_row_ptr[tr]; t < a.tile_row_ptr[tr + 1];
+               ++t) {
+            ++scanned;
+            const index_t x_offset = x.x_ptr[a.tile_col_id[t]];
+            if (x_offset == kEmptyTile) continue;
+            ++computed;
+            macs += static_cast<std::uint64_t>(a.tile_nnz_ptr[t + 1] -
+                                               a.tile_nnz_ptr[t]);
+            const T* xt = &x.x_tile[static_cast<std::size_t>(x_offset) * nt];
+            if (!any) {
+              for (index_t i = 0; i < nt; ++i) acc[i] = T{};
+              any = true;
             }
-            acc[lr] += sum;
+            const std::uint16_t* p = &a.intra_row_ptr[t * (nt + 1)];
+            const offset_t base = a.tile_nnz_ptr[t];
+            for (index_t lr = 0; lr < nt; ++lr) {
+              T sum{};
+              for (offset_t i = base + p[lr]; i < base + p[lr + 1]; ++i) {
+                sum += a.vals[i] * xt[a.local_col[i]];
+              }
+              acc[lr] += sum;
+            }
           }
-        }
-        if (any) {
-          const index_t r_end = std::min<index_t>((tr + 1) * nt, a.rows);
-          for (index_t r = tr * nt; r < r_end; ++r) yd[r] = acc[r - tr * nt];
-          flag[tr] = 1;
-        }
-      },
-      pool, /*chunk=*/8);
+          obs::counter_add(obs::Counter::kTilesScanned, scanned);
+          obs::counter_add(obs::Counter::kTilesSkippedEmpty,
+                           scanned - computed);
+          obs::counter_add(obs::Counter::kTilesComputed, computed);
+          obs::counter_add(obs::Counter::kPayloadMacs, macs);
+          if (any) {
+            const index_t r_end = std::min<index_t>((tr + 1) * nt, a.rows);
+            for (index_t r = tr * nt; r < r_end; ++r) yd[r] = acc[r - tr * nt];
+            flag[tr] = 1;
+          }
+        },
+        pool, /*chunk=*/8);
+  }
 
   if (a.extracted.nnz() > 0) {
+    obs::TraceSpan span("spmspv/phase2_side", "spmspv", "masked");
     std::vector<index_t> active;
     for (index_t s = 0; s < x.num_tiles(); ++s) {
       if (x.x_ptr[s] != kEmptyTile) active.push_back(s);
@@ -311,11 +369,14 @@ SparseVec<T> tile_spmspv_masked(const TileMatrix<T>& a,
         [&](index_t ai) {
           const index_t s = active[ai];
           const T* xt = &x.x_tile[static_cast<std::size_t>(x.x_ptr[s]) * nt];
+          std::uint64_t side = 0;
           for (index_t lj = 0; lj < nt; ++lj) {
             const index_t j = s * nt + lj;
             if (j >= a.cols) break;
             const T xv = xt[lj];
             if (xv == T{}) continue;
+            side += static_cast<std::uint64_t>(a.side_col_ptr[j + 1] -
+                                               a.side_col_ptr[j]);
             for (offset_t i = a.side_col_ptr[j]; i < a.side_col_ptr[j + 1];
                  ++i) {
               const index_t r = a.side_row_idx[i];
@@ -323,10 +384,14 @@ SparseVec<T> tile_spmspv_masked(const TileMatrix<T>& a,
               atomic_or<unsigned char>(&flag[r / nt], 1);
             }
           }
+          obs::counter_add(obs::Counter::kSideMacs, side);
         },
         pool, /*chunk=*/16);
   }
 
+  obs::TraceSpan span("spmspv/phase3_gather", "spmspv", "masked");
+  obs::counter_add(obs::Counter::kGatherSlots,
+                   static_cast<std::uint64_t>(a.tile_rows));
   SparseVec<T> y(a.rows);
   for (index_t tr = 0; tr < a.tile_rows; ++tr) {
     if (!flag[tr]) continue;

@@ -12,6 +12,8 @@
 
 #include "core/tile_spmspv.hpp"
 #include "formats/sparse_vector.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "tile/tile_matrix.hpp"
 #include "tile/tile_vector.hpp"
@@ -29,7 +31,7 @@ std::vector<SparseVec<T>> tile_spmspv_batch(
   const auto k = static_cast<index_t>(xs.size());
   std::vector<SparseVec<T>> ys(k);
   if (k == 0) return ys;
-  for (const auto& x : xs) {
+  for ([[maybe_unused]] const auto& x : xs) {
     assert(x.nt == nt);
     assert(ceil_div(x.n, nt) >= a.tile_cols || x.n == a.cols);
   }
@@ -41,20 +43,29 @@ std::vector<SparseVec<T>> tile_spmspv_batch(
   std::vector<std::vector<unsigned char>> flags(
       k, std::vector<unsigned char>(a.tile_rows, 0));
 
+  obs::TraceSpan batch_span("spmspv/batch", "spmspv");
   parallel_for(
       a.tile_rows,
       [&](index_t tr) {
         // acc[k][nt] flattened; 256 is the nt cap from TileMatrix.
         std::vector<T> acc(static_cast<std::size_t>(k) * nt, T{});
         std::vector<unsigned char> any(k, 0);
+        // Batched semantics: each tile's metadata is scanned once for the
+        // whole batch; computed/MAC counts are per surviving vector.
+        std::uint64_t scanned = 0, computed = 0, macs = 0;
         for (offset_t t = a.tile_row_ptr[tr]; t < a.tile_row_ptr[tr + 1];
              ++t) {
+          ++scanned;
           const index_t tile_colid = a.tile_col_id[t];
           const std::uint16_t* p = &a.intra_row_ptr[t * (nt + 1)];
           const offset_t base = a.tile_nnz_ptr[t];
+          const auto tile_nnz = static_cast<std::uint64_t>(
+              a.tile_nnz_ptr[t + 1] - a.tile_nnz_ptr[t]);
           for (index_t v = 0; v < k; ++v) {
             const index_t x_offset = xs[v].x_ptr[tile_colid];
             if (x_offset == kEmptyTile) continue;
+            ++computed;
+            macs += tile_nnz;
             const T* xt =
                 &xs[v].x_tile[static_cast<std::size_t>(x_offset) * nt];
             T* av = &acc[static_cast<std::size_t>(v) * nt];
@@ -68,6 +79,9 @@ std::vector<SparseVec<T>> tile_spmspv_batch(
             }
           }
         }
+        obs::counter_add(obs::Counter::kTilesScanned, scanned);
+        obs::counter_add(obs::Counter::kTilesComputed, computed);
+        obs::counter_add(obs::Counter::kPayloadMacs, macs);
         const index_t r_begin = tr * nt;
         const index_t r_end = std::min<index_t>(r_begin + nt, a.rows);
         for (index_t v = 0; v < k; ++v) {
@@ -86,6 +100,7 @@ std::vector<SparseVec<T>> tile_spmspv_batch(
         k,
         [&](index_t v) {
           const TileVector<T>& x = xs[v];
+          std::uint64_t side = 0;
           for (index_t s = 0; s < x.num_tiles(); ++s) {
             if (x.x_ptr[s] == kEmptyTile) continue;
             const T* xt =
@@ -95,6 +110,8 @@ std::vector<SparseVec<T>> tile_spmspv_batch(
               if (j >= a.cols) break;
               const T xv = xt[lj];
               if (xv == T{}) continue;
+              side += static_cast<std::uint64_t>(a.side_col_ptr[j + 1] -
+                                                 a.side_col_ptr[j]);
               for (offset_t i = a.side_col_ptr[j]; i < a.side_col_ptr[j + 1];
                    ++i) {
                 const index_t r = a.side_row_idx[i];
@@ -103,10 +120,14 @@ std::vector<SparseVec<T>> tile_spmspv_batch(
               }
             }
           }
+          obs::counter_add(obs::Counter::kSideMacs, side);
         },
         pool, /*chunk=*/1);
   }
 
+  obs::counter_add(obs::Counter::kGatherSlots,
+                   static_cast<std::uint64_t>(k) *
+                       static_cast<std::uint64_t>(a.tile_rows));
   for (index_t v = 0; v < k; ++v) {
     ys[v] = SparseVec<T>(a.rows);
     for (index_t tr = 0; tr < a.tile_rows; ++tr) {

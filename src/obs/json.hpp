@@ -1,0 +1,289 @@
+// Minimal JSON plumbing for the observability layer: a streaming writer
+// (objects/arrays with automatic comma placement, used by the trace and
+// metrics exporters and the CLI's --json mode) and a validating parser
+// (structure only, no DOM) so tests and smoke checks can assert that
+// emitted files are well-formed without an external dependency.
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tilespmspv::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes).
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Streaming JSON writer. Callers pair begin_/end_ calls and alternate
+/// key()/value inside objects; commas and quoting are handled here. The
+/// writer never buffers, so exporters can stream arbitrarily many trace
+/// events without holding a second copy in memory.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object() {
+    pre_value();
+    os_ << '{';
+    stack_.push_back({'o', 0});
+    return *this;
+  }
+  JsonWriter& end_object() {
+    stack_.pop_back();
+    os_ << '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    pre_value();
+    os_ << '[';
+    stack_.push_back({'a', 0});
+    return *this;
+  }
+  JsonWriter& end_array() {
+    stack_.pop_back();
+    os_ << ']';
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    if (stack_.back().count++ > 0) os_ << ',';
+    os_ << '"' << json_escape(k) << "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    pre_value();
+    os_ << '"' << json_escape(v) << '"';
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    pre_value();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    pre_value();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    pre_value();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v) {
+    pre_value();
+    if (!std::isfinite(v)) {
+      os_ << "null";  // JSON has no inf/nan
+      return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os_ << buf;
+    return *this;
+  }
+
+ private:
+  void pre_value() {
+    if (pending_value_) {
+      pending_value_ = false;  // comma was written by key()
+      return;
+    }
+    if (!stack_.empty() && stack_.back().kind == 'a' &&
+        stack_.back().count++ > 0) {
+      os_ << ',';
+    }
+  }
+
+  struct Frame {
+    char kind;  // 'o' or 'a'
+    int count;
+  };
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  bool pending_value_ = false;
+};
+
+namespace detail {
+
+struct JsonParser {
+  std::string_view s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  }
+
+  bool literal(std::string_view lit) {
+    if (s.compare(i, lit.size(), lit) != 0) return false;
+    i += lit.size();
+    return true;
+  }
+
+  bool string() {
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') {
+        ++i;
+        if (i >= s.size()) return false;
+        if (s[i] == 'u') {
+          for (int k = 0; k < 4; ++k) {
+            ++i;
+            if (i >= s.size() || !std::isxdigit(static_cast<unsigned char>(s[i]))) {
+              return false;
+            }
+          }
+        }
+      }
+      ++i;
+    }
+    if (i >= s.size()) return false;
+    ++i;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    std::size_t digits = 0;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      ++i;
+      ++digits;
+    }
+    if (digits == 0) return false;
+    if (i < s.size() && s[i] == '.') {
+      ++i;
+      digits = 0;
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+        ++i;
+        ++digits;
+      }
+      if (digits == 0) return false;
+    }
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+      if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+      digits = 0;
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+        ++i;
+        ++digits;
+      }
+      if (digits == 0) return false;
+    }
+    return i > start;
+  }
+
+  bool value(int depth) {
+    if (depth > 256) return false;
+    skip_ws();
+    if (i >= s.size()) return false;
+    const char c = s[i];
+    if (c == '{') {
+      ++i;
+      skip_ws();
+      if (i < s.size() && s[i] == '}') {
+        ++i;
+        return true;
+      }
+      for (;;) {
+        skip_ws();
+        if (!string()) return false;
+        skip_ws();
+        if (i >= s.size() || s[i] != ':') return false;
+        ++i;
+        if (!value(depth + 1)) return false;
+        skip_ws();
+        if (i < s.size() && s[i] == ',') {
+          ++i;
+          continue;
+        }
+        if (i < s.size() && s[i] == '}') {
+          ++i;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++i;
+      skip_ws();
+      if (i < s.size() && s[i] == ']') {
+        ++i;
+        return true;
+      }
+      for (;;) {
+        if (!value(depth + 1)) return false;
+        skip_ws();
+        if (i < s.size() && s[i] == ',') {
+          ++i;
+          continue;
+        }
+        if (i < s.size() && s[i] == ']') {
+          ++i;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+};
+
+}  // namespace detail
+
+/// True when `s` is a single well-formed JSON value (the whole input).
+inline bool json_parse_ok(std::string_view s) {
+  detail::JsonParser p{s};
+  if (!p.value(0)) return false;
+  p.skip_ws();
+  return p.i == s.size();
+}
+
+}  // namespace tilespmspv::obs

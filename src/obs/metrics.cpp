@@ -1,0 +1,107 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace tilespmspv::obs {
+
+MetricsRegistry::Entry& MetricsRegistry::slot(const std::string& key) {
+  for (Entry& e : entries_) {
+    if (e.key == key) return e;
+  }
+  entries_.push_back(Entry{});
+  entries_.back().key = key;
+  return entries_.back();
+}
+
+void MetricsRegistry::put_int(const std::string& key, std::int64_t v) {
+  Entry& e = slot(key);
+  e.kind = Entry::kInt;
+  e.i = v;
+}
+
+void MetricsRegistry::put_double(const std::string& key, double v) {
+  Entry& e = slot(key);
+  e.kind = Entry::kDouble;
+  e.d = v;
+}
+
+void MetricsRegistry::put_str(const std::string& key, const std::string& v) {
+  Entry& e = slot(key);
+  e.kind = Entry::kString;
+  e.s = v;
+}
+
+void MetricsRegistry::add_counters(const CounterSnapshot& snap,
+                                   const std::string& prefix) {
+  for (int i = 0; i < kNumCounters; ++i) {
+    const auto c = static_cast<Counter>(i);
+    put_int(prefix + counter_name(c), static_cast<std::int64_t>(snap[c]));
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  for (const Entry& e : entries_) {
+    w.key(e.key);
+    switch (e.kind) {
+      case Entry::kInt:
+        w.value(e.i);
+        break;
+      case Entry::kDouble:
+        w.value(e.d);
+        break;
+      case Entry::kString:
+        w.value(e.s);
+        break;
+    }
+  }
+  w.end_object();
+  os << '\n';
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  os << "metric,value\n";
+  for (const Entry& e : entries_) {
+    os << e.key << ',';
+    switch (e.kind) {
+      case Entry::kInt:
+        os << e.i;
+        break;
+      case Entry::kDouble: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", e.d);
+        os << buf;
+        break;
+      }
+      case Entry::kString: {
+        // CSV-quote; embedded quotes double up.
+        os << '"';
+        for (const char c : e.s) {
+          if (c == '"') os << '"';
+          os << c;
+        }
+        os << '"';
+        break;
+      }
+    }
+    os << '\n';
+  }
+}
+
+bool MetricsRegistry::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+    write_csv(f);
+  } else {
+    write_json(f);
+  }
+  return static_cast<bool>(f);
+}
+
+}  // namespace tilespmspv::obs

@@ -1,0 +1,55 @@
+// Structured metrics registry: an insertion-ordered flat map of named
+// values that benchmark harnesses and the CLI fill (timings, problem
+// sizes, counter snapshots) and export as JSON or CSV. One registry per
+// run; re-putting a key overwrites in place so iterative harnesses can
+// refresh values without duplicating rows.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/counters.hpp"
+
+namespace tilespmspv::obs {
+
+class MetricsRegistry {
+ public:
+  void put_int(const std::string& key, std::int64_t v);
+  void put_double(const std::string& key, double v);
+  void put_str(const std::string& key, const std::string& v);
+
+  /// Adds every counter as "<prefix><counter_name>".
+  void add_counters(const CounterSnapshot& snap,
+                    const std::string& prefix = "counters.");
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// One flat JSON object, keys in insertion order.
+  void write_json(std::ostream& os) const;
+
+  /// "metric,value" header plus one row per entry.
+  void write_csv(std::ostream& os) const;
+
+  /// Writes CSV when `path` ends in ".csv", JSON otherwise. Returns false
+  /// when the file cannot be opened.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Entry {
+    enum Kind { kInt, kDouble, kString };
+    std::string key;
+    Kind kind;
+    std::int64_t i = 0;
+    double d = 0.0;
+    std::string s;
+  };
+
+  Entry& slot(const std::string& key);
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace tilespmspv::obs

@@ -1,0 +1,221 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace tilespmspv::obs {
+
+#ifdef TILESPMSPV_NO_COUNTERS
+
+void trace_enable(std::size_t) {}
+void trace_disable() {}
+bool trace_enabled() { return false; }
+void trace_clear() {}
+std::size_t trace_event_count() { return 0; }
+
+void trace_write_chrome_json(std::ostream& os) {
+  os << "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool trace_write_chrome_json_file(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  trace_write_chrome_json(f);
+  return static_cast<bool>(f);
+}
+
+#else
+
+namespace {
+
+struct Event {
+  const char* name;
+  const char* cat;
+  const char* detail;
+  double ts_us;
+  double dur_us;
+  int tid;
+};
+
+struct ThreadBuf {
+  std::mutex mu;
+  std::vector<Event> slots;
+  std::uint64_t head = 0;  // total events recorded since last clear
+  int tid = 0;
+};
+
+struct TraceState {
+  std::mutex mu;  // guards bufs / capacity / next_tid
+  std::vector<ThreadBuf*> bufs;
+  std::size_t capacity = 16384;
+  int next_tid = 0;
+  std::atomic<bool> enabled{false};
+  std::atomic<std::int64_t> epoch_ns{0};
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // leaked: outlives worker threads
+  return *s;
+}
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double now_us() {
+  return static_cast<double>(steady_now_ns() -
+                             state().epoch_ns.load(std::memory_order_relaxed)) *
+         1e-3;
+}
+
+ThreadBuf& thread_buf() {
+  thread_local ThreadBuf* buf = [] {
+    auto* b = new ThreadBuf();  // leaked: exported after the thread exits
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    b->tid = ++s.next_tid;
+    b->slots.resize(s.capacity);
+    s.bufs.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void record(const char* name, const char* cat, const char* detail,
+            double ts_us, double dur_us) {
+  ThreadBuf& b = thread_buf();
+  std::lock_guard<std::mutex> lock(b.mu);
+  if (b.slots.empty()) return;
+  b.slots[b.head % b.slots.size()] = {name, cat, detail, ts_us, dur_us, b.tid};
+  ++b.head;
+}
+
+}  // namespace
+
+void trace_enable(std::size_t events_per_thread) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.capacity = std::max<std::size_t>(1, events_per_thread);
+  for (ThreadBuf* b : s.bufs) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    b->slots.assign(s.capacity, Event{});
+    b->head = 0;
+  }
+  s.epoch_ns.store(steady_now_ns(), std::memory_order_relaxed);
+  s.enabled.store(true, std::memory_order_release);
+}
+
+void trace_disable() {
+  state().enabled.store(false, std::memory_order_release);
+}
+
+bool trace_enabled() {
+  return state().enabled.load(std::memory_order_acquire);
+}
+
+void trace_clear() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (ThreadBuf* b : s.bufs) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    b->head = 0;
+  }
+}
+
+std::size_t trace_event_count() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::size_t n = 0;
+  for (ThreadBuf* b : s.bufs) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    n += static_cast<std::size_t>(
+        std::min<std::uint64_t>(b->head, b->slots.size()));
+  }
+  return n;
+}
+
+void trace_write_chrome_json(std::ostream& os) {
+  // Copy events out under the locks, then serialize without holding them.
+  std::vector<Event> events;
+  std::vector<int> tids;
+  {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (ThreadBuf* b : s.bufs) {
+      std::lock_guard<std::mutex> bl(b->mu);
+      tids.push_back(b->tid);
+      const std::uint64_t n =
+          std::min<std::uint64_t>(b->head, b->slots.size());
+      for (std::uint64_t i = 0; i < n; ++i) {
+        events.push_back(b->slots[i]);
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.ts_us < b.ts_us; });
+
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const int tid : tids) {
+    w.begin_object();
+    w.key("name").value("thread_name");
+    w.key("ph").value("M");
+    w.key("pid").value(1);
+    w.key("tid").value(tid);
+    w.key("args").begin_object();
+    w.key("name").value(tid == 1 ? "main" : "worker");
+    w.end_object();
+    w.end_object();
+  }
+  for (const Event& e : events) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("cat").value(e.cat ? e.cat : "kernel");
+    w.key("ph").value("X");
+    w.key("ts").value(e.ts_us);
+    w.key("dur").value(e.dur_us);
+    w.key("pid").value(1);
+    w.key("tid").value(e.tid);
+    if (e.detail != nullptr) {
+      w.key("args").begin_object();
+      w.key("detail").value(e.detail);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.end_object();
+  os << '\n';
+}
+
+bool trace_write_chrome_json_file(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  trace_write_chrome_json(f);
+  return static_cast<bool>(f);
+}
+
+TraceSpan::TraceSpan(const char* name, const char* cat, const char* detail)
+    : name_(name), cat_(cat), detail_(detail) {
+  if (trace_enabled()) start_us_ = now_us();
+}
+
+TraceSpan::~TraceSpan() {
+  if (start_us_ < 0.0) return;
+  record(name_, cat_, detail_, start_us_, now_us() - start_us_);
+}
+
+#endif  // TILESPMSPV_NO_COUNTERS
+
+}  // namespace tilespmspv::obs

@@ -1,0 +1,80 @@
+// Scoped trace spans recorded into per-thread ring buffers and exported as
+// Chrome trace-event JSON (open chrome://tracing or https://ui.perfetto.dev
+// and load the file). Tracing is off by default: a disarmed TraceSpan costs
+// one relaxed atomic load. When armed, recording takes the owning thread's
+// buffer mutex (uncontended: each thread writes only its own buffer) —
+// spans mark phases, BFS iterations and pool tasks, never inner loops, so
+// the rate is low. When a ring fills, the oldest events are overwritten;
+// raise `events_per_thread` if a long run needs full coverage.
+//
+// Span naming convention (see docs/OBSERVABILITY.md):
+//   convert/*  format conversions (CSR -> tiled)
+//   spmspv/*   SpMSpV phases 1-3; `detail` carries the kernel form
+//   bfs/*      preprocessing and one span per BFS iteration
+//   pool/*     thread-pool loop dispatch and per-worker task execution
+//
+// Defining TILESPMSPV_NO_COUNTERS compiles recording out entirely;
+// the control/export functions remain as stubs so callers need no #ifdefs.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace tilespmspv::obs {
+
+/// Starts a trace session: clears previous events, re-zeroes the clock and
+/// sizes every thread's ring to `events_per_thread` events.
+void trace_enable(std::size_t events_per_thread = 16384);
+
+/// Stops recording. Buffered events remain exportable.
+void trace_disable();
+
+bool trace_enabled();
+
+/// Drops every buffered event (recording state is unchanged).
+void trace_clear();
+
+/// Number of currently buffered events across all threads.
+std::size_t trace_event_count();
+
+/// Writes buffered events as Chrome trace-event JSON. Expected to be called
+/// while instrumented code is quiescent (after trace_disable()).
+void trace_write_chrome_json(std::ostream& os);
+
+/// Same, to a file. Returns false when the file cannot be opened.
+bool trace_write_chrome_json_file(const std::string& path);
+
+#ifdef TILESPMSPV_NO_COUNTERS
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*, const char* = nullptr,
+                     const char* = nullptr) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+#else
+
+/// RAII span: records [construction, destruction) under `name` when tracing
+/// is enabled. `name`, `cat` and `detail` must outlive the session (string
+/// literals in practice); `detail` lands in the event's args.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat = "kernel",
+                     const char* detail = nullptr);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  const char* detail_;
+  double start_us_ = -1.0;  // < 0 means the span is disarmed
+};
+
+#endif  // TILESPMSPV_NO_COUNTERS
+
+}  // namespace tilespmspv::obs

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
 namespace tilespmspv {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -28,13 +31,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::drain(Task& task) {
+  std::uint64_t chunks = 0;
   for (;;) {
     const index_t begin = task.next.fetch_add(task.chunk,
                                               std::memory_order_relaxed);
     if (begin >= task.n) break;
     const index_t end = std::min<index_t>(begin + task.chunk, task.n);
+    ++chunks;
     (*task.fn)(begin, end);
   }
+  obs::counter_add(obs::Counter::kPoolChunks, chunks);
 }
 
 void ThreadPool::worker_loop() {
@@ -50,7 +56,10 @@ void ThreadPool::worker_loop() {
       task = current_;
       seen_epoch = epoch_;
     }
-    drain(*task);
+    {
+      obs::TraceSpan span("pool/task", "pool");
+      drain(*task);
+    }
     if (task->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(mutex_);
       done_cv_.notify_all();
@@ -61,12 +70,15 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_ranges(
     index_t n, index_t chunk, const std::function<void(index_t, index_t)>& fn) {
   if (n <= 0) return;
+  obs::counter_add(obs::Counter::kPoolLoops, 1);
   chunk = std::max<index_t>(1, chunk);
   if (workers_.empty() || n <= chunk) {
     // Serial fast path: no coordination cost for small loops.
+    obs::TraceSpan span("pool/parallel_ranges", "pool", "serial");
     fn(0, n);
     return;
   }
+  obs::TraceSpan span("pool/parallel_ranges", "pool");
   Task task;
   task.fn = &fn;
   task.n = n;

@@ -14,6 +14,7 @@
 
 #include "formats/coo.hpp"
 #include "formats/csr.hpp"
+#include "obs/trace.hpp"
 #include "util/types.hpp"
 
 namespace tilespmspv {
@@ -69,6 +70,7 @@ struct TileMatrix {
   static TileMatrix from_csr(const Csr<T>& a, index_t nt,
                              index_t extract_threshold = 0) {
     assert(nt > 0 && nt <= 256);
+    obs::TraceSpan span("convert/tile_matrix", "convert");
     TileMatrix m;
     m.rows = a.rows;
     m.cols = a.cols;

@@ -42,6 +42,22 @@ inline double min_of(const std::vector<double>& xs) {
   return m;
 }
 
+/// p-th percentile (p in [0, 100]) with linear interpolation between order
+/// statistics. Takes the vector by value because it sorts. The bench
+/// harnesses report p50/p95 next to best-of so the exported results carry
+/// run-to-run variance, not just minima.
+inline double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0.0) return xs.front();
+  if (p >= 100.0) return xs.back();
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] + frac * (xs[lo + 1] - xs[lo]);
+}
+
 /// Fraction (in percent) of samples strictly greater than 1 — "on X% of the
 /// matrices our algorithm is faster", as the paper phrases its BFS results.
 inline double percent_above_one(const std::vector<double>& speedups) {

@@ -250,6 +250,36 @@ TEST(TileBfs, VisitedCountMatchesReachableSet) {
   EXPECT_EQ(r.visited_count(), reachable);
 }
 
+TEST(TileBfs, IterationLogCarriesSelectorInputs) {
+  Csr<value_t> g = undirected_graph(2000, 0.003, 411);
+  TileBfs bfs(g);
+  const BfsResult r = bfs.run(0);
+  ASSERT_FALSE(r.iterations.empty());
+  const double n = static_cast<double>(g.rows);
+  for (const auto& it : r.iterations) {
+    // The recorded densities are exactly the selector's inputs, derived
+    // from the recorded absolute sizes.
+    EXPECT_DOUBLE_EQ(it.frontier_density,
+                     static_cast<double>(it.frontier_size) / n);
+    EXPECT_DOUBLE_EQ(it.unvisited_frac,
+                     static_cast<double>(it.unvisited) / n);
+    EXPECT_GE(it.frontier_density, 0.0);
+    EXPECT_LE(it.frontier_density, 1.0);
+    EXPECT_LE(it.unvisited_frac, 1.0);
+  }
+}
+
+TEST(TileBfs, RecordIterationsOffSkipsTheLogOnly) {
+  Csr<value_t> g = undirected_graph(1500, 0.004, 412);
+  TileBfsConfig cfg;
+  cfg.record_iterations = false;
+  TileBfs bfs(g, cfg);
+  const BfsResult r = bfs.run(0);
+  EXPECT_TRUE(r.iterations.empty());
+  EXPECT_EQ(r.levels, serial_bfs(g, 0));
+  EXPECT_GT(r.total_ms, 0.0);
+}
+
 TEST(TileBfs, PoolSizesGiveIdenticalLevels) {
   Csr<value_t> g = undirected_graph(3000, 0.002, 410);
   const auto expect = serial_bfs(g, 2);

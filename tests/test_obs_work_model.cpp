@@ -1,0 +1,124 @@
+// Cross-checks measured kernel counters against the analytic work model
+// (core/work_model.hpp) over the synthetic suite. For the CSR-form kernel
+// the model is exact by construction for tiles scanned/computed, payload
+// multiply-adds and gather slots; side-COO multiply-adds are bounded by
+// the model's tile-granularity estimate (the kernel skips interior zeros
+// of an active vector tile). The CSC form is exact on the tile counts and
+// bounded on payload multiply-adds for the same reason.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/tile_spmspv.hpp"
+#include "core/work_model.hpp"
+#include "gen/suite.hpp"
+#include "gen/vector_gen.hpp"
+#include "obs/counters.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace tilespmspv {
+namespace {
+
+using obs::Counter;
+using obs::CounterSnapshot;
+
+#ifndef TILESPMSPV_NO_COUNTERS
+
+constexpr const char* kSuite[] = {"er-small", "fem-small", "road-small",
+                                  "web-small", "rmat-small"};
+constexpr double kSparsities[] = {0.1, 0.01, 0.001};
+
+std::uint64_t u64(offset_t v) { return static_cast<std::uint64_t>(v); }
+
+TEST(ObsWorkModel, CsrKernelMatchesModelExactly) {
+  ThreadPool pool(4);
+  for (const char* name : kSuite) {
+    const Csr<value_t> a = Csr<value_t>::from_coo(suite_matrix(name));
+    const TileMatrix<value_t> tiled = TileMatrix<value_t>::from_csr(a, 16, 2);
+    for (const double sp : kSparsities) {
+      const TileVector<value_t> xt = TileVector<value_t>::from_sparse(
+          gen_sparse_vector(a.cols, sp, 1), 16);
+      const SpmspvWork model = work_tile_spmspv_csr(tiled, xt);
+
+      const CounterSnapshot before = obs::counters_snapshot();
+      (void)tile_spmspv(tiled, xt, &pool);
+      const CounterSnapshot d = obs::counters_snapshot() - before;
+
+      SCOPED_TRACE(std::string(name) + " sparsity " + std::to_string(sp));
+      EXPECT_EQ(d[Counter::kTilesScanned], u64(model.tiles_scanned));
+      EXPECT_EQ(d[Counter::kTilesComputed], u64(model.tiles_computed));
+      EXPECT_EQ(d[Counter::kTilesSkippedEmpty],
+                u64(model.tiles_scanned - model.tiles_computed));
+      EXPECT_EQ(d[Counter::kPayloadMacs], u64(model.payload_macs));
+      EXPECT_EQ(d[Counter::kGatherSlots], u64(model.gather_slots));
+      // The kernel skips zero entries inside active vector tiles, so the
+      // measured side work is bounded by the model's tile-level estimate.
+      EXPECT_LE(d[Counter::kSideMacs], u64(model.side_macs));
+    }
+  }
+}
+
+TEST(ObsWorkModel, CscKernelMatchesModelTileCounts) {
+  ThreadPool pool(4);
+  for (const char* name : kSuite) {
+    const Csr<value_t> a = Csr<value_t>::from_coo(suite_matrix(name));
+    const TileMatrix<value_t> at =
+        TileMatrix<value_t>::from_csr(a.transpose(), 16, 2);
+    for (const double sp : kSparsities) {
+      const TileVector<value_t> xt = TileVector<value_t>::from_sparse(
+          gen_sparse_vector(a.cols, sp, 2), 16);
+      const SpmspvWork model = work_tile_spmspv_csc(at, xt);
+
+      const CounterSnapshot before = obs::counters_snapshot();
+      (void)tile_spmspv_csc(at, xt, &pool);
+      const CounterSnapshot d = obs::counters_snapshot() - before;
+
+      SCOPED_TRACE(std::string(name) + " sparsity " + std::to_string(sp));
+      EXPECT_EQ(d[Counter::kTilesScanned], u64(model.tiles_scanned));
+      EXPECT_EQ(d[Counter::kTilesComputed], u64(model.tiles_computed));
+      EXPECT_EQ(d[Counter::kTilesSkippedEmpty], 0u);
+      EXPECT_EQ(d[Counter::kGatherSlots], u64(model.gather_slots));
+      EXPECT_LE(d[Counter::kPayloadMacs], u64(model.payload_macs));
+      EXPECT_LE(d[Counter::kSideMacs], u64(model.side_macs));
+      // A dense-ish generated vector tile has no interior zeros only by
+      // chance; the measured payload work must still be positive whenever
+      // the model predicts any.
+      if (model.payload_macs > 0) {
+        EXPECT_GT(d[Counter::kPayloadMacs], 0u);
+      }
+    }
+  }
+}
+
+TEST(ObsWorkModel, RepeatedRunsAreDeterministic) {
+  const Csr<value_t> a = Csr<value_t>::from_coo(suite_matrix("band-tiny"));
+  const TileMatrix<value_t> tiled = TileMatrix<value_t>::from_csr(a, 16, 2);
+  const TileVector<value_t> xt = TileVector<value_t>::from_sparse(
+      gen_sparse_vector(a.cols, 0.05, 3), 16);
+
+  CounterSnapshot first_delta;
+  for (int rep = 0; rep < 3; ++rep) {
+    const CounterSnapshot before = obs::counters_snapshot();
+    (void)tile_spmspv(tiled, xt);
+    const CounterSnapshot d = obs::counters_snapshot() - before;
+    if (rep == 0) {
+      first_delta = d;
+    } else {
+      EXPECT_EQ(d[Counter::kTilesScanned], first_delta[Counter::kTilesScanned]);
+      EXPECT_EQ(d[Counter::kPayloadMacs], first_delta[Counter::kPayloadMacs]);
+      EXPECT_EQ(d[Counter::kSideMacs], first_delta[Counter::kSideMacs]);
+    }
+  }
+}
+
+#else  // TILESPMSPV_NO_COUNTERS
+
+TEST(ObsWorkModel, CountersCompiledOut) {
+  EXPECT_FALSE(obs::counters_enabled());
+}
+
+#endif  // TILESPMSPV_NO_COUNTERS
+
+}  // namespace
+}  // namespace tilespmspv

@@ -137,6 +137,26 @@ TEST(Stats, MinMaxMean) {
   EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
 }
 
+TEST(Stats, PercentileEdgeCases) {
+  EXPECT_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_EQ(percentile({7.0}, 50.0), 7.0);
+  EXPECT_EQ(percentile({7.0}, 100.0), 7.0);
+  EXPECT_EQ(percentile({3.0, 1.0, 2.0}, 0.0), 1.0);
+  EXPECT_EQ(percentile({3.0, 1.0, 2.0}, 100.0), 3.0);
+}
+
+TEST(Stats, PercentileInterpolatesBetweenOrderStatistics) {
+  // Unsorted on purpose: percentile() sorts its own copy.
+  const std::vector<double> xs = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 17.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75.0), 32.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 95.0), 38.5);
+  // p50 of an odd-length vector is the middle element exactly.
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 3.0}, 50.0), 3.0);
+}
+
 TEST(Table, AlignedOutputContainsCells) {
   Table t({"name", "value"});
   t.add_row({"alpha", "1"});

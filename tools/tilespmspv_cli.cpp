@@ -3,14 +3,21 @@
 // Matrix Market files (or on the built-in synthetic suite) without
 // writing code.
 //
-//   tilespmspv_cli tiles  (--matrix F.mtx | --suite NAME) [--nt 16]
+//   tilespmspv_cli tiles  (--matrix F.mtx | --suite NAME) [--nt 16] [--json]
 //   tilespmspv_cli spmspv (--matrix F.mtx | --suite NAME)
 //                         [--sparsity 0.01] [--seed 1] [--iters 5]
-//                         [--compare]
+//                         [--compare] [--json]
 //   tilespmspv_cli bfs    (--matrix F.mtx | --suite NAME)
-//                         [--source -1 (max degree)] [--compare]
+//                         [--source -1 (max degree)] [--compare] [--json]
 //   tilespmspv_cli sssp   (--matrix F.mtx | --suite NAME) [--source 0]
 //   tilespmspv_cli list   (names of built-in suite matrices)
+//
+// Observability flags (any subcommand):
+//   --metrics PATH   write run metrics + kernel counters (JSON, or CSV when
+//                    PATH ends in .csv)
+//   --trace PATH     record trace spans, write Chrome trace-event JSON
+//                    (load in chrome://tracing or ui.perfetto.dev)
+//   --profile        print the merged kernel-counter table after the run
 #include <cstdio>
 #include <iostream>
 
@@ -26,7 +33,12 @@
 #include "formats/mm_io.hpp"
 #include "gen/suite.hpp"
 #include "gen/vector_gen.hpp"
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/args.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -46,6 +58,15 @@ Csr<value_t> load_matrix(const Args& args) {
   throw std::invalid_argument("pass --matrix FILE.mtx or --suite NAME");
 }
 
+void describe_matrix(const Args& args, obs::MetricsRegistry& metrics,
+                     const Csr<value_t>& a) {
+  const std::string file = args.get("--matrix");
+  metrics.put_str("matrix", file.empty() ? args.get("--suite") : file);
+  metrics.put_int("rows", a.rows);
+  metrics.put_int("cols", a.cols);
+  metrics.put_int("nnz", a.nnz());
+}
+
 int cmd_list() {
   Table t({"name", "description"});
   for (const auto& name : suite_all_names()) {
@@ -55,21 +76,54 @@ int cmd_list() {
   return 0;
 }
 
-int cmd_tiles(const Args& args) {
+int cmd_tiles(const Args& args, obs::MetricsRegistry& metrics) {
   const Csr<value_t> a = load_matrix(args);
   const auto nt = static_cast<index_t>(args.get_int("--nt", 16));
-  std::printf("matrix: %d x %d, %lld nonzeros\n", a.rows, a.cols,
-              static_cast<long long>(a.nnz()));
+  if (nt < 1 || nt > 256) {
+    throw std::invalid_argument("--nt must be in [1, 256]");
+  }
+  describe_matrix(args, metrics, a);
+  metrics.put_int("nt", nt);
+
+  obs::JsonWriter w(std::cout);
+  if (args.has("--json")) {
+    w.begin_object();
+    w.key("rows").value(a.rows);
+    w.key("cols").value(a.cols);
+    w.key("nnz").value(static_cast<std::int64_t>(a.nnz()));
+    w.key("nt").value(nt);
+    w.key("thresholds").begin_array();
+  } else {
+    std::printf("matrix: %d x %d, %lld nonzeros\n", a.rows, a.cols,
+                static_cast<long long>(a.nnz()));
+  }
   Table t({"extract threshold", "tiles kept", "nnz in tiles",
            "nnz extracted", "tile occupancy"});
   for (index_t threshold : {0, 1, 2, 4, 8}) {
     const TileMatrix<value_t> m =
         TileMatrix<value_t>::from_csr(a, nt, threshold);
-    t.add_row({std::to_string(threshold), fmt_count(m.num_tiles()),
-               fmt_count(m.tiled_nnz()), fmt_count(m.extracted.nnz()),
-               fmt(100.0 * m.tile_occupancy(), 4) + "%"});
+    if (args.has("--json")) {
+      w.begin_object();
+      w.key("extract_threshold").value(threshold);
+      w.key("tiles_kept").value(static_cast<std::int64_t>(m.num_tiles()));
+      w.key("nnz_in_tiles").value(static_cast<std::int64_t>(m.tiled_nnz()));
+      w.key("nnz_extracted")
+          .value(static_cast<std::int64_t>(m.extracted.nnz()));
+      w.key("tile_occupancy").value(m.tile_occupancy());
+      w.end_object();
+    } else {
+      t.add_row({std::to_string(threshold), fmt_count(m.num_tiles()),
+                 fmt_count(m.tiled_nnz()), fmt_count(m.extracted.nnz()),
+                 fmt(100.0 * m.tile_occupancy(), 4) + "%"});
+    }
   }
-  t.print(std::cout);
+  if (args.has("--json")) {
+    w.end_array();
+    w.end_object();
+    std::cout << "\n";
+  } else {
+    t.print(std::cout);
+  }
   return 0;
 }
 
@@ -118,7 +172,7 @@ int cmd_advise(const Args& args) {
   return 0;
 }
 
-int cmd_spmspv(const Args& args) {
+int cmd_spmspv(const Args& args, obs::MetricsRegistry& metrics) {
   const Csr<value_t> a = load_matrix(args);
   const double sparsity = args.get_double("--sparsity", 0.01);
   const auto seed = static_cast<std::uint64_t>(args.get_int("--seed", 1));
@@ -126,32 +180,81 @@ int cmd_spmspv(const Args& args) {
 
   SpmspvConfig cfg;
   cfg.nt = static_cast<index_t>(args.get_int("--nt", 16));
+  if (cfg.nt < 1 || cfg.nt > 256) {
+    throw std::invalid_argument("--nt must be in [1, 256]");
+  }
   Timer prep;
   SpmspvOperator<value_t> op(a, cfg);
   const double prep_ms = prep.elapsed_ms();
 
   const SparseVec<value_t> x = gen_sparse_vector(a.cols, sparsity, seed);
   const TileVector<value_t> xt = TileVector<value_t>::from_sparse(x, cfg.nt);
-  const double ms = time_best_ms([&] { (void)op.multiply(xt); }, iters);
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    Timer t;
+    (void)op.multiply(xt);
+    samples.push_back(t.elapsed_ms());
+  }
+  const double ms = min_of(samples);
   SparseVec<value_t> y = op.multiply(xt);
+  const char* kernel = op.select(xt) == SpmspvKernel::kCsc
+                           ? "CSC (vector-driven)"
+                           : "CSR (matrix-driven)";
 
-  std::printf("matrix %d x %d (%lld nnz); x: %d nonzeros (sparsity %g)\n",
-              a.rows, a.cols, static_cast<long long>(a.nnz()), x.nnz(),
-              sparsity);
-  std::printf("kernel: %s\n",
-              op.select(xt) == SpmspvKernel::kCsc ? "CSC (vector-driven)"
-                                                  : "CSR (matrix-driven)");
-  std::printf("preprocess %.3f ms; multiply %.4f ms (best of %d); |y| = %d\n",
-              prep_ms, ms, iters, y.nnz());
+  describe_matrix(args, metrics, a);
+  metrics.put_double("sparsity", sparsity);
+  metrics.put_int("x_nnz", x.nnz());
+  metrics.put_str("kernel", kernel);
+  metrics.put_double("preprocess_ms", prep_ms);
+  metrics.put_double("multiply_ms_best", ms);
+  metrics.put_double("multiply_ms_mean", mean(samples));
+  metrics.put_double("multiply_ms_p95", percentile(samples, 95.0));
+  metrics.put_int("y_nnz", y.nnz());
+
+  bool compared = false, match = false;
   if (args.has("--compare")) {
     const SparseVec<value_t> ref = csr_spmv(a, x);
-    std::printf("matches dense-vector SpMV: %s\n",
-                approx_equal(y, ref) ? "yes" : "NO");
+    compared = true;
+    match = approx_equal(y, ref);
   }
-  return 0;
+
+  if (args.has("--json")) {
+    obs::JsonWriter w(std::cout);
+    w.begin_object();
+    w.key("rows").value(a.rows);
+    w.key("cols").value(a.cols);
+    w.key("nnz").value(static_cast<std::int64_t>(a.nnz()));
+    w.key("sparsity").value(sparsity);
+    w.key("x_nnz").value(x.nnz());
+    w.key("kernel").value(kernel);
+    w.key("iters").value(iters);
+    w.key("preprocess_ms").value(prep_ms);
+    w.key("multiply_ms_best").value(ms);
+    w.key("multiply_ms_mean").value(mean(samples));
+    w.key("multiply_ms_p95").value(percentile(samples, 95.0));
+    w.key("y_nnz").value(y.nnz());
+    if (compared) w.key("matches_reference").value(match);
+    w.end_object();
+    std::cout << "\n";
+  } else {
+    std::printf("matrix %d x %d (%lld nnz); x: %d nonzeros (sparsity %g)\n",
+                a.rows, a.cols, static_cast<long long>(a.nnz()), x.nnz(),
+                sparsity);
+    std::printf("kernel: %s\n", kernel);
+    std::printf(
+        "preprocess %.3f ms; multiply %.4f ms (best of %d, mean %.4f, "
+        "p95 %.4f); |y| = %d\n",
+        prep_ms, ms, iters, mean(samples), percentile(samples, 95.0),
+        y.nnz());
+    if (compared) {
+      std::printf("matches dense-vector SpMV: %s\n", match ? "yes" : "NO");
+    }
+  }
+  return compared && !match ? 1 : 0;
 }
 
-int cmd_bfs(const Args& args) {
+int cmd_bfs(const Args& args, obs::MetricsRegistry& metrics) {
   const Csr<value_t> a = load_matrix(args);
   if (a.rows != a.cols) {
     std::fprintf(stderr, "bfs requires a square matrix\n");
@@ -169,24 +272,68 @@ int cmd_bfs(const Args& args) {
   }
   TileBfs bfs(a);
   const BfsResult r = bfs.run(source);
-  std::printf("n=%d, edges=%lld, tile size %d, %d tiles, preprocess %.2f ms\n",
-              a.rows, static_cast<long long>(bfs.edges()), bfs.tile_size(),
-              bfs.num_tiles(), bfs.preprocess_ms());
-  std::printf("BFS from %d: %d vertices in %zu levels, %.3f ms\n", source,
-              r.visited_count(), r.iterations.size(), r.total_ms);
-  if (args.has("--verbose")) {
+
+  describe_matrix(args, metrics, a);
+  metrics.put_int("source", source);
+  metrics.put_int("visited", r.visited_count());
+  metrics.put_int("levels", static_cast<std::int64_t>(r.iterations.size()));
+  metrics.put_double("preprocess_ms", bfs.preprocess_ms());
+  metrics.put_double("bfs_ms", r.total_ms);
+
+  bool compared = false, match = false;
+  if (args.has("--compare")) {
+    compared = true;
+    match = r.levels == serial_bfs(a, source);
+  }
+
+  if (args.has("--json")) {
+    obs::JsonWriter w(std::cout);
+    w.begin_object();
+    w.key("n").value(a.rows);
+    w.key("edges").value(static_cast<std::int64_t>(bfs.edges()));
+    w.key("tile_size").value(bfs.tile_size());
+    w.key("num_tiles").value(bfs.num_tiles());
+    w.key("preprocess_ms").value(bfs.preprocess_ms());
+    w.key("source").value(source);
+    w.key("visited").value(r.visited_count());
+    w.key("total_ms").value(r.total_ms);
+    w.key("iterations").begin_array();
     for (const auto& it : r.iterations) {
-      std::printf("  level %3d  %-8s frontier %8d  unvisited %8d  %.4f ms\n",
-                  it.level, bfs_kernel_name(it.kernel), it.frontier_size,
-                  it.unvisited, it.ms);
+      w.begin_object();
+      w.key("level").value(it.level);
+      w.key("kernel").value(bfs_kernel_name(it.kernel));
+      w.key("frontier_size").value(it.frontier_size);
+      w.key("unvisited").value(it.unvisited);
+      w.key("frontier_density").value(it.frontier_density);
+      w.key("unvisited_frac").value(it.unvisited_frac);
+      w.key("ms").value(it.ms);
+      w.end_object();
+    }
+    w.end_array();
+    if (compared) w.key("matches_reference").value(match);
+    w.end_object();
+    std::cout << "\n";
+  } else {
+    std::printf(
+        "n=%d, edges=%lld, tile size %d, %d tiles, preprocess %.2f ms\n",
+        a.rows, static_cast<long long>(bfs.edges()), bfs.tile_size(),
+        bfs.num_tiles(), bfs.preprocess_ms());
+    std::printf("BFS from %d: %d vertices in %zu levels, %.3f ms\n", source,
+                r.visited_count(), r.iterations.size(), r.total_ms);
+    if (args.has("--verbose")) {
+      for (const auto& it : r.iterations) {
+        std::printf(
+            "  level %3d  %-8s frontier %8d (%.4f)  unvisited %8d (%.4f)  "
+            "%.4f ms\n",
+            it.level, bfs_kernel_name(it.kernel), it.frontier_size,
+            it.frontier_density, it.unvisited, it.unvisited_frac, it.ms);
+      }
+    }
+    if (compared) {
+      std::printf("matches serial BFS: %s\n", match ? "yes" : "NO");
     }
   }
-  if (args.has("--compare")) {
-    const auto expect = serial_bfs(a, source);
-    std::printf("matches serial BFS: %s\n",
-                r.levels == expect ? "yes" : "NO");
-  }
-  return 0;
+  return compared && !match ? 1 : 0;
 }
 
 int cmd_sssp(const Args& args) {
@@ -260,29 +407,93 @@ int cmd_ppr(const Args& args) {
   return 0;
 }
 
+void print_profile(const obs::CounterSnapshot& snap) {
+  std::printf("\nkernel counters (merged across threads):\n");
+  Table t({"counter", "value"});
+  for (int i = 0; i < obs::kNumCounters; ++i) {
+    const auto c = static_cast<obs::Counter>(i);
+    t.add_row({obs::counter_name(c),
+               fmt_count(static_cast<long long>(snap[c]))});
+  }
+  t.print(std::cout);
+  if (!obs::counters_enabled()) {
+    std::printf("(counters compiled out: TILESPMSPV_NO_COUNTERS build)\n");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
   const auto pos = args.positional();
   const std::string cmd = pos.empty() ? "" : pos[0];
+  std::string metrics_path, trace_path;
   try {
-    if (cmd == "list") return cmd_list();
-    if (cmd == "tiles") return cmd_tiles(args);
-    if (cmd == "stats") return cmd_stats(args);
-    if (cmd == "advise") return cmd_advise(args);
-    if (cmd == "spmspv") return cmd_spmspv(args);
-    if (cmd == "bfs") return cmd_bfs(args);
-    if (cmd == "sssp") return cmd_sssp(args);
-    if (cmd == "cc") return cmd_cc(args);
-    if (cmd == "ppr") return cmd_ppr(args);
+    metrics_path = args.get("--metrics");
+    trace_path = args.get("--trace");
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  std::fprintf(stderr,
-               "usage: tilespmspv_cli "
-               "{list|tiles|stats|advise|spmspv|bfs|sssp|cc|ppr} "
-               "(--matrix F.mtx | --suite NAME) [options]\n");
-  return 2;
+  obs::MetricsRegistry metrics;
+  metrics.put_str("command", cmd);
+  if (!trace_path.empty()) obs::trace_enable();
+
+  int rc = 2;
+  bool dispatched = true;
+  try {
+    if (cmd == "list") {
+      rc = cmd_list();
+    } else if (cmd == "tiles") {
+      rc = cmd_tiles(args, metrics);
+    } else if (cmd == "stats") {
+      rc = cmd_stats(args);
+    } else if (cmd == "advise") {
+      rc = cmd_advise(args);
+    } else if (cmd == "spmspv") {
+      rc = cmd_spmspv(args, metrics);
+    } else if (cmd == "bfs") {
+      rc = cmd_bfs(args, metrics);
+    } else if (cmd == "sssp") {
+      rc = cmd_sssp(args);
+    } else if (cmd == "cc") {
+      rc = cmd_cc(args);
+    } else if (cmd == "ppr") {
+      rc = cmd_ppr(args);
+    } else {
+      dispatched = false;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  if (!dispatched) {
+    std::fprintf(stderr,
+                 "usage: tilespmspv_cli "
+                 "{list|tiles|stats|advise|spmspv|bfs|sssp|cc|ppr} "
+                 "(--matrix F.mtx | --suite NAME) [options]\n"
+                 "global options: [--json] [--metrics PATH] [--trace PATH] "
+                 "[--profile]\n");
+    return 2;
+  }
+
+  const obs::CounterSnapshot snap = obs::counters_snapshot();
+  if (args.has("--profile")) print_profile(snap);
+  if (!trace_path.empty()) {
+    obs::trace_disable();
+    if (!obs::trace_write_chrome_json_file(trace_path)) {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+  }
+  if (!metrics_path.empty()) {
+    metrics.add_counters(snap);
+    if (!metrics.write_file(metrics_path)) {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+  }
+  return rc;
 }
