@@ -7,6 +7,7 @@
 //
 // --metrics exports per-(matrix, sparsity) best/mean/p95 timings, the
 // aggregate speedups, and the merged kernel counters of the whole run.
+// --json is an alias for --metrics (CI artifact steps use it).
 #include <iostream>
 #include <string>
 
@@ -18,6 +19,7 @@
 #include "formats/csc.hpp"
 #include "gen/vector_gen.hpp"
 #include "util/args.hpp"
+#include "util/simd.hpp"
 
 using namespace tilespmspv;
 using namespace tilespmspv::bench;
@@ -27,11 +29,13 @@ int main(int argc, char** argv) {
   const auto pos = args.positional();
   int iters = static_cast<int>(args.get_int("--iters", 3));
   if (!pos.empty()) iters = std::atoi(pos[0].c_str());
-  const std::string metrics_path = args.get("--metrics");
+  std::string metrics_path = args.get("--metrics");
+  if (metrics_path.empty()) metrics_path = args.get("--json");
   const std::vector<double> sparsities = {0.1, 0.01, 0.001, 0.0001};
   ThreadPool pool(4);
   obs::MetricsRegistry metrics;
   metrics.put_str("bench", "fig6_spmspv");
+  metrics.put_str("simd_isa", simd::active_isa());
   metrics.put_int("iters", iters);
 
   std::cout << "Figure 6: SpMSpV comparison over the matrix suite\n"

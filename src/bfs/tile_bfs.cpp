@@ -238,19 +238,35 @@ BfsResult run_bfs(const BitTileGraph<NT>& g, index_t source,
     }
     side_edges_pass(g, x, m, y, pool);
 
-    // Assign levels and fold the new frontier into the visited mask.
-    index_t discovered = 0;
-    index_t discovered_words = 0;
-    for (index_t s = 0; s < y.num_words(); ++s) {
-      const Word w = y.words[s];
-      if (w == 0) continue;
-      ++discovered_words;
-      for_each_set_bit(w, [&](int b) {
-        result.levels[s * NT + b] = level;
-        ++discovered;
-      });
-      m.words[s] |= w;
-    }
+    // Assign levels and fold the new frontier into the visited mask. Each
+    // chunk owns a disjoint word range (level slots don't overlap across
+    // words), so the only shared state is the two reduction counters.
+    struct Tally {
+      index_t discovered = 0;
+      index_t words = 0;
+    };
+    const Tally tally = parallel_reduce<Tally>(
+        y.num_words(), Tally{},
+        [&](index_t s) {
+          Tally t;
+          const Word w = y.words[s];
+          if (w == 0) return t;
+          ++t.words;
+          for_each_set_bit(w, [&](int b) {
+            result.levels[s * NT + b] = level;
+            ++t.discovered;
+          });
+          m.words[s] |= w;
+          return t;
+        },
+        [](Tally a, Tally b) {
+          a.discovered += b.discovered;
+          a.words += b.words;
+          return a;
+        },
+        pool, /*chunk=*/512);
+    const index_t discovered = tally.discovered;
+    const index_t discovered_words = tally.words;
     if (cfg.record_iterations) {
       result.iterations.push_back(
           {level, kernel, frontier_size, unvisited,

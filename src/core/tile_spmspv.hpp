@@ -1,14 +1,30 @@
 // TileSpMSpV — the paper's numeric kernel (Algorithm 4).
 //
-// One work unit ("warp") per row of tiles: every non-empty matrix tile in
-// the tile row looks up its column position in the tiled vector's x_ptr in
+// One work unit per *work-balanced chunk* of tile rows (boundaries computed
+// once at conversion, see tile/tile_chunks.hpp): every non-empty matrix tile
+// in a tile row looks up its column position in the tiled vector's x_ptr in
 // O(1); empty vector tiles are skipped without touching the tile payload.
 // Surviving tiles run a tile-local CSR × dense-tile product into an
-// NT-element register-like accumulator. The very sparse part extracted
-// into COO at preprocessing time is processed by a separate edge-parallel
-// pass merged into the same output (paper §3.2.1 / §3.4 hybrid).
+// NT-element register-like accumulator, with the gather+multiply half of the
+// product vectorized (util/simd.hpp). The very sparse part extracted into
+// COO at preprocessing time is processed by a separate edge-parallel pass
+// merged into the same output (paper §3.2.1 / §3.4 hybrid).
+//
+// Execution-layer notes (this file implements all three scalar forms):
+//   - the CSC form scatters into per-slot privatized buckets instead of
+//     taking a CAS per value; buckets are merged during the gather, so the
+//     hot loop carries no value atomics at all;
+//   - phase 3 (gather) runs as a parallel range-concatenation: disjoint
+//     tile ranges assemble privately sized from the flagged-tile count and
+//     are spliced with a prefix sum, preserving the exact serial output;
+//   - all scratch (active-tile lists, privatized buckets, gather buffers)
+//     lives in SpmspvWorkspace, so steady-state multiplies allocate nothing.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "formats/sparse_vector.hpp"
@@ -16,19 +32,158 @@
 #include "obs/trace.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/parallel_for.hpp"
+#include "tile/tile_chunks.hpp"
 #include "tile/tile_matrix.hpp"
 #include "tile/tile_vector.hpp"
+#include "util/simd.hpp"
 #include "util/types.hpp"
 
 namespace tilespmspv {
 
+namespace detail {
+
+/// Stack scratch for the flat gather+multiply micro-kernel: covers every
+/// tile up to 4096 entries (all of nt <= 64, and any realistically sparse
+/// tile at larger nt); denser tiles fall back to per-row SIMD dots, where
+/// rows are long enough for lane partials to amortize.
+inline constexpr int kProdScratch = 4096;
+
+/// Dense-in-tile accumulation for one intra-CSR tile: acc[lr] +=
+/// sum_i vals[i] * xt[cols[i]] over the tile's local rows. For double the
+/// gather+multiply runs through the SIMD layer (flat over the whole tile
+/// when it fits the scratch, per-row dots otherwise); other value types
+/// keep the straightforward scalar loops.
+template <typename T>
+inline void intra_tile_accumulate(const T* vals, const std::uint8_t* cols,
+                                  const std::uint16_t* p, index_t nt,
+                                  const T* xt, T* acc, T* prod) {
+  if constexpr (std::is_same_v<T, double>) {
+    const int nnz = p[nt];
+    if (nnz <= kProdScratch) {
+      simd::gather_mul(vals, cols, nnz, xt, prod);
+      for (index_t lr = 0; lr < nt; ++lr) {
+        const int b = p[lr], e = p[lr + 1];
+        if (e > b) acc[lr] += simd::range_sum(prod + b, e - b);
+      }
+      return;
+    }
+    for (index_t lr = 0; lr < nt; ++lr) {
+      const int b = p[lr], e = p[lr + 1];
+      if (e > b) acc[lr] += simd::dot_gather(vals + b, cols + b, e - b, xt);
+    }
+  } else {
+    (void)prod;
+    for (index_t lr = 0; lr < nt; ++lr) {
+      T sum{};
+      for (int i = p[lr]; i < p[lr + 1]; ++i) {
+        sum += vals[i] * xt[cols[i]];
+      }
+      acc[lr] += sum;
+    }
+  }
+}
+
+/// Run-driven variant: `runs` lists the tile's non-empty local rows as
+/// (row, count - 1, contiguous) byte triples covering the tile's entries
+/// in order (see TileMatrix::build_row_runs). Sparse tiles touch only
+/// their populated rows — no nt-iteration row-pointer scan — and the tile's
+/// precomputed `strategy` selects the micro-kernel its run shape favors:
+/// per-run dots (gather-free FMA on contiguous-column rows, hardware
+/// gather on long scattered rows), the flat gather + segment sums, or a
+/// plain scalar loop for tiles of a handful of entries.
+template <typename T>
+inline void intra_tile_accumulate_runs(const T* vals, const std::uint8_t* cols,
+                                       const std::uint8_t* runs, int nruns,
+                                       int nnz, std::uint8_t strategy,
+                                       const T* xt, T* acc, T* prod) {
+  if constexpr (std::is_same_v<T, double>) {
+    if (strategy == TileMatrix<T>::kRunFlat && nnz <= kProdScratch) {
+      simd::gather_mul(vals, cols, nnz, xt, prod);
+      int pos = 0;
+      for (int ri = 0; ri < nruns; ++ri) {
+        const int lr = runs[3 * ri];
+        const int c = runs[3 * ri + 1] + 1;
+        acc[lr] += simd::range_sum(prod + pos, c);
+        pos += c;
+      }
+      return;
+    }
+    if (strategy != TileMatrix<T>::kRunTiny) {
+      int pos = 0;
+      for (int ri = 0; ri < nruns; ++ri) {
+        const int lr = runs[3 * ri];
+        const int c = runs[3 * ri + 1] + 1;
+        if (c == 1) {
+          acc[lr] += vals[pos] * xt[cols[pos]];
+        } else if (runs[3 * ri + 2]) {
+          acc[lr] += simd::dot_contig(vals + pos, xt + cols[pos], c);
+        } else if (c >= 8) {
+          acc[lr] += simd::dot_gather(vals + pos, cols + pos, c, xt);
+        } else {
+          T sum{};
+          for (int i = pos; i < pos + c; ++i) sum += vals[i] * xt[cols[i]];
+          acc[lr] += sum;
+        }
+        pos += c;
+      }
+      return;
+    }
+  }
+  (void)prod;
+  (void)nnz;
+  int pos = 0;
+  for (int ri = 0; ri < nruns; ++ri) {
+    const int lr = runs[3 * ri];
+    const int c = runs[3 * ri + 1] + 1;
+    T sum{};
+    for (int i = pos; i < pos + c; ++i) sum += vals[i] * xt[cols[i]];
+    acc[lr] += sum;
+    pos += c;
+  }
+}
+
+}  // namespace detail
+
+/// Per-range buffers for the parallel gather (phase 3): each range of
+/// output tiles assembles into its own pair of arrays, spliced afterwards.
+/// Buffers keep their capacity across multiplies.
+template <typename T>
+struct GatherScratch {
+  std::vector<std::vector<index_t>> idx;
+  std::vector<std::vector<T>> vals;
+  std::vector<std::size_t> offs;
+
+  void ensure(index_t ranges) {
+    if (static_cast<index_t>(idx.size()) < ranges) {
+      idx.resize(ranges);
+      vals.resize(ranges);
+    }
+    offs.assign(static_cast<std::size_t>(ranges) + 1, 0);
+  }
+};
+
 /// Reusable buffers so per-multiply cost stays proportional to the touched
 /// rows, not to the matrix size (important at vector sparsity 1e-4, where a
 /// full O(rows) clear would dominate and hide the algorithm's advantage).
+/// Invariants between calls: y_dense, tile_flag, priv_vals and priv_touched
+/// are all-zero; priv_list entries are empty; `active` holds garbage.
 template <typename T = value_t>
 struct SpmspvWorkspace {
   std::vector<T> y_dense;                  // all-zero between calls
   std::vector<unsigned char> tile_flag;    // all-zero between calls
+
+  // Hoisted scratch for the active-tile lists built each multiply.
+  std::vector<index_t> active;
+
+  // Privatized CSC scatter buckets: slot s owns priv_vals[s*stride ..] and
+  // priv_touched[s*out_tiles ..]; priv_list[s] records which output tiles
+  // slot s touched (for capacity-preserving clears only — the merge pass
+  // discovers tiles from priv_touched).
+  std::vector<T> priv_vals;
+  std::vector<unsigned char> priv_touched;
+  std::vector<std::vector<index_t>> priv_list;
+
+  GatherScratch<T> gather;
 
   void ensure(index_t rows, index_t tile_rows) {
     if (static_cast<index_t>(y_dense.size()) < rows) {
@@ -38,7 +193,124 @@ struct SpmspvWorkspace {
       tile_flag.assign(tile_rows, 0);
     }
   }
+
+  void ensure_csc(index_t out_tiles, index_t nt, int buckets) {
+    const std::size_t need_vals = static_cast<std::size_t>(buckets) *
+                                  static_cast<std::size_t>(out_tiles) * nt;
+    if (priv_vals.size() < need_vals) priv_vals.resize(need_vals, T{});
+    const std::size_t need_touched =
+        static_cast<std::size_t>(buckets) * out_tiles;
+    if (priv_touched.size() < need_touched) {
+      priv_touched.resize(need_touched, 0);
+    }
+    if (priv_list.size() < static_cast<std::size_t>(buckets)) {
+      priv_list.resize(buckets);
+    }
+    // The merge dedups the per-slot lists through tile_flag, so it must
+    // span the *output* tile grid too.
+    if (static_cast<index_t>(tile_flag.size()) < out_tiles) {
+      tile_flag.assign(out_tiles, 0);
+    }
+  }
 };
+
+namespace detail {
+
+/// Number of gather ranges for `tiles` output tile slots on `p`. 1 means
+/// "assemble serially": small outputs, a single-slot pool, or a host
+/// without real hardware parallelism (an oversubscribed pool would pay
+/// the splice's extra output copy with no concurrent assembly to show
+/// for it).
+inline index_t gather_ranges(index_t tiles, ThreadPool& p) {
+  static const unsigned hw = std::thread::hardware_concurrency();
+  if (hw <= 1 || p.size() <= 1 || tiles < 4096) return 1;
+  return std::min<index_t>(tiles,
+                           static_cast<index_t>(4 * p.size()));
+}
+
+/// Splices per-range gather buffers into one SparseVec via prefix sums.
+/// Range buffers are cleared (capacity kept) on the way out.
+template <typename T>
+void splice_ranges(index_t ranges, GatherScratch<T>& gs, ThreadPool* pool,
+                   SparseVec<T>& y) {
+  for (index_t r = 0; r < ranges; ++r) {
+    gs.offs[r + 1] = gs.offs[r] + gs.idx[r].size();
+  }
+  const std::size_t total = gs.offs[ranges];
+  y.idx.resize(total);
+  y.vals.resize(total);
+  parallel_for(
+      ranges,
+      [&](index_t r) {
+        std::copy(gs.idx[r].begin(), gs.idx[r].end(),
+                  y.idx.begin() + gs.offs[r]);
+        std::copy(gs.vals[r].begin(), gs.vals[r].end(),
+                  y.vals.begin() + gs.offs[r]);
+        gs.idx[r].clear();
+        gs.vals[r].clear();
+      },
+      pool, /*chunk=*/1);
+}
+
+/// Phase-3 gather over a dense accumulator + per-tile flags (CSR and masked
+/// forms): emits nonzeros of flagged tiles in index order, restoring the
+/// all-zero workspace invariant. `mask` (optional) suppresses emission at
+/// positions where mask[r] == complement; the accumulator is cleared either
+/// way. Parallel ranges produce bit-identical output to the serial loop.
+template <typename T>
+SparseVec<T> gather_flagged_tiles(index_t n, index_t tiles, index_t nt, T* yd,
+                                  unsigned char* flag, GatherScratch<T>& gs,
+                                  ThreadPool* pool,
+                                  const std::vector<bool>* mask,
+                                  bool complement) {
+  ThreadPool& p = pool ? *pool : ThreadPool::shared();
+  SparseVec<T> y(n);
+  const index_t ranges = gather_ranges(tiles, p);
+
+  const auto assemble = [&](index_t t_begin, index_t t_end,
+                            std::vector<index_t>& out_idx,
+                            std::vector<T>& out_vals) {
+    // Size from the flagged-tile count: at most nt entries per flagged
+    // tile, so one scan replaces geometric reallocation during the pushes.
+    index_t flagged = 0;
+    for (index_t tr = t_begin; tr < t_end; ++tr) flagged += flag[tr] ? 1 : 0;
+    out_idx.reserve(out_idx.size() + static_cast<std::size_t>(flagged) * nt);
+    out_vals.reserve(out_vals.size() + static_cast<std::size_t>(flagged) * nt);
+    for (index_t tr = t_begin; tr < t_end; ++tr) {
+      if (!flag[tr]) continue;
+      flag[tr] = 0;
+      const index_t r_begin = tr * nt;
+      const index_t r_end = std::min<index_t>(r_begin + nt, n);
+      for (index_t r = r_begin; r < r_end; ++r) {
+        if (yd[r] != T{} &&
+            (mask == nullptr || (*mask)[r] != complement)) {
+          out_idx.push_back(r);
+          out_vals.push_back(yd[r]);
+        }
+        yd[r] = T{};
+      }
+    }
+  };
+
+  if (ranges <= 1) {
+    assemble(0, tiles, y.idx, y.vals);
+    return y;
+  }
+  gs.ensure(ranges);
+  const index_t per = ceil_div(tiles, ranges);
+  parallel_for(
+      ranges,
+      [&](index_t r) {
+        const index_t t_begin = r * per;
+        const index_t t_end = std::min<index_t>(t_begin + per, tiles);
+        assemble(t_begin, t_end, gs.idx[r], gs.vals[r]);
+      },
+      &p, /*chunk=*/1);
+  splice_ranges(ranges, gs, &p, y);
+  return y;
+}
+
+}  // namespace detail
 
 /// y = A x with A in tiled form and x in tiled vector form.
 template <typename T>
@@ -49,39 +321,66 @@ SparseVec<T> tile_spmspv(const TileMatrix<T>& a, const TileVector<T>& x,
   T* yd = ws.y_dense.data();
   unsigned char* flag = ws.tile_flag.data();
 
-  // Phase 1: tiled part, one task per tile row (paper Alg. 4). Counters
-  // accumulate into locals and flush once per tile row; with counters
+  // Phase 1: tiled part, one task per work-balanced chunk of tile rows
+  // (paper Alg. 4 with conversion-time weighted scheduling). Counters
+  // accumulate into locals and flush once per chunk; with counters
   // compiled out the adds are dead and the locals fold away.
   {
     obs::TraceSpan span("spmspv/phase1_tiled", "spmspv", "csr");
+    std::vector<index_t> fallback;
+    const std::vector<index_t>* cp = &a.row_chunk_ptr;
+    if (cp->size() < 2) {
+      fallback = uniform_row_chunks(a.tile_rows, 8);
+      cp = &fallback;
+    }
+    const auto nchunks = static_cast<index_t>(cp->size()) - 1;
+    const index_t* chunk_ptr = cp->data();
+    const bool have_runs =
+        a.run_ptr.size() == static_cast<std::size_t>(a.num_tiles()) + 1;
     parallel_for(
-        a.tile_rows,
-        [&](index_t tr) {
+        nchunks,
+        [&](index_t c) {
           T acc[256];  // nt <= 256 by TileMatrix invariant
-          bool any = false;
+          T prod[detail::kProdScratch];
           std::uint64_t scanned = 0, computed = 0, macs = 0;
-          for (offset_t t = a.tile_row_ptr[tr]; t < a.tile_row_ptr[tr + 1];
-               ++t) {
-            ++scanned;
-            const index_t tile_colid = a.tile_col_id[t];
-            const index_t x_offset = x.x_ptr[tile_colid];  // O(1) positioning
-            if (x_offset == kEmptyTile) continue;          // skip empty x tile
-            ++computed;
-            macs += static_cast<std::uint64_t>(a.tile_nnz_ptr[t + 1] -
-                                               a.tile_nnz_ptr[t]);
-            const T* xt = &x.x_tile[static_cast<std::size_t>(x_offset) * nt];
-            if (!any) {
-              for (index_t i = 0; i < nt; ++i) acc[i] = T{};
-              any = true;
-            }
-            const std::uint16_t* p = &a.intra_row_ptr[t * (nt + 1)];
-            const offset_t base = a.tile_nnz_ptr[t];
-            for (index_t lr = 0; lr < nt; ++lr) {
-              T sum{};
-              for (offset_t i = base + p[lr]; i < base + p[lr + 1]; ++i) {
-                sum += a.vals[i] * xt[a.local_col[i]];
+          for (index_t tr = chunk_ptr[c]; tr < chunk_ptr[c + 1]; ++tr) {
+            bool any = false;
+            for (offset_t t = a.tile_row_ptr[tr]; t < a.tile_row_ptr[tr + 1];
+                 ++t) {
+              ++scanned;
+              const index_t tile_colid = a.tile_col_id[t];
+              const index_t x_offset = x.x_ptr[tile_colid];  // O(1) position
+              if (x_offset == kEmptyTile) continue;  // skip empty x tile
+              ++computed;
+              const offset_t base = a.tile_nnz_ptr[t];
+              const auto tile_nnz =
+                  static_cast<int>(a.tile_nnz_ptr[t + 1] - base);
+              macs += static_cast<std::uint64_t>(tile_nnz);
+              const T* xt =
+                  &x.x_tile[static_cast<std::size_t>(x_offset) * nt];
+              if (!any) {
+                for (index_t i = 0; i < nt; ++i) acc[i] = T{};
+                any = true;
               }
-              acc[lr] += sum;
+              if (have_runs) {
+                detail::intra_tile_accumulate_runs(
+                    &a.vals[base], &a.local_col[base],
+                    a.row_runs.data() + 3 * a.run_ptr[t],
+                    static_cast<int>(a.run_ptr[t + 1] - a.run_ptr[t]),
+                    tile_nnz, a.tile_strategy[t], xt, acc, prod);
+              } else {
+                detail::intra_tile_accumulate(
+                    &a.vals[base], &a.local_col[base],
+                    &a.intra_row_ptr[t * (nt + 1)], nt, xt, acc, prod);
+              }
+            }
+            if (any) {
+              const index_t r_begin = tr * nt;
+              const index_t r_end = std::min<index_t>(r_begin + nt, a.rows);
+              for (index_t r = r_begin; r < r_end; ++r) {
+                yd[r] = acc[r - r_begin];
+              }
+              flag[tr] = 1;
             }
           }
           obs::counter_add(obs::Counter::kTilesScanned, scanned);
@@ -89,26 +388,19 @@ SparseVec<T> tile_spmspv(const TileMatrix<T>& a, const TileVector<T>& x,
                            scanned - computed);
           obs::counter_add(obs::Counter::kTilesComputed, computed);
           obs::counter_add(obs::Counter::kPayloadMacs, macs);
-          if (any) {
-            const index_t r_begin = tr * nt;
-            const index_t r_end = std::min<index_t>(r_begin + nt, a.rows);
-            for (index_t r = r_begin; r < r_end; ++r) {
-              yd[r] = acc[r - r_begin];
-            }
-            flag[tr] = 1;
-          }
         },
-        pool, /*chunk=*/8);
+        pool, /*chunk=*/1);
   }
 
   // Phase 2: extracted very-sparse part, driven by the active columns so
   // its cost is proportional to nnz(x), not to the side-matrix size.
   if (a.extracted.nnz() > 0) {
     obs::TraceSpan span("spmspv/phase2_side", "spmspv", "csr");
-    std::vector<index_t> active;
+    ws.active.clear();
     for (index_t s = 0; s < x.num_tiles(); ++s) {
-      if (x.x_ptr[s] != kEmptyTile) active.push_back(s);
+      if (x.x_ptr[s] != kEmptyTile) ws.active.push_back(s);
     }
+    const std::vector<index_t>& active = ws.active;
     parallel_for(
         static_cast<index_t>(active.size()),
         [&](index_t ai) {
@@ -139,18 +431,8 @@ SparseVec<T> tile_spmspv(const TileMatrix<T>& a, const TileVector<T>& x,
   obs::TraceSpan span("spmspv/phase3_gather", "spmspv", "csr");
   obs::counter_add(obs::Counter::kGatherSlots,
                    static_cast<std::uint64_t>(a.tile_rows));
-  SparseVec<T> y(a.rows);
-  for (index_t tr = 0; tr < a.tile_rows; ++tr) {
-    if (!flag[tr]) continue;
-    flag[tr] = 0;
-    const index_t r_begin = tr * nt;
-    const index_t r_end = std::min<index_t>(r_begin + nt, a.rows);
-    for (index_t r = r_begin; r < r_end; ++r) {
-      if (yd[r] != T{}) y.push(r, yd[r]);
-      yd[r] = T{};
-    }
-  }
-  return y;
+  return detail::gather_flagged_tiles(a.rows, a.tile_rows, nt, yd, flag,
+                                      ws.gather, pool, nullptr, false);
 }
 
 /// Convenience overload owning a transient workspace.
@@ -173,8 +455,10 @@ SparseVec<T> tile_spmspv(const TileMatrix<T>& a, const TileVector<T>& x,
 /// a local row is an input (column) index of A and a local column an
 /// output (row) index, so the same TileMatrix structure serves both
 /// orientations. Several tile columns can scatter into the same output
-/// tile, hence the atomic merge (the paper's Push-CSC does the same with
-/// atomic OR).
+/// tile; instead of the paper's atomic merge, each pool slot scatters into
+/// its own privatized bucket (owner-computes two-pass scheme) and the
+/// buckets are summed during the gather, so the hot loop performs no value
+/// atomics at all.
 template <typename T>
 SparseVec<T> tile_spmspv_csc(const TileMatrix<T>& at, const TileVector<T>& x,
                              SpmspvWorkspace<T>& ws,
@@ -182,25 +466,36 @@ SparseVec<T> tile_spmspv_csc(const TileMatrix<T>& at, const TileVector<T>& x,
   const index_t nt = at.nt;
   const index_t out_n = at.cols;  // rows of A
   const index_t out_tiles = at.tile_cols;
-  ws.ensure(out_n, out_tiles);
-  T* yd = ws.y_dense.data();
-  unsigned char* flag = ws.tile_flag.data();
+  ThreadPool& p = pool ? *pool : ThreadPool::shared();
+  const int buckets = static_cast<int>(p.size());
+  const std::size_t stride =
+      static_cast<std::size_t>(out_tiles) * static_cast<std::size_t>(nt);
+  ws.ensure_csc(out_tiles, nt, buckets);
 
   // Active tile columns of A = non-empty tiles of x = tile rows of Aᵀ with
   // a matching vector tile.
-  std::vector<index_t> active;
+  ws.active.clear();
   for (index_t s = 0; s < x.num_tiles(); ++s) {
     if (x.x_ptr[s] != kEmptyTile && s < at.tile_rows &&
         at.tile_row_ptr[s] < at.tile_row_ptr[s + 1]) {
-      active.push_back(s);
+      ws.active.push_back(s);
     }
   }
+  const std::vector<index_t>& active = ws.active;
 
   {
     obs::TraceSpan span("spmspv/phase1_tiled", "spmspv", "csc");
     parallel_for(
         static_cast<index_t>(active.size()),
         [&](index_t ai) {
+          const int slot = ThreadPool::current_slot();
+          assert(slot < buckets);
+          T* pv = ws.priv_vals.data() + static_cast<std::size_t>(slot) * stride;
+          unsigned char* pt =
+              ws.priv_touched.data() +
+              static_cast<std::size_t>(slot) * out_tiles;
+          std::vector<index_t>& plist = ws.priv_list[slot];
+
           const index_t s = active[ai];
           const T* xt =
               &x.x_tile[static_cast<std::size_t>(x.x_ptr[s]) * nt];
@@ -209,20 +504,25 @@ SparseVec<T> tile_spmspv_csc(const TileMatrix<T>& at, const TileVector<T>& x,
                ++t) {
             ++scanned;
             const index_t out_tile = at.tile_col_id[t];
-            const index_t out_base = out_tile * nt;
-            const std::uint16_t* p = &at.intra_row_ptr[t * (nt + 1)];
+            T* tb = pv + static_cast<std::size_t>(out_tile) * nt;
+            const std::uint16_t* rp = &at.intra_row_ptr[t * (nt + 1)];
             const offset_t base = at.tile_nnz_ptr[t];
             bool touched = false;
             for (index_t lj = 0; lj < nt; ++lj) {  // local input index
               const T xv = xt[lj];
               if (xv == T{}) continue;
-              macs += static_cast<std::uint64_t>(p[lj + 1] - p[lj]);
-              for (offset_t i = base + p[lj]; i < base + p[lj + 1]; ++i) {
-                atomic_add(&yd[out_base + at.local_col[i]], at.vals[i] * xv);
-                touched = true;
+              const int b = rp[lj], e = rp[lj + 1];
+              if (e == b) continue;
+              macs += static_cast<std::uint64_t>(e - b);
+              touched = true;
+              for (offset_t i = base + b; i < base + e; ++i) {
+                tb[at.local_col[i]] += at.vals[i] * xv;
               }
             }
-            if (touched) atomic_or<unsigned char>(&flag[out_tile], 1);
+            if (touched && !pt[out_tile]) {
+              pt[out_tile] = 1;
+              plist.push_back(out_tile);
+            }
           }
           // Vector-driven form: every scanned tile is computed (there is no
           // metadata-only skip), so the two counters move together.
@@ -230,21 +530,33 @@ SparseVec<T> tile_spmspv_csc(const TileMatrix<T>& at, const TileVector<T>& x,
           obs::counter_add(obs::Counter::kTilesComputed, scanned);
           obs::counter_add(obs::Counter::kPayloadMacs, macs);
         },
-        pool, /*chunk=*/2);
+        &p, /*chunk=*/2);
   }
 
   // Extracted side part of Aᵀ: entry (j, i) of Aᵀ is A[i][j], so walking
   // extracted *rows* j selected by x visits exactly the active columns of
-  // A (side_row_ptr indexes the row-major extracted COO).
+  // A (side_row_ptr indexes the row-major extracted COO). Scatters into
+  // the same privatized buckets as phase 1 (bucket element i lives at
+  // pv[i] because the bucket layout is tile-major and tiles are
+  // contiguous), so this pass is value-atomic-free as well.
   if (at.extracted.nnz() > 0) {
     obs::TraceSpan span("spmspv/phase2_side", "spmspv", "csc");
-    std::vector<index_t> x_active;
+    ws.active.clear();
     for (index_t s = 0; s < x.num_tiles(); ++s) {
-      if (x.x_ptr[s] != kEmptyTile) x_active.push_back(s);
+      if (x.x_ptr[s] != kEmptyTile) ws.active.push_back(s);
     }
+    const std::vector<index_t>& x_active = ws.active;
     parallel_for(
         static_cast<index_t>(x_active.size()),
         [&](index_t ai) {
+          const int slot = ThreadPool::current_slot();
+          assert(slot < buckets);
+          T* pv = ws.priv_vals.data() + static_cast<std::size_t>(slot) * stride;
+          unsigned char* pt =
+              ws.priv_touched.data() +
+              static_cast<std::size_t>(slot) * out_tiles;
+          std::vector<index_t>& plist = ws.priv_list[slot];
+
           const index_t s = x_active[ai];
           const T* xt = &x.x_tile[static_cast<std::size_t>(x.x_ptr[s]) * nt];
           std::uint64_t side = 0;
@@ -258,29 +570,104 @@ SparseVec<T> tile_spmspv_csc(const TileMatrix<T>& at, const TileVector<T>& x,
             for (offset_t k = at.side_row_ptr[j]; k < at.side_row_ptr[j + 1];
                  ++k) {
               const index_t i = at.extracted.col_idx[k];
-              atomic_add(&yd[i], at.extracted.vals[k] * xv);
-              atomic_or<unsigned char>(&flag[i / nt], 1);
+              pv[i] += at.extracted.vals[k] * xv;
+              const index_t ot = i / nt;
+              if (!pt[ot]) {
+                pt[ot] = 1;
+                plist.push_back(ot);
+              }
             }
           }
           obs::counter_add(obs::Counter::kSideMacs, side);
         },
-        pool, /*chunk=*/16);
+        &p, /*chunk=*/16);
   }
 
-  // Gather touched output tiles (same as the CSR form's phase 3).
+  // Phase 3: merge the privatized buckets and gather, driven by the union
+  // of the per-slot touched lists — cost proportional to the tiles the
+  // multiply actually produced, never to the output tile grid (the old
+  // atomic kernel's gather scanned every output tile's flag). Sorting the
+  // union keeps the emitted indices ordered; each candidate tile is owned
+  // by exactly one range, so bucket blocks are read, summed and re-zeroed
+  // without synchronization.
   obs::TraceSpan span("spmspv/phase3_gather", "spmspv", "csc");
   obs::counter_add(obs::Counter::kGatherSlots,
                    static_cast<std::uint64_t>(out_tiles));
   SparseVec<T> y(out_n);
-  for (index_t tr = 0; tr < out_tiles; ++tr) {
-    if (!flag[tr]) continue;
-    flag[tr] = 0;
-    const index_t r_begin = tr * nt;
-    const index_t r_end = std::min<index_t>(r_begin + nt, out_n);
-    for (index_t r = r_begin; r < r_end; ++r) {
-      if (yd[r] != T{}) y.push(r, yd[r]);
-      yd[r] = T{};
+  unsigned char* mflag = ws.tile_flag.data();
+  ws.active.clear();  // phases 1-2 are done with it; reuse for the union
+  for (int bk = 0; bk < buckets; ++bk) {
+    for (const index_t ot : ws.priv_list[bk]) {
+      if (!mflag[ot]) {
+        mflag[ot] = 1;
+        ws.active.push_back(ot);
+      }
     }
+    ws.priv_list[bk].clear();
+  }
+  std::sort(ws.active.begin(), ws.active.end());
+  const std::vector<index_t>& cand = ws.active;
+  const auto ncand = static_cast<index_t>(cand.size());
+
+  const auto merge_range = [&](index_t c_begin, index_t c_end,
+                               std::vector<index_t>& out_idx,
+                               std::vector<T>& out_vals) {
+    out_idx.reserve(out_idx.size() +
+                    static_cast<std::size_t>(c_end - c_begin) * nt);
+    out_vals.reserve(out_vals.size() +
+                     static_cast<std::size_t>(c_end - c_begin) * nt);
+    T merged[256];  // nt <= 256 by TileMatrix invariant
+    for (index_t ci = c_begin; ci < c_end; ++ci) {
+      const index_t ot = cand[ci];
+      mflag[ot] = 0;
+      bool any = false;
+      for (int bk = 0; bk < buckets; ++bk) {
+        unsigned char& touched =
+            ws.priv_touched[static_cast<std::size_t>(bk) * out_tiles + ot];
+        if (!touched) continue;
+        touched = 0;
+        T* tb = ws.priv_vals.data() + static_cast<std::size_t>(bk) * stride +
+                static_cast<std::size_t>(ot) * nt;
+        if (!any) {
+          for (index_t i = 0; i < nt; ++i) {
+            merged[i] = tb[i];
+            tb[i] = T{};
+          }
+          any = true;
+        } else {
+          for (index_t i = 0; i < nt; ++i) {
+            merged[i] += tb[i];
+            tb[i] = T{};
+          }
+        }
+      }
+      if (!any) continue;  // unreachable: every listed tile has a bucket
+      const index_t r_begin = ot * nt;
+      const index_t r_end = std::min<index_t>(r_begin + nt, out_n);
+      for (index_t r = r_begin; r < r_end; ++r) {
+        if (merged[r - r_begin] != T{}) {
+          out_idx.push_back(r);
+          out_vals.push_back(merged[r - r_begin]);
+        }
+      }
+    }
+  };
+
+  const index_t ranges = detail::gather_ranges(ncand, p);
+  if (ranges <= 1) {
+    merge_range(0, ncand, y.idx, y.vals);
+  } else {
+    ws.gather.ensure(ranges);
+    const index_t per = ceil_div(ncand, ranges);
+    parallel_for(
+        ranges,
+        [&](index_t r) {
+          const index_t c_begin = r * per;
+          const index_t c_end = std::min<index_t>(c_begin + per, ncand);
+          merge_range(c_begin, c_end, ws.gather.idx[r], ws.gather.vals[r]);
+        },
+        &p, /*chunk=*/1);
+    detail::splice_ranges(ranges, ws.gather, &p, y);
   }
   return y;
 }
@@ -315,33 +702,58 @@ SparseVec<T> tile_spmspv_masked(const TileMatrix<T>& a,
 
   {
     obs::TraceSpan span("spmspv/phase1_tiled", "spmspv", "masked");
+    std::vector<index_t> fallback;
+    const std::vector<index_t>* cp = &a.row_chunk_ptr;
+    if (cp->size() < 2) {
+      fallback = uniform_row_chunks(a.tile_rows, 8);
+      cp = &fallback;
+    }
+    const auto nchunks = static_cast<index_t>(cp->size()) - 1;
+    const index_t* chunk_ptr = cp->data();
+    const bool have_runs =
+        a.run_ptr.size() == static_cast<std::size_t>(a.num_tiles()) + 1;
     parallel_for(
-        a.tile_rows,
-        [&](index_t tr) {
+        nchunks,
+        [&](index_t c) {
           T acc[256];
-          bool any = false;
+          T prod[detail::kProdScratch];
           std::uint64_t scanned = 0, computed = 0, macs = 0;
-          for (offset_t t = a.tile_row_ptr[tr]; t < a.tile_row_ptr[tr + 1];
-               ++t) {
-            ++scanned;
-            const index_t x_offset = x.x_ptr[a.tile_col_id[t]];
-            if (x_offset == kEmptyTile) continue;
-            ++computed;
-            macs += static_cast<std::uint64_t>(a.tile_nnz_ptr[t + 1] -
-                                               a.tile_nnz_ptr[t]);
-            const T* xt = &x.x_tile[static_cast<std::size_t>(x_offset) * nt];
-            if (!any) {
-              for (index_t i = 0; i < nt; ++i) acc[i] = T{};
-              any = true;
-            }
-            const std::uint16_t* p = &a.intra_row_ptr[t * (nt + 1)];
-            const offset_t base = a.tile_nnz_ptr[t];
-            for (index_t lr = 0; lr < nt; ++lr) {
-              T sum{};
-              for (offset_t i = base + p[lr]; i < base + p[lr + 1]; ++i) {
-                sum += a.vals[i] * xt[a.local_col[i]];
+          for (index_t tr = chunk_ptr[c]; tr < chunk_ptr[c + 1]; ++tr) {
+            bool any = false;
+            for (offset_t t = a.tile_row_ptr[tr]; t < a.tile_row_ptr[tr + 1];
+                 ++t) {
+              ++scanned;
+              const index_t x_offset = x.x_ptr[a.tile_col_id[t]];
+              if (x_offset == kEmptyTile) continue;
+              ++computed;
+              const offset_t base = a.tile_nnz_ptr[t];
+              const auto tile_nnz =
+                  static_cast<int>(a.tile_nnz_ptr[t + 1] - base);
+              macs += static_cast<std::uint64_t>(tile_nnz);
+              const T* xt =
+                  &x.x_tile[static_cast<std::size_t>(x_offset) * nt];
+              if (!any) {
+                for (index_t i = 0; i < nt; ++i) acc[i] = T{};
+                any = true;
               }
-              acc[lr] += sum;
+              if (have_runs) {
+                detail::intra_tile_accumulate_runs(
+                    &a.vals[base], &a.local_col[base],
+                    a.row_runs.data() + 3 * a.run_ptr[t],
+                    static_cast<int>(a.run_ptr[t + 1] - a.run_ptr[t]),
+                    tile_nnz, a.tile_strategy[t], xt, acc, prod);
+              } else {
+                detail::intra_tile_accumulate(
+                    &a.vals[base], &a.local_col[base],
+                    &a.intra_row_ptr[t * (nt + 1)], nt, xt, acc, prod);
+              }
+            }
+            if (any) {
+              const index_t r_end = std::min<index_t>((tr + 1) * nt, a.rows);
+              for (index_t r = tr * nt; r < r_end; ++r) {
+                yd[r] = acc[r - tr * nt];
+              }
+              flag[tr] = 1;
             }
           }
           obs::counter_add(obs::Counter::kTilesScanned, scanned);
@@ -349,21 +761,17 @@ SparseVec<T> tile_spmspv_masked(const TileMatrix<T>& a,
                            scanned - computed);
           obs::counter_add(obs::Counter::kTilesComputed, computed);
           obs::counter_add(obs::Counter::kPayloadMacs, macs);
-          if (any) {
-            const index_t r_end = std::min<index_t>((tr + 1) * nt, a.rows);
-            for (index_t r = tr * nt; r < r_end; ++r) yd[r] = acc[r - tr * nt];
-            flag[tr] = 1;
-          }
         },
-        pool, /*chunk=*/8);
+        pool, /*chunk=*/1);
   }
 
   if (a.extracted.nnz() > 0) {
     obs::TraceSpan span("spmspv/phase2_side", "spmspv", "masked");
-    std::vector<index_t> active;
+    ws.active.clear();
     for (index_t s = 0; s < x.num_tiles(); ++s) {
-      if (x.x_ptr[s] != kEmptyTile) active.push_back(s);
+      if (x.x_ptr[s] != kEmptyTile) ws.active.push_back(s);
     }
+    const std::vector<index_t>& active = ws.active;
     parallel_for(
         static_cast<index_t>(active.size()),
         [&](index_t ai) {
@@ -392,17 +800,9 @@ SparseVec<T> tile_spmspv_masked(const TileMatrix<T>& a,
   obs::TraceSpan span("spmspv/phase3_gather", "spmspv", "masked");
   obs::counter_add(obs::Counter::kGatherSlots,
                    static_cast<std::uint64_t>(a.tile_rows));
-  SparseVec<T> y(a.rows);
-  for (index_t tr = 0; tr < a.tile_rows; ++tr) {
-    if (!flag[tr]) continue;
-    flag[tr] = 0;
-    const index_t r_end = std::min<index_t>((tr + 1) * nt, a.rows);
-    for (index_t r = tr * nt; r < r_end; ++r) {
-      if (yd[r] != T{} && mask_dense[r] != complement) y.push(r, yd[r]);
-      yd[r] = T{};
-    }
-  }
-  return y;
+  return detail::gather_flagged_tiles(a.rows, a.tile_rows, nt, yd, flag,
+                                      ws.gather, pool, &mask_dense,
+                                      complement);
 }
 
 }  // namespace tilespmspv

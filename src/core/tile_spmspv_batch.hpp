@@ -8,6 +8,7 @@
 // so payload bytes are reused while resident.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "core/tile_spmspv.hpp"
@@ -44,55 +45,78 @@ std::vector<SparseVec<T>> tile_spmspv_batch(
       k, std::vector<unsigned char>(a.tile_rows, 0));
 
   obs::TraceSpan batch_span("spmspv/batch", "spmspv");
+  std::vector<index_t> fallback;
+  const std::vector<index_t>* cp = &a.row_chunk_ptr;
+  if (cp->size() < 2) {
+    fallback = uniform_row_chunks(a.tile_rows, 4);
+    cp = &fallback;
+  }
+  const auto nchunks = static_cast<index_t>(cp->size()) - 1;
+  const index_t* chunk_ptr = cp->data();
+  const bool have_runs =
+      a.run_ptr.size() == static_cast<std::size_t>(a.num_tiles()) + 1;
   parallel_for(
-      a.tile_rows,
-      [&](index_t tr) {
-        // acc[k][nt] flattened; 256 is the nt cap from TileMatrix.
+      nchunks,
+      [&](index_t c) {
+        // acc[k][nt] flattened; 256 is the nt cap from TileMatrix. Hoisted
+        // to chunk scope so the allocations amortize over the chunk's rows.
         std::vector<T> acc(static_cast<std::size_t>(k) * nt, T{});
         std::vector<unsigned char> any(k, 0);
+        T prod[detail::kProdScratch];
         // Batched semantics: each tile's metadata is scanned once for the
         // whole batch; computed/MAC counts are per surviving vector.
         std::uint64_t scanned = 0, computed = 0, macs = 0;
-        for (offset_t t = a.tile_row_ptr[tr]; t < a.tile_row_ptr[tr + 1];
-             ++t) {
-          ++scanned;
-          const index_t tile_colid = a.tile_col_id[t];
-          const std::uint16_t* p = &a.intra_row_ptr[t * (nt + 1)];
-          const offset_t base = a.tile_nnz_ptr[t];
-          const auto tile_nnz = static_cast<std::uint64_t>(
-              a.tile_nnz_ptr[t + 1] - a.tile_nnz_ptr[t]);
-          for (index_t v = 0; v < k; ++v) {
-            const index_t x_offset = xs[v].x_ptr[tile_colid];
-            if (x_offset == kEmptyTile) continue;
-            ++computed;
-            macs += tile_nnz;
-            const T* xt =
-                &xs[v].x_tile[static_cast<std::size_t>(x_offset) * nt];
-            T* av = &acc[static_cast<std::size_t>(v) * nt];
-            any[v] = 1;
-            for (index_t lr = 0; lr < nt; ++lr) {
-              T sum{};
-              for (offset_t i = base + p[lr]; i < base + p[lr + 1]; ++i) {
-                sum += a.vals[i] * xt[a.local_col[i]];
+        for (index_t tr = chunk_ptr[c]; tr < chunk_ptr[c + 1]; ++tr) {
+          std::fill(any.begin(), any.end(), 0);
+          for (offset_t t = a.tile_row_ptr[tr]; t < a.tile_row_ptr[tr + 1];
+               ++t) {
+            ++scanned;
+            const index_t tile_colid = a.tile_col_id[t];
+            const std::uint16_t* p = &a.intra_row_ptr[t * (nt + 1)];
+            const offset_t base = a.tile_nnz_ptr[t];
+            const auto tile_nnz = static_cast<std::uint64_t>(
+                a.tile_nnz_ptr[t + 1] - a.tile_nnz_ptr[t]);
+            for (index_t v = 0; v < k; ++v) {
+              const index_t x_offset = xs[v].x_ptr[tile_colid];
+              if (x_offset == kEmptyTile) continue;
+              ++computed;
+              macs += tile_nnz;
+              const T* xt =
+                  &xs[v].x_tile[static_cast<std::size_t>(x_offset) * nt];
+              T* av = &acc[static_cast<std::size_t>(v) * nt];
+              if (!any[v]) {
+                for (index_t i = 0; i < nt; ++i) av[i] = T{};
+                any[v] = 1;
               }
-              av[lr] += sum;
+              if (have_runs) {
+                detail::intra_tile_accumulate_runs(
+                    &a.vals[base], &a.local_col[base],
+                    a.row_runs.data() + 3 * a.run_ptr[t],
+                    static_cast<int>(a.run_ptr[t + 1] - a.run_ptr[t]),
+                    static_cast<int>(tile_nnz), a.tile_strategy[t], xt, av,
+                    prod);
+              } else {
+                detail::intra_tile_accumulate(&a.vals[base],
+                                              &a.local_col[base], p, nt, xt,
+                                              av, prod);
+              }
             }
+          }
+          const index_t r_begin = tr * nt;
+          const index_t r_end = std::min<index_t>(r_begin + nt, a.rows);
+          for (index_t v = 0; v < k; ++v) {
+            if (!any[v]) continue;
+            for (index_t r = r_begin; r < r_end; ++r) {
+              yd[v][r] = acc[static_cast<std::size_t>(v) * nt + (r - r_begin)];
+            }
+            flags[v][tr] = 1;
           }
         }
         obs::counter_add(obs::Counter::kTilesScanned, scanned);
         obs::counter_add(obs::Counter::kTilesComputed, computed);
         obs::counter_add(obs::Counter::kPayloadMacs, macs);
-        const index_t r_begin = tr * nt;
-        const index_t r_end = std::min<index_t>(r_begin + nt, a.rows);
-        for (index_t v = 0; v < k; ++v) {
-          if (!any[v]) continue;
-          for (index_t r = r_begin; r < r_end; ++r) {
-            yd[v][r] = acc[static_cast<std::size_t>(v) * nt + (r - r_begin)];
-          }
-          flags[v][tr] = 1;
-        }
       },
-      pool, /*chunk=*/4);
+      pool, /*chunk=*/1);
 
   // Extracted side part, column-driven per vector (same as tile_spmspv).
   if (a.extracted.nnz() > 0) {
@@ -130,6 +154,11 @@ std::vector<SparseVec<T>> tile_spmspv_batch(
                        static_cast<std::uint64_t>(a.tile_rows));
   for (index_t v = 0; v < k; ++v) {
     ys[v] = SparseVec<T>(a.rows);
+    index_t flagged = 0;
+    for (index_t tr = 0; tr < a.tile_rows; ++tr) {
+      flagged += flags[v][tr] ? 1 : 0;
+    }
+    ys[v].reserve(static_cast<std::size_t>(flagged) * nt);
     for (index_t tr = 0; tr < a.tile_rows; ++tr) {
       if (!flags[v][tr]) continue;
       const index_t r_end = std::min<index_t>((tr + 1) * nt, a.rows);

@@ -135,8 +135,11 @@ TileMatrix<value_t> read_tile_matrix(std::istream& in) {
       m.local_col.size() != m.vals.size()) {
     throw std::runtime_error("serialize: inconsistent tiled arrays");
   }
-  // The side indices are derived data; rebuild instead of storing.
+  // The side indices and scheduling chunks are derived data; rebuild
+  // instead of storing.
   m.build_side_index();
+  m.build_row_chunks();
+  m.build_row_runs();
   return m;
 }
 

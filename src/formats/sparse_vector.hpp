@@ -33,6 +33,13 @@ struct SparseVec {
     vals.push_back(v);
   }
 
+  /// Pre-sizes both arrays (kernels reserve from the flagged-tile count so
+  /// gather pushes never reallocate).
+  void reserve(std::size_t cap) {
+    idx.reserve(cap);
+    vals.reserve(cap);
+  }
+
   /// Sorts entries by index (generators may emit out of order).
   void sort() {
     std::vector<std::pair<index_t, T>> buf(idx.size());

@@ -1,8 +1,9 @@
 // Convenience wrappers over ThreadPool: element-wise parallel loops and a
 // tree-free parallel reduction (per-worker partials combined by the caller).
+// All wrappers forward the body by reference into the pool's templated
+// dispatch, so no per-call closure is heap-allocated.
 #pragma once
 
-#include <functional>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -22,11 +23,9 @@ template <typename Body>
 void parallel_for(index_t n, Body&& body, ThreadPool* pool = nullptr,
                   index_t chunk = kDefaultChunk) {
   ThreadPool& p = pool ? *pool : ThreadPool::shared();
-  std::function<void(index_t, index_t)> range_fn =
-      [&body](index_t begin, index_t end) {
-        for (index_t i = begin; i < end; ++i) body(i);
-      };
-  p.parallel_ranges(n, chunk, range_fn);
+  p.parallel_ranges(n, chunk, [&body](index_t begin, index_t end) {
+    for (index_t i = begin; i < end; ++i) body(i);
+  });
 }
 
 /// Runs body(begin, end) over disjoint chunks covering [0, n).
@@ -34,8 +33,7 @@ template <typename Body>
 void parallel_for_ranges(index_t n, Body&& body, ThreadPool* pool = nullptr,
                          index_t chunk = kDefaultChunk) {
   ThreadPool& p = pool ? *pool : ThreadPool::shared();
-  std::function<void(index_t, index_t)> range_fn = std::forward<Body>(body);
-  p.parallel_ranges(n, chunk, range_fn);
+  p.parallel_ranges(n, chunk, body);
 }
 
 /// Parallel reduction: `body(i)` produces a T, combined with `combine`

@@ -7,6 +7,14 @@
 
 namespace tilespmspv {
 
+namespace {
+// Slot of the current thread within the pool that spawned it (0 for
+// non-worker threads). Worker slots are assigned once at spawn; a pool only
+// ever executes bodies on its own workers plus the calling thread, so slots
+// seen inside a parallel_ranges body are dense in [0, size()).
+thread_local int t_slot = 0;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -15,7 +23,10 @@ ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t spawned = threads - 1;
   workers_.reserve(spawned);
   for (std::size_t i = 0; i < spawned; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, slot = static_cast<int>(i) + 1] {
+      t_slot = slot;
+      worker_loop();
+    });
   }
 }
 
@@ -30,6 +41,8 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+int ThreadPool::current_slot() { return t_slot; }
+
 void ThreadPool::drain(Task& task) {
   std::uint64_t chunks = 0;
   for (;;) {
@@ -38,7 +51,7 @@ void ThreadPool::drain(Task& task) {
     if (begin >= task.n) break;
     const index_t end = std::min<index_t>(begin + task.chunk, task.n);
     ++chunks;
-    (*task.fn)(begin, end);
+    task.invoke(task.ctx, begin, end);
   }
   obs::counter_add(obs::Counter::kPoolChunks, chunks);
 }
@@ -67,22 +80,15 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_ranges(
-    index_t n, index_t chunk, const std::function<void(index_t, index_t)>& fn) {
-  if (n <= 0) return;
+void ThreadPool::run_task(Task& task) {
   obs::counter_add(obs::Counter::kPoolLoops, 1);
-  chunk = std::max<index_t>(1, chunk);
-  if (workers_.empty() || n <= chunk) {
+  if (workers_.empty() || task.n <= task.chunk) {
     // Serial fast path: no coordination cost for small loops.
     obs::TraceSpan span("pool/parallel_ranges", "pool", "serial");
-    fn(0, n);
+    task.invoke(task.ctx, 0, task.n);
     return;
   }
   obs::TraceSpan span("pool/parallel_ranges", "pool");
-  Task task;
-  task.fn = &fn;
-  task.n = n;
-  task.chunk = chunk;
   task.remaining.store(static_cast<int>(workers_.size()),
                        std::memory_order_relaxed);
   {

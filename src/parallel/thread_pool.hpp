@@ -8,9 +8,9 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "util/types.hpp"
@@ -23,6 +23,11 @@ namespace tilespmspv {
 /// workers claim chunks from a shared atomic counter, which mirrors how a
 /// GPU scheduler assigns tile rows to warps and gives load balance on
 /// skewed sparsity patterns (long tile rows).
+///
+/// `parallel_ranges` is a template over the callable: the body is invoked
+/// through a captured function pointer + context, so dispatching a loop
+/// allocates nothing (the old std::function path heap-allocated a closure
+/// per call, measurable on the fine-grained SpMSpV phase loops).
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
@@ -36,22 +41,42 @@ class ThreadPool {
 
   /// Runs fn(begin, end) over disjoint chunks covering [0, n). Blocks until
   /// every chunk has completed. The calling thread participates.
-  void parallel_ranges(index_t n, index_t chunk,
-                       const std::function<void(index_t, index_t)>& fn);
+  template <typename F>
+  void parallel_ranges(index_t n, index_t chunk, F&& fn) {
+    if (n <= 0) return;
+    using Fn = std::remove_reference_t<F>;
+    Task task;
+    task.ctx = const_cast<void*>(static_cast<const void*>(&fn));
+    task.invoke = [](void* ctx, index_t begin, index_t end) {
+      (*static_cast<Fn*>(ctx))(begin, end);
+    };
+    task.n = n;
+    task.chunk = chunk < 1 ? 1 : chunk;
+    run_task(task);
+  }
 
   /// Shared default pool (size = hardware concurrency). Most library entry
   /// points take an optional pool pointer and fall back to this.
   static ThreadPool& shared();
 
+  /// Dense per-pool slot of the calling thread: 0 for any thread that is
+  /// not a pool worker (in particular the caller of parallel_ranges),
+  /// 1..workers for this pool's workers. Always < size() while executing a
+  /// body dispatched by this pool, which is what the privatized (per-slot)
+  /// scatter buffers in the SpMSpV kernels rely on.
+  static int current_slot();
+
  private:
   struct Task {
-    const std::function<void(index_t, index_t)>* fn = nullptr;
+    void (*invoke)(void*, index_t, index_t) = nullptr;
+    void* ctx = nullptr;
     index_t n = 0;
     index_t chunk = 1;
     std::atomic<index_t> next{0};
     std::atomic<int> remaining{0};
   };
 
+  void run_task(Task& task);
   void worker_loop();
   static void drain(Task& task);
 

@@ -13,13 +13,16 @@
 
 #include <cassert>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "formats/coo.hpp"
 #include "formats/csr.hpp"
 #include "formats/sparse_vector.hpp"
 #include "parallel/parallel_for.hpp"
+#include "tile/tile_chunks.hpp"
 #include "tile/tile_vector.hpp"
+#include "util/simd.hpp"
 #include "util/types.hpp"
 
 namespace tilespmspv {
@@ -38,6 +41,7 @@ struct PackedTileMatrix {
   std::vector<offset_t> tile_nnz_ptr;  // entry ranges per tile
   std::vector<std::uint8_t> packed;    // (row << 4) | col per entry
   std::vector<T> vals;
+  std::vector<index_t> row_chunk_ptr;  // work-balanced scheduling chunks
 
   static std::uint8_t pack(index_t local_row, index_t local_col) {
     return static_cast<std::uint8_t>((local_row << 4) | local_col);
@@ -112,6 +116,8 @@ struct PackedTileMatrix {
         slot_of[m.tile_col_id[t]] = kEmptyTile;
       }
     }
+    m.row_chunk_ptr =
+        build_row_chunks(m.tile_rows, m.tile_row_ptr, m.tile_nnz_ptr);
     return m;
   }
 
@@ -132,8 +138,10 @@ struct PackedTileMatrix {
   }
 };
 
-/// TileSpMSpV over the packed layout: same tile-row work units and x_ptr
-/// skipping as the intra-CSR kernel, flat per-entry inner loop.
+/// TileSpMSpV over the packed layout: same work-weighted tile-row chunks
+/// and x_ptr skipping as the intra-CSR kernel; the flat per-entry inner
+/// scan runs through the SIMD layer for double values (products formed
+/// 4-wide, scalar row scatter — see simd::packed_flat_scan).
 template <typename T>
 SparseVec<T> packed_tile_spmspv(const PackedTileMatrix<T>& a,
                                 const TileVector<T>& x,
@@ -142,38 +150,57 @@ SparseVec<T> packed_tile_spmspv(const PackedTileMatrix<T>& a,
   assert(x.nt == nt);
   std::vector<T> yd(a.rows, T{});
   std::vector<unsigned char> flag(a.tile_rows, 0);
+  std::vector<index_t> fallback;
+  const std::vector<index_t>* cp = &a.row_chunk_ptr;
+  if (cp->size() < 2) {
+    fallback = uniform_row_chunks(a.tile_rows, 8);
+    cp = &fallback;
+  }
+  const auto nchunks = static_cast<index_t>(cp->size()) - 1;
+  const index_t* chunk_ptr = cp->data();
   parallel_for(
-      a.tile_rows,
-      [&](index_t tr) {
+      nchunks,
+      [&](index_t c) {
         T acc[nt];
-        bool any = false;
-        for (offset_t t = a.tile_row_ptr[tr]; t < a.tile_row_ptr[tr + 1];
-             ++t) {
-          const index_t x_offset = x.x_ptr[a.tile_col_id[t]];
-          if (x_offset == kEmptyTile) continue;
-          const T* xt = &x.x_tile[static_cast<std::size_t>(x_offset) * nt];
-          if (!any) {
-            for (index_t i = 0; i < nt; ++i) acc[i] = T{};
-            any = true;
+        for (index_t tr = chunk_ptr[c]; tr < chunk_ptr[c + 1]; ++tr) {
+          bool any = false;
+          for (offset_t t = a.tile_row_ptr[tr]; t < a.tile_row_ptr[tr + 1];
+               ++t) {
+            const index_t x_offset = x.x_ptr[a.tile_col_id[t]];
+            if (x_offset == kEmptyTile) continue;
+            const T* xt = &x.x_tile[static_cast<std::size_t>(x_offset) * nt];
+            if (!any) {
+              for (index_t i = 0; i < nt; ++i) acc[i] = T{};
+              any = true;
+            }
+            const offset_t base = a.tile_nnz_ptr[t];
+            const auto n = static_cast<int>(a.tile_nnz_ptr[t + 1] - base);
+            if constexpr (std::is_same_v<T, double>) {
+              simd::packed_flat_scan(&a.vals[base], &a.packed[base], n, xt,
+                                     acc);
+            } else {
+              for (int i = 0; i < n; ++i) {
+                const std::uint8_t b = a.packed[base + i];
+                acc[PackedTileMatrix<T>::unpack_row(b)] +=
+                    a.vals[base + i] * xt[PackedTileMatrix<T>::unpack_col(b)];
+              }
+            }
           }
-          for (offset_t i = a.tile_nnz_ptr[t]; i < a.tile_nnz_ptr[t + 1];
-               ++i) {
-            const std::uint8_t b = a.packed[i];
-            acc[PackedTileMatrix<T>::unpack_row(b)] +=
-                a.vals[i] * xt[PackedTileMatrix<T>::unpack_col(b)];
+          if (any) {
+            const index_t r_end = std::min<index_t>((tr + 1) * nt, a.rows);
+            for (index_t r = tr * nt; r < r_end; ++r) {
+              yd[r] = acc[r - tr * nt];
+            }
+            flag[tr] = 1;
           }
-        }
-        if (any) {
-          const index_t r_end = std::min<index_t>((tr + 1) * nt, a.rows);
-          for (index_t r = tr * nt; r < r_end; ++r) {
-            yd[r] = acc[r - tr * nt];
-          }
-          flag[tr] = 1;
         }
       },
-      pool, /*chunk=*/8);
+      pool, /*chunk=*/1);
 
   SparseVec<T> y(a.rows);
+  index_t flagged = 0;
+  for (index_t tr = 0; tr < a.tile_rows; ++tr) flagged += flag[tr] ? 1 : 0;
+  y.reserve(static_cast<std::size_t>(flagged) * nt);
   for (index_t tr = 0; tr < a.tile_rows; ++tr) {
     if (!flag[tr]) continue;
     const index_t r_end = std::min<index_t>((tr + 1) * nt, a.rows);

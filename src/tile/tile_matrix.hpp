@@ -15,6 +15,7 @@
 #include "formats/coo.hpp"
 #include "formats/csr.hpp"
 #include "obs/trace.hpp"
+#include "tile/tile_chunks.hpp"
 #include "util/types.hpp"
 
 namespace tilespmspv {
@@ -52,6 +53,31 @@ struct TileMatrix {
   // Row pointer into `extracted` (which from_csr builds row-major sorted),
   // for kernels that consume this matrix as a transposed view.
   std::vector<offset_t> side_row_ptr;  // length rows + 1
+
+  // Work-balanced tile-row chunk boundaries (see tile/tile_chunks.hpp):
+  // scheduling chunk c covers tile rows [row_chunk_ptr[c], row_chunk_ptr[c+1]).
+  // Built once at conversion so every multiply reuses the same balance.
+  std::vector<index_t> row_chunk_ptr;
+
+  // Compact non-empty-row runs per tile, derived from the intra-tile CSR:
+  // tile t's runs are the byte triples (local_row, count - 1, contiguous)
+  // at row_runs[3*run_ptr[t] .. 3*run_ptr[t+1]), in local-row order. The
+  // CSR kernels iterate runs instead of all nt local rows, so sparse tiles
+  // never scan their empty rows (the dominant overhead on road-network
+  // matrices where tiles hold a handful of nonzeros). The third byte marks
+  // rows whose local columns are consecutive (the banded/FEM regime),
+  // letting the micro-kernel use contiguous loads instead of gathers.
+  std::vector<offset_t> run_ptr;       // length ntiles + 1
+  std::vector<std::uint8_t> row_runs;  // 3 bytes per run
+
+  // Per-tile micro-kernel choice, decided once from the run shape (see
+  // build_row_runs): tiles keep the strategy that their run-length and
+  // contiguity statistics favor, so the multiply's inner loop carries no
+  // per-tile heuristics.
+  static constexpr std::uint8_t kRunFlat = 0;      // flat gather + segment sums
+  static constexpr std::uint8_t kRunDispatch = 1;  // per-run contig/gather dots
+  static constexpr std::uint8_t kRunTiny = 2;      // plain scalar
+  std::vector<std::uint8_t> tile_strategy;  // length ntiles
 
   index_t num_tiles() const {
     return static_cast<index_t>(tile_col_id.size());
@@ -161,7 +187,63 @@ struct TileMatrix {
       }
     }
     m.build_side_index();
+    m.build_row_chunks();
+    m.build_row_runs();
     return m;
+  }
+
+  /// (Re)builds the per-tile non-empty-row run lists from intra_row_ptr
+  /// and local_col. from_csr and the deserializer call this; re-call after
+  /// mutating the intra-tile structure manually in tests.
+  void build_row_runs() {
+    const index_t ntiles = num_tiles();
+    run_ptr.assign(ntiles + 1, 0);
+    row_runs.clear();
+    row_runs.reserve(vals.size());  // <= 3 bytes per stored entry
+    tile_strategy.assign(ntiles, kRunFlat);
+    for (index_t t = 0; t < ntiles; ++t) {
+      const std::uint16_t* p = &intra_row_ptr[t * (nt + 1)];
+      const offset_t base = tile_nnz_ptr[t];
+      const int tile_nnz = p[nt];
+      int nruns = 0;
+      int contig_covered = 0;  // entries in contiguous runs of length >= 2
+      for (index_t lr = 0; lr < nt; ++lr) {
+        const int c = p[lr + 1] - p[lr];
+        if (c <= 0) continue;
+        const std::uint8_t* rc = &local_col[base + p[lr]];
+        std::uint8_t contig = 1;
+        for (int i = 1; i < c; ++i) {
+          if (rc[i] != static_cast<std::uint8_t>(rc[0] + i)) {
+            contig = 0;
+            break;
+          }
+        }
+        if (contig && c >= 2) contig_covered += c;
+        row_runs.push_back(static_cast<std::uint8_t>(lr));
+        row_runs.push_back(static_cast<std::uint8_t>(c - 1));
+        row_runs.push_back(contig);
+        ++nruns;
+      }
+      run_ptr[t + 1] = static_cast<offset_t>(row_runs.size() / 3);
+      // Tiny tiles: scalar beats any SIMD entry overhead. Band/FEM tiles
+      // (mostly contiguous columns) and dense tiles (long rows) win with
+      // per-run dots; everything else keeps the flat gather + segment sums
+      // whose 4-wide product loop amortizes over short scattered runs.
+      if (tile_nnz <= 8) {
+        tile_strategy[t] = kRunTiny;
+      } else if (2 * contig_covered >= tile_nnz ||
+                 (nruns > 0 && tile_nnz >= 8 * nruns)) {
+        tile_strategy[t] = kRunDispatch;
+      }
+    }
+  }
+
+  /// (Re)builds the work-balanced scheduling chunks from the current tile
+  /// layout. from_csr and the deserializer call this; re-call after
+  /// mutating the tile structure manually in tests.
+  void build_row_chunks() {
+    row_chunk_ptr =
+        tilespmspv::build_row_chunks(tile_rows, tile_row_ptr, tile_nnz_ptr);
   }
 
   /// Builds the column index over the extracted part (called by from_csr;

@@ -1,0 +1,106 @@
+// Privatized CSC scatter/merge under contention. The CSC kernel replaced
+// its per-value atomics with per-slot buckets merged during the gather;
+// these tests hammer that path with many tile columns scattering into few
+// output tiles on pools of several sizes, so a data race in the bucket
+// ownership or the merge hand-off is visible to ThreadSanitizer (CI runs
+// this binary under TSan) and any lost update breaks the exact-value
+// checks below.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/spmspv_reference.hpp"
+#include "core/tile_spmspv.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/vector_gen.hpp"
+
+namespace tilespmspv {
+namespace {
+
+// Tall-thin transpose: many active tile rows of Aᵀ all scatter into the
+// same few output tiles — the worst case for the old atomic scheme and
+// the maximum-contention case for the bucket merge.
+TEST(CscMerge, ManyColumnsFewOutputTilesAllPoolSizes) {
+  const index_t rows = 64;     // 4 output tiles at nt = 16
+  const index_t cols = 2048;   // 128 active tile rows of At
+  const Csr<value_t> a =
+      Csr<value_t>::from_coo(gen_erdos_renyi(rows, cols, 0.05, 42));
+  const TileMatrix<value_t> at =
+      TileMatrix<value_t>::from_csr(a.transpose(), 16, 2);
+  const SparseVec<value_t> x = gen_sparse_vector(cols, 0.8, 7);
+  const TileVector<value_t> xt = TileVector<value_t>::from_sparse(x, 16);
+  const SparseVec<value_t> expect = spmspv_rowwise_reference(a, x);
+
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    SpmspvWorkspace<value_t> ws;
+    for (int rep = 0; rep < 8; ++rep) {
+      const SparseVec<value_t> y = tile_spmspv_csc(at, xt, ws, &pool);
+      ASSERT_TRUE(approx_equal(y, expect))
+          << "threads=" << threads << " rep=" << rep;
+    }
+  }
+}
+
+// The workspace invariant the kernel relies on: every privatized buffer is
+// all-zero between calls, so a stale value from a racy or skipped clear
+// would poison the next multiply. Alternating two different vectors on one
+// workspace catches exactly that.
+TEST(CscMerge, WorkspaceBucketsAreCleanBetweenCalls) {
+  const Csr<value_t> a =
+      Csr<value_t>::from_coo(gen_erdos_renyi(300, 300, 0.03, 11));
+  const TileMatrix<value_t> at =
+      TileMatrix<value_t>::from_csr(a.transpose(), 32, 2);
+  ThreadPool pool(4);
+  SpmspvWorkspace<value_t> ws;
+  for (int rep = 0; rep < 6; ++rep) {
+    const SparseVec<value_t> x =
+        gen_sparse_vector(300, rep % 2 ? 0.5 : 0.02, 100 + rep);
+    const TileVector<value_t> xt = TileVector<value_t>::from_sparse(x, 32);
+    ASSERT_TRUE(
+        approx_equal(tile_spmspv_csc(at, xt, ws, &pool),
+                     spmspv_rowwise_reference(a, x)))
+        << "rep=" << rep;
+    for (const value_t v : ws.priv_vals) ASSERT_EQ(v, value_t{});
+    for (const unsigned char t : ws.priv_touched) ASSERT_EQ(t, 0);
+    for (const auto& list : ws.priv_list) ASSERT_TRUE(list.empty());
+  }
+}
+
+// Concurrent multiplies from two submitting threads, each with its own
+// pool and workspace (the pool is single-submitter by design): the
+// thread_local slot bookkeeping and the privatized buckets of the two
+// calls must stay fully independent — TSan flags any cross-talk.
+TEST(CscMerge, ConcurrentCallsOnSeparatePoolsStayIndependent) {
+  const Csr<value_t> a =
+      Csr<value_t>::from_coo(gen_erdos_renyi(400, 400, 0.04, 5));
+  const TileMatrix<value_t> at =
+      TileMatrix<value_t>::from_csr(a.transpose(), 16, 2);
+  const SparseVec<value_t> x1 = gen_sparse_vector(400, 0.3, 21);
+  const SparseVec<value_t> x2 = gen_sparse_vector(400, 0.3, 22);
+  const TileVector<value_t> xt1 = TileVector<value_t>::from_sparse(x1, 16);
+  const TileVector<value_t> xt2 = TileVector<value_t>::from_sparse(x2, 16);
+  const SparseVec<value_t> e1 = spmspv_rowwise_reference(a, x1);
+  const SparseVec<value_t> e2 = spmspv_rowwise_reference(a, x2);
+
+  ThreadPool pool_a(4);
+  ThreadPool pool_b(4);
+  for (int rep = 0; rep < 4; ++rep) {
+    SparseVec<value_t> y1, y2;
+    std::thread t1([&] {
+      SpmspvWorkspace<value_t> ws;
+      y1 = tile_spmspv_csc(at, xt1, ws, &pool_a);
+    });
+    std::thread t2([&] {
+      SpmspvWorkspace<value_t> ws;
+      y2 = tile_spmspv_csc(at, xt2, ws, &pool_b);
+    });
+    t1.join();
+    t2.join();
+    ASSERT_TRUE(approx_equal(y1, e1)) << "rep=" << rep;
+    ASSERT_TRUE(approx_equal(y2, e2)) << "rep=" << rep;
+  }
+}
+
+}  // namespace
+}  // namespace tilespmspv
