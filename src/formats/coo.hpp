@@ -8,6 +8,7 @@
 #include <numeric>
 #include <vector>
 
+#include "formats/validate.hpp"
 #include "util/types.hpp"
 
 namespace tilespmspv {
@@ -84,6 +85,7 @@ struct Coo {
     }
     sort_row_major();
     sum_duplicates();
+    TILESPMSPV_POSTCONDITION(validate_coo(*this), "Coo::symmetrize");
   }
 
  private:

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "formats/coo.hpp"
+#include "formats/validate.hpp"
 #include "util/types.hpp"
 
 namespace tilespmspv {
@@ -46,6 +47,7 @@ struct Csr {
       m.vals[pos] = coo.vals[i];
     }
     m.sort_rows();
+    TILESPMSPV_POSTCONDITION(validate_csr(m), "Csr::from_coo");
     return m;
   }
 
@@ -81,7 +83,9 @@ struct Csr {
         t.vals[pos] = vals[i];
       }
     }
-    return t;  // columns within each row are already sorted by construction
+    // Columns within each row are already sorted by construction.
+    TILESPMSPV_POSTCONDITION(validate_csr(t), "Csr::transpose");
+    return t;
   }
 
  private:

@@ -1,0 +1,30 @@
+// Small stream helpers shared by the binary and Matrix Market readers.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+
+namespace tilespmspv {
+
+/// Bytes between the stream's current position and its end, or -1 when the
+/// stream is not seekable. Loaders call this once per load and use the
+/// result to bound every length field read from the stream, so a corrupt
+/// length can never allocate more than the file could possibly hold.
+inline std::int64_t stream_bytes_remaining(std::istream& in) {
+  const auto cur = in.tellg();
+  if (cur == std::istream::pos_type(-1)) {
+    in.clear();
+    return -1;
+  }
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(cur);
+  if (end == std::istream::pos_type(-1) || !in) {
+    in.clear();
+    in.seekg(cur);
+    return -1;
+  }
+  return static_cast<std::int64_t>(end - cur);
+}
+
+}  // namespace tilespmspv

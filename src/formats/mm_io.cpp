@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+
+#include "formats/io_util.hpp"
+#include "formats/validate.hpp"
 
 namespace tilespmspv {
 
@@ -16,6 +20,13 @@ std::string lower(std::string s) {
   return s;
 }
 
+// Files written on Windows arrive with CRLF line endings; std::getline
+// strips only the '\n', leaving a trailing '\r' that would corrupt the
+// last token of every line ("general\r" fails the symmetry check).
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
 }  // namespace
 
 Coo<value_t> read_matrix_market(std::istream& in) {
@@ -23,6 +34,7 @@ Coo<value_t> read_matrix_market(std::istream& in) {
   if (!std::getline(in, line)) {
     throw std::runtime_error("matrix market: empty stream");
   }
+  strip_cr(line);
   std::istringstream header(line);
   std::string banner, object, format, field, symmetry;
   header >> banner >> object >> format >> field >> symmetry;
@@ -45,6 +57,7 @@ Coo<value_t> read_matrix_market(std::istream& in) {
 
   // Skip comments, then read the size line.
   while (std::getline(in, line)) {
+    strip_cr(line);
     if (!line.empty() && line[0] != '%') break;
   }
   long long rows = 0, cols = 0, entries = 0;
@@ -53,6 +66,24 @@ Coo<value_t> read_matrix_market(std::istream& in) {
     if (!(size_line >> rows >> cols >> entries)) {
       throw std::runtime_error("matrix market: bad size line: " + line);
     }
+  }
+  if (rows < 0 || cols < 0 || entries < 0) {
+    throw std::runtime_error("matrix market: negative size line: " + line);
+  }
+  // Dims must fit index_t exactly; a static_cast here would silently
+  // truncate a 64-bit header value into a wrong (possibly negative) index.
+  if (rows > std::numeric_limits<index_t>::max() ||
+      cols > std::numeric_limits<index_t>::max()) {
+    throw std::runtime_error("matrix market: dimensions out of index range: " +
+                             line);
+  }
+  // Bound the claimed entry count by what the stream can still provide (a
+  // coordinate line is at least "1 1" plus a newline), so a corrupt count
+  // cannot pre-allocate far beyond the file size.
+  const std::int64_t remaining = stream_bytes_remaining(in);
+  if (remaining >= 0 && entries > remaining / 4 + 1) {
+    throw std::runtime_error(
+        "matrix market: claimed entry count exceeds the stream size");
   }
 
   Coo<value_t> m(static_cast<index_t>(rows), static_cast<index_t>(cols));
@@ -63,6 +94,7 @@ Coo<value_t> read_matrix_market(std::istream& in) {
     if (!std::getline(in, line)) {
       throw std::runtime_error("matrix market: truncated entry list");
     }
+    strip_cr(line);
     if (line.empty()) {
       --e;
       continue;
@@ -85,11 +117,13 @@ Coo<value_t> read_matrix_market(std::istream& in) {
   }
   m.sort_row_major();
   m.sum_duplicates();
+  // Trust boundary: ingest validates unconditionally.
+  require_valid(validate_coo(m), "read_matrix_market");
   return m;
 }
 
 Coo<value_t> read_matrix_market_file(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("matrix market: cannot open " + path);
   }

@@ -18,7 +18,20 @@
 
 namespace tilespmspv {
 
+/// What a serialized stream claims to contain, judged from its magic.
+enum class SerializedKind { kUnknown, kCsr, kTileMatrix };
+
+/// Reads the leading magic word and classifies the stream (consumes the
+/// four bytes; reopen or rewind before loading). Used by the validate CLI
+/// to dispatch without trusting a file extension.
+SerializedKind probe_serialized_kind(std::istream& in);
+
 /// Serializes a CSR matrix. Throws std::runtime_error on stream failure.
+/// The readers sit on the trust boundary: they bound every array length
+/// against the remaining stream size before allocating and re-check the
+/// structure's invariants (formats/validate.hpp) before returning, so a
+/// corrupt or adversarial file loads as a clear error, never as an
+/// out-of-bounds read in a kernel.
 void write_csr(std::ostream& out, const Csr<value_t>& a);
 Csr<value_t> read_csr(std::istream& in);
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "formats/csr.hpp"
+#include "formats/validate.hpp"
 #include "util/bitops.hpp"
 #include "util/types.hpp"
 
@@ -196,6 +197,8 @@ struct BitTileGraph {
     g.shared_masks = share_symmetric && is_pattern_symmetric(a);
     g.build_csc_from_csr();
     g.build_summaries();
+    TILESPMSPV_POSTCONDITION(validate_bit_tile_graph(g),
+                             "BitTileGraph::from_csr");
     return g;
   }
 

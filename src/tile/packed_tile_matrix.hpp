@@ -19,6 +19,7 @@
 #include "formats/coo.hpp"
 #include "formats/csr.hpp"
 #include "formats/sparse_vector.hpp"
+#include "formats/validate.hpp"
 #include "parallel/parallel_for.hpp"
 #include "tile/tile_chunks.hpp"
 #include "tile/tile_vector.hpp"
@@ -118,6 +119,8 @@ struct PackedTileMatrix {
     }
     m.row_chunk_ptr =
         build_row_chunks(m.tile_rows, m.tile_row_ptr, m.tile_nnz_ptr);
+    TILESPMSPV_POSTCONDITION(validate_packed_tile_matrix(m),
+                             "PackedTileMatrix::from_csr");
     return m;
   }
 

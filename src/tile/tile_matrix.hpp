@@ -14,6 +14,7 @@
 
 #include "formats/coo.hpp"
 #include "formats/csr.hpp"
+#include "formats/validate.hpp"
 #include "obs/trace.hpp"
 #include "tile/tile_chunks.hpp"
 #include "util/types.hpp"
@@ -189,6 +190,7 @@ struct TileMatrix {
     m.build_side_index();
     m.build_row_chunks();
     m.build_row_runs();
+    TILESPMSPV_POSTCONDITION(validate_tile_matrix(m), "TileMatrix::from_csr");
     return m;
   }
 

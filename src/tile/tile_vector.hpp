@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "formats/sparse_vector.hpp"
+#include "formats/validate.hpp"
 #include "util/types.hpp"
 
 namespace tilespmspv {
@@ -71,6 +72,8 @@ struct TileVector {
       const index_t i = x.idx[k];
       v.x_tile[v.x_ptr[i / nt] * nt + i % nt] = x.vals[k];
     }
+    TILESPMSPV_POSTCONDITION(validate_tile_vector(v),
+                             "TileVector::from_sparse");
     return v;
   }
 

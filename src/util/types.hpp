@@ -25,10 +25,12 @@ using value_t = double;
 /// Sentinel marking an empty tile slot in tiled vector index arrays.
 inline constexpr index_t kEmptyTile = -1;
 
-/// Ceiling division for non-negative integers.
+/// Ceiling division for non-negative integers. Written without the usual
+/// (a + b - 1) so a near-max `a` (e.g. header dims from an untrusted
+/// stream) cannot overflow.
 template <typename T>
 constexpr T ceil_div(T a, T b) {
-  return (a + b - 1) / b;
+  return a / b + (a % b != T{0} ? T{1} : T{0});
 }
 
 /// Rounds `a` up to the next multiple of `b`.

@@ -201,6 +201,68 @@ TEST(MatrixMarket, RejectsOutOfRangeIndex) {
   EXPECT_THROW(read_matrix_market(in), std::runtime_error);
 }
 
+TEST(MatrixMarket, ParsesCrlfLineEndings) {
+  // Files written on Windows carry \r\n; the parser must strip the \r
+  // instead of folding it into the last token ("2.5\r" -> parse error, or
+  // worse, a banner keyword that never matches).
+  std::istringstream crlf(
+      "%%MatrixMarket matrix coordinate real general\r\n"
+      "% a comment\r\n"
+      "3 4 2\r\n"
+      "1 1 2.5\r\n"
+      "3 4 -1\r\n");
+  Coo<value_t> m = read_matrix_market(crlf);
+  std::istringstream lf(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 4 2\n"
+      "1 1 2.5\n"
+      "3 4 -1\n");
+  Coo<value_t> want = read_matrix_market(lf);
+  EXPECT_EQ(m.rows, want.rows);
+  EXPECT_EQ(m.cols, want.cols);
+  EXPECT_EQ(m.row_idx, want.row_idx);
+  EXPECT_EQ(m.col_idx, want.col_idx);
+  EXPECT_EQ(m.vals, want.vals);
+}
+
+TEST(MatrixMarket, RejectsDimsOutOfIndexRange) {
+  // Dims that overflow index_t must throw, not truncate to 32 bits.
+  std::istringstream rows_big(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "99999999999 3 1\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(rows_big), std::runtime_error);
+  std::istringstream cols_big(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 99999999999 1\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(cols_big), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsNegativeSizeLine) {
+  std::istringstream neg_rows(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "-3 3 1\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(neg_rows), std::runtime_error);
+  std::istringstream neg_entries(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 -1\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(neg_entries), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsEntryCountExceedingStream) {
+  // An entry count far beyond what the remaining bytes could encode must
+  // be rejected before the arrays are reserved (pre-allocation DoS).
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 888888888888\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
 TEST(MatrixMarket, WriteReadRoundTrip) {
   Coo<value_t> m = gen_erdos_renyi(50, 40, 0.05, 7);
   std::ostringstream out;

@@ -3,6 +3,9 @@
 // mismatched streams.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
+#include <limits>
 #include <sstream>
 
 #include "core/spmspv_reference.hpp"
@@ -98,6 +101,104 @@ TEST(Serialize, RejectsGarbage) {
 TEST(SerializeTile, MissingFileThrows) {
   EXPECT_THROW(read_tile_matrix_file("/tmp/does-not-exist-tilespmspv.bin"),
                std::runtime_error);
+}
+
+// Builds a matrix whose last tile column holds only isolated entries, so
+// extraction reliably produces a non-empty side COO at small thresholds.
+Coo<value_t> matrix_with_sparse_fringe() {
+  Coo<value_t> coo = gen_erdos_renyi(150, 120, 0.03, 1506);
+  coo.cols = 140;
+  coo.push(7, 130, 1.0);
+  coo.push(64, 125, -0.5);
+  coo.push(101, 139, 2.0);
+  coo.push(149, 121, 3.0);
+  return coo;
+}
+
+TEST(SerializeTile, ExtractedCooRoundTripAcrossTileSizes) {
+  const Csr<value_t> a = Csr<value_t>::from_coo(matrix_with_sparse_fringe());
+  for (const index_t nt : {16, 32, 64}) {
+    TileMatrix<value_t> m = TileMatrix<value_t>::from_csr(a, nt, 2);
+    ASSERT_GT(m.extracted.nnz(), 0) << "nt=" << nt;
+    std::stringstream ss;
+    write_tile_matrix(ss, m);
+    TileMatrix<value_t> loaded = read_tile_matrix(ss);
+    EXPECT_EQ(loaded.extracted.row_idx, m.extracted.row_idx) << "nt=" << nt;
+    EXPECT_EQ(loaded.extracted.col_idx, m.extracted.col_idx) << "nt=" << nt;
+    EXPECT_EQ(loaded.extracted.vals, m.extracted.vals) << "nt=" << nt;
+    // The round trip must be a byte-level fixed point too.
+    std::stringstream ss2;
+    write_tile_matrix(ss2, loaded);
+    EXPECT_EQ(ss.str(), ss2.str()) << "nt=" << nt;
+  }
+}
+
+/// Returns `bytes` with the little-endian i64 at `offset` replaced by `v`.
+std::string patch_i64(std::string bytes, std::size_t offset, std::int64_t v) {
+  std::memcpy(&bytes[offset], &v, sizeof(v));
+  return bytes;
+}
+
+TEST(Serialize, RejectsOversizedArrayLength) {
+  Csr<value_t> a = Csr<value_t>::from_coo(gen_erdos_renyi(50, 50, 0.1, 1507));
+  std::stringstream ss;
+  write_csr(ss, a);
+  const std::string base = ss.str();
+  // Byte 24 holds the first array's length prefix. A length claiming far
+  // more elements than the stream has bytes must be rejected *before* any
+  // allocation, not discovered via bad_alloc or a truncated read.
+  for (const std::int64_t huge :
+       {std::int64_t{1} << 39, std::int64_t{1} << 60,
+        std::numeric_limits<std::int64_t>::max()}) {
+    std::stringstream bad(patch_i64(base, 24, huge));
+    EXPECT_THROW(read_csr(bad), std::runtime_error) << huge;
+  }
+}
+
+TEST(Serialize, RejectsOutOfRangeDims) {
+  Csr<value_t> a = Csr<value_t>::from_coo(gen_erdos_renyi(50, 50, 0.1, 1508));
+  std::stringstream ss;
+  write_csr(ss, a);
+  const std::string base = ss.str();
+  // rows is the i64 at byte 8, cols at byte 16. Values outside index_t
+  // must throw instead of silently truncating through a 32-bit cast.
+  for (const std::size_t offset : {std::size_t{8}, std::size_t{16}}) {
+    for (const std::int64_t v :
+         {std::int64_t{1} << 40, std::int64_t{-1},
+          std::numeric_limits<std::int64_t>::min()}) {
+      std::stringstream bad(patch_i64(base, offset, v));
+      EXPECT_THROW(read_csr(bad), std::runtime_error)
+          << "offset=" << offset << " v=" << v;
+    }
+  }
+}
+
+TEST(Serialize, RejectsImplausibleTileDims) {
+  Csr<value_t> a = Csr<value_t>::from_coo(gen_erdos_renyi(40, 40, 0.1, 1509));
+  TileMatrix<value_t> m = TileMatrix<value_t>::from_csr(a, 16, 0);
+  std::stringstream ss;
+  write_tile_matrix(ss, m);
+  const std::string base = ss.str();
+  // In-range dims (fit index_t) that are wildly larger than the stream
+  // could back: the reader must refuse before the Θ(rows + cols) derived
+  // indices are allocated.
+  std::stringstream bad(
+      patch_i64(base, 16, std::numeric_limits<index_t>::max()));
+  EXPECT_THROW(read_tile_matrix(bad), std::runtime_error);
+}
+
+TEST(Serialize, ProbeIdentifiesKinds) {
+  Csr<value_t> a = Csr<value_t>::from_coo(gen_erdos_renyi(30, 30, 0.1, 1510));
+  std::stringstream cs;
+  write_csr(cs, a);
+  EXPECT_EQ(probe_serialized_kind(cs), SerializedKind::kCsr);
+  std::stringstream ts;
+  write_tile_matrix(ts, TileMatrix<value_t>::from_csr(a, 16, 0));
+  EXPECT_EQ(probe_serialized_kind(ts), SerializedKind::kTileMatrix);
+  std::stringstream junk("%%MatrixMarket matrix coordinate real general\n");
+  EXPECT_EQ(probe_serialized_kind(junk), SerializedKind::kUnknown);
+  std::stringstream empty;
+  EXPECT_EQ(probe_serialized_kind(empty), SerializedKind::kUnknown);
 }
 
 }  // namespace

@@ -1,0 +1,162 @@
+// tilespmspv_validate — command-line front end for the format-invariant
+// validation layer (formats/validate.hpp).
+//
+// Two modes:
+//   tilespmspv_validate FILE...        classify each file by magic (TCSR /
+//                                      TTLM / Matrix Market), load it through
+//                                      the validating reader, and report
+//                                      OK or INVALID with the violated
+//                                      invariants.
+//   tilespmspv_validate --suite NAME   build every structure the library
+//                                      defines (Coo, Csr, TileMatrix,
+//                                      PackedTileMatrix, BitTileGraph,
+//                                      TileVector) from the named suite
+//                                      matrix and run each validator —
+//                                      a self-check that conversions
+//                                      uphold their own invariants.
+//
+// Exit codes: 0 all valid, 1 at least one invalid input, 2 usage error.
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "formats/mm_io.hpp"
+#include "formats/serialize.hpp"
+#include "formats/validate.hpp"
+#include "gen/suite.hpp"
+#include "gen/vector_gen.hpp"
+#include "tile/bit_tile_graph.hpp"
+#include "tile/packed_tile_matrix.hpp"
+#include "tile/tile_matrix.hpp"
+#include "tile/tile_vector.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+using namespace tilespmspv;
+
+int usage() {
+  std::cerr <<
+      "usage: tilespmspv_validate FILE...\n"
+      "       tilespmspv_validate --suite NAME [--nt N] [--extract N]\n"
+      "\n"
+      "Validates serialized matrices (TCSR/TTLM binary or Matrix Market)\n"
+      "against the library's format invariants, or self-checks every\n"
+      "structure built from a generator-suite matrix.\n"
+      "Exit codes: 0 valid, 1 invalid input, 2 usage error.\n";
+  return 2;
+}
+
+/// Loads one file through the validating readers and reports the outcome.
+/// Returns true when the file is valid.
+bool check_file(const std::string& path) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) {
+    std::cout << path << ": INVALID (cannot open)\n";
+    return false;
+  }
+  const SerializedKind kind = probe_serialized_kind(probe);
+  probe.close();
+  try {
+    switch (kind) {
+      case SerializedKind::kCsr: {
+        std::ifstream in(path, std::ios::binary);
+        const auto a = read_csr(in);
+        std::cout << path << ": OK (csr " << a.rows << "x" << a.cols
+                  << ", nnz " << a.nnz() << ")\n";
+        return true;
+      }
+      case SerializedKind::kTileMatrix: {
+        const auto m = read_tile_matrix_file(path);
+        std::cout << path << ": OK (tile-matrix " << m.rows << "x" << m.cols
+                  << ", nt " << m.nt << ", tiles " << m.num_tiles()
+                  << ", nnz " << m.total_nnz() << ")\n";
+        return true;
+      }
+      case SerializedKind::kUnknown: {
+        // Matrix Market files start with the "%%MatrixMarket" banner.
+        std::ifstream head(path, std::ios::binary);
+        char c0 = 0, c1 = 0;
+        head.get(c0).get(c1);
+        if (!head || c0 != '%' || c1 != '%') {
+          std::cout << path << ": INVALID (unrecognized format)\n";
+          return false;
+        }
+        const auto m = read_matrix_market_file(path);
+        std::cout << path << ": OK (matrix-market " << m.rows << "x" << m.cols
+                  << ", nnz " << m.nnz() << ")\n";
+        return true;
+      }
+    }
+  } catch (const std::runtime_error& e) {
+    std::cout << path << ": INVALID (" << e.what() << ")\n";
+    return false;
+  }
+  return false;
+}
+
+/// Prints one self-check row and folds the result into `all_ok`.
+void report(const char* name, const ValidationResult& r, bool& all_ok) {
+  std::cout << "  " << name << ": " << (r.ok() ? "ok" : r.message()) << "\n";
+  if (!r.ok()) all_ok = false;
+}
+
+int run_suite(const std::string& name, index_t nt, index_t extract) {
+  const Coo<value_t> coo = suite_matrix(name);
+  std::cout << name << " (" << coo.rows << "x" << coo.cols << ", nnz "
+            << coo.nnz() << ")\n";
+  bool all_ok = true;
+  report("coo", validate_coo(coo), all_ok);
+  const auto csr = Csr<value_t>::from_coo(coo);
+  report("csr", validate_csr(csr), all_ok);
+  report("csr-transpose", validate_csr(csr.transpose()), all_ok);
+  report("tile-matrix",
+         validate_tile_matrix(TileMatrix<value_t>::from_csr(csr, nt, extract)),
+         all_ok);
+  report("packed-tile-matrix",
+         validate_packed_tile_matrix(PackedTileMatrix<value_t>::from_csr(csr)),
+         all_ok);
+  if (csr.rows == csr.cols) {
+    report("bit-tile-graph",
+           validate_bit_tile_graph(BitTileGraph<32>::from_csr(csr, extract)),
+           all_ok);
+  }
+  const auto x = gen_sparse_vector(csr.cols, 0.01);
+  report("sparse-vec", validate_sparse_vec(x), all_ok);
+  report("tile-vector",
+         validate_tile_vector(TileVector<value_t>::from_sparse(x, nt)),
+         all_ok);
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Args args(argc, argv);
+    if (args.has("--help") || args.has("-h")) return usage();
+    if (args.has("--suite")) {
+      const std::string name = args.get("--suite");
+      const auto nt = static_cast<index_t>(args.get_int("--nt", 16));
+      const auto extract = static_cast<index_t>(args.get_int("--extract", 0));
+      if (nt < 1 || nt > 256) {
+        std::cerr << "tilespmspv_validate: --nt must be in [1, 256]\n";
+        return 2;
+      }
+      return run_suite(name, nt, extract);
+    }
+    const std::vector<std::string> files = args.positional();
+    if (files.empty()) return usage();
+    bool all_ok = true;
+    for (const auto& path : files) {
+      if (!check_file(path)) all_ok = false;
+    }
+    return all_ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "tilespmspv_validate: " << e.what() << "\n";
+    return 2;
+  }
+}
