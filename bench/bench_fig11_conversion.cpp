@@ -1,39 +1,71 @@
 // Figure 11: format-conversion overhead — the time to convert a CSR matrix
 // into the tiled bitmask format compared with the time of one complete BFS
 // on it, for the representative matrices.
+//
+//   bench_fig11_conversion [iters] [--iters N] [--metrics out.json|out.csv]
+//
+// --metrics exports the per-matrix conversion distribution (best/mean/p95
+// over `iters` fresh builds), the best BFS time, and the ratio.
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
 #include "bfs/tile_bfs.hpp"
+#include "util/args.hpp"
+#include "util/simd.hpp"
 
 using namespace tilespmspv;
 using namespace tilespmspv::bench;
 
 int main(int argc, char** argv) {
-  const int iters = argc > 1 ? std::atoi(argv[1]) : 3;
+  Args args(argc, argv);
+  const auto pos = args.positional();
+  int iters = static_cast<int>(args.get_int("--iters", 3));
+  if (!pos.empty()) iters = std::atoi(pos[0].c_str());
+  std::string metrics_path = args.get("--metrics");
+  if (metrics_path.empty()) metrics_path = args.get("--json");
+  obs::MetricsRegistry metrics;
+  metrics.put_str("bench", "fig11_conversion");
+  metrics.put_str("simd_isa", simd::active_isa());
+  metrics.put_int("iters", iters);
   ThreadPool pool(4);
   std::cout << "Figure 11: format conversion time vs one BFS time\n\n";
 
-  Table table({"matrix", "convert ms", "BFS ms", "convert / BFS",
-               "convert share"});
+  Table table({"matrix", "convert ms", "mean", "p95", "BFS ms",
+               "convert / BFS", "convert share"});
   std::vector<double> ratios;
   for (const auto& name : suite_representative12()) {
     const Csr<value_t> a = Csr<value_t>::from_coo(suite_matrix(name));
     const index_t src = max_degree_vertex(a);
 
-    // Conversion is timed as a fresh build (best of `iters`).
-    double convert_ms = 1e300;
+    // Conversion is timed as a fresh build each sample; the distribution
+    // (not just the min) goes to the metrics file.
+    std::vector<double> convert_samples;
+    convert_samples.reserve(static_cast<std::size_t>(iters));
     for (int i = 0; i < iters; ++i) {
       TileBfs fresh(a, {}, &pool);
-      convert_ms = std::min(convert_ms, fresh.preprocess_ms());
+      convert_samples.push_back(fresh.preprocess_ms());
     }
+    const double convert_ms = min_of(convert_samples);
+    const double convert_mean = mean(convert_samples);
+    const double convert_p95 = percentile(convert_samples, 95.0);
     TileBfs bfs(a, {}, &pool);
-    const double bfs_ms = time_best_ms([&] { (void)bfs.run(src); }, iters);
+    BfsWorkspace ws;
+    const double bfs_ms =
+        time_best_ms([&] { (void)bfs.run(src, ws); }, iters);
 
     const double ratio = convert_ms / bfs_ms;
     ratios.push_back(ratio);
-    table.add_row({name, fmt(convert_ms, 3), fmt(bfs_ms, 3), fmt(ratio, 2),
+    table.add_row({name, fmt(convert_ms, 3), fmt(convert_mean, 3),
+                   fmt(convert_p95, 3), fmt(bfs_ms, 3), fmt(ratio, 2),
                    fmt(100.0 * convert_ms / (convert_ms + bfs_ms), 1) + "%"});
+    if (!metrics_path.empty()) {
+      metrics.put_double(name + ".convert_ms_best", convert_ms);
+      metrics.put_double(name + ".convert_ms_mean", convert_mean);
+      metrics.put_double(name + ".convert_ms_p95", convert_p95);
+      metrics.put_double(name + ".bfs_ms_best", bfs_ms);
+      metrics.put_double(name + ".convert_vs_bfs", ratio);
+    }
   }
   table.print(std::cout);
   std::cout << "\ngeomean convert/BFS ratio: " << fmt(geomean(ratios), 2)
@@ -41,5 +73,15 @@ int main(int argc, char** argv) {
             << "Expected shape (paper): conversion does not exceed ~10x of\n"
                "a single BFS and amortizes over repeated traversals from\n"
                "different sources.\n";
+  if (!metrics_path.empty()) {
+    metrics.put_double("convert_vs_bfs_geomean", geomean(ratios));
+    counters_to_metrics(metrics);
+    if (metrics.write_file(metrics_path)) {
+      std::cout << "metrics written to " << metrics_path << "\n";
+    } else {
+      std::cerr << "failed to write metrics to " << metrics_path << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

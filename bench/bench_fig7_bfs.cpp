@@ -2,24 +2,43 @@
 // stand-in (direction-optimizing BFS) and the GSwitch stand-in (adaptive
 // autotuned BFS), over the square matrix suite, on the two "device"
 // configurations (pool sizes standing in for RTX 3060 / RTX 3090).
+//
+//   bench_fig7_bfs [iters] [--iters N] [--metrics out.json|out.csv]
+//
+// TileBFS timings go through time_stats_ms so the exported JSON carries
+// best/mean/p95 per matrix (best-of remains the comparison metric);
+// --metrics also records the aggregate speedups and the merged kernel
+// counters of the whole run. --json is an alias (CI artifact steps).
 #include <iostream>
 #include <map>
+#include <string>
 
 #include "baselines/dobfs.hpp"
 #include "baselines/gswitch_bfs.hpp"
 #include "bench_common.hpp"
 #include "bfs/tile_bfs.hpp"
+#include "util/args.hpp"
+#include "util/simd.hpp"
 
 using namespace tilespmspv;
 using namespace tilespmspv::bench;
 
 int main(int argc, char** argv) {
-  const int iters = argc > 1 ? std::atoi(argv[1]) : 3;
+  Args args(argc, argv);
+  const auto pos = args.positional();
+  int iters = static_cast<int>(args.get_int("--iters", 3));
+  if (!pos.empty()) iters = std::atoi(pos[0].c_str());
+  std::string metrics_path = args.get("--metrics");
+  if (metrics_path.empty()) metrics_path = args.get("--json");
+  obs::MetricsRegistry metrics;
+  metrics.put_str("bench", "fig7_bfs");
+  metrics.put_str("simd_isa", simd::active_isa());
+  metrics.put_int("iters", iters);
   std::cout << "Figure 7: BFS comparison (Gunrock and GSwitch stand-ins)\n\n";
 
   for (const Device& dev : devices()) {
     ThreadPool pool(dev.threads);
-    Table table({"matrix", "class", "n", "edges", "TileBFS ms",
+    Table table({"matrix", "class", "n", "edges", "TileBFS ms", "mean", "p95",
                  "Gunrock ms", "GSwitch ms", "vs Gunrock", "vs GSwitch"});
     SpeedupAggregate vs_gunrock, vs_gswitch;
     std::map<std::string, SpeedupAggregate> class_vs_gunrock;
@@ -29,8 +48,9 @@ int main(int argc, char** argv) {
       const index_t src = max_degree_vertex(a);
 
       TileBfs tile_bfs(a, {}, &pool);
-      const double t_tile =
-          time_best_ms([&] { (void)tile_bfs.run(src); }, iters);
+      BfsWorkspace ws;  // hoisted: steady-state levels allocate nothing
+      const TimingStats t_tile =
+          time_stats_ms([&] { (void)tile_bfs.run(src, ws); }, iters);
 
       const double t_gunrock =
           time_best_ms([&] { (void)dobfs(a, a, src, {}, &pool); }, iters);
@@ -39,13 +59,22 @@ int main(int argc, char** argv) {
       const double t_gswitch = time_best_ms(
           [&] { (void)gswitch_bfs(a, a, src, tuner, &pool); }, iters);
 
-      vs_gunrock.add(t_tile, t_gunrock);
-      vs_gswitch.add(t_tile, t_gswitch);
-      class_vs_gunrock[suite_class(name)].add(t_tile, t_gunrock);
+      vs_gunrock.add(t_tile.best, t_gunrock);
+      vs_gswitch.add(t_tile.best, t_gswitch);
+      class_vs_gunrock[suite_class(name)].add(t_tile.best, t_gunrock);
       table.add_row({name, suite_class(name), fmt_count(a.rows),
-                     fmt_count(a.nnz()), fmt(t_tile, 3), fmt(t_gunrock, 3),
-                     fmt(t_gswitch, 3), fmt(t_gunrock / t_tile, 2),
-                     fmt(t_gswitch / t_tile, 2)});
+                     fmt_count(a.nnz()), fmt(t_tile.best, 3),
+                     fmt(t_tile.mean, 3), fmt(t_tile.p95, 3),
+                     fmt(t_gunrock, 3), fmt(t_gswitch, 3),
+                     fmt(t_gunrock / t_tile.best, 2),
+                     fmt(t_gswitch / t_tile.best, 2)});
+      if (!metrics_path.empty()) {
+        const std::string key =
+            name + "@threads" + std::to_string(dev.threads);
+        metrics.put_double(key + ".ms_best", t_tile.best);
+        metrics.put_double(key + ".ms_mean", t_tile.mean);
+        metrics.put_double(key + ".ms_p95", t_tile.p95);
+      }
     }
 
     std::cout << "--- device: " << dev.name << " (" << dev.threads
@@ -65,9 +94,24 @@ int main(int argc, char** argv) {
                 << "x";
     }
     std::cout << "\n\n";
+    if (!metrics_path.empty()) {
+      const std::string key = "speedup_geomean@threads" +
+                              std::to_string(dev.threads);
+      metrics.put_double(key + ".vs_gunrock", vs_gunrock.geomean_speedup());
+      metrics.put_double(key + ".vs_gswitch", vs_gswitch.geomean_speedup());
+    }
   }
   std::cout << "Expected shape (paper): TileBFS wins on most matrices, with\n"
                "the largest margins on FEM-like matrices whose nonzeros\n"
                "concentrate into dense tiles.\n";
+  if (!metrics_path.empty()) {
+    counters_to_metrics(metrics);
+    if (metrics.write_file(metrics_path)) {
+      std::cout << "metrics written to " << metrics_path << "\n";
+    } else {
+      std::cerr << "failed to write metrics to " << metrics_path << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

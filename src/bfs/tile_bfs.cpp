@@ -1,7 +1,10 @@
 #include "bfs/tile_bfs.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
@@ -9,6 +12,8 @@
 #include "parallel/parallel_for.hpp"
 #include "tile/bit_tile_graph.hpp"
 #include "tile/bit_vector.hpp"
+#include "tile/tile_chunks.hpp"
+#include "util/bitkernels.hpp"
 #include "util/timer.hpp"
 
 namespace tilespmspv {
@@ -28,37 +33,127 @@ const char* bfs_kernel_name(BfsKernel k) {
 namespace {
 
 // ---------------------------------------------------------------------
+// Hoisted per-query scratch. All BFS state a level touches lives here so
+// steady-state levels allocate nothing (mirrors SpmspvWorkspace).
+//
+// Invariants between runs (and between levels, where noted):
+//   - x and y are all-zero (restored sparsely through the slot lists);
+//   - slot_flag is all-zero (cleared while merging produced slots);
+//   - the produced buckets are empty;
+// only the visited mask m is dense state, cleared once per run.
+// ---------------------------------------------------------------------
+template <int NT>
+struct BfsScratch {
+  BitVector<NT> x;  // current frontier
+  BitVector<NT> m;  // visited mask (includes the frontier)
+  BitVector<NT> y;  // next frontier
+  std::vector<index_t> slots;       // non-empty word slots of x
+  std::vector<index_t> next_slots;  // non-empty word slots of y
+  // Output-word registration: slot_flag[s] is set the first time a kernel
+  // produces bits in y.words[s]; the producing task appends s to its pool
+  // slot's bucket, so the merged buckets list every produced word exactly
+  // once without any re-scan of y.
+  std::vector<std::uint8_t> slot_flag;
+  std::vector<std::vector<index_t>> produced;  // one bucket per pool slot
+  // Reused weighted-chunk boundaries (Push-CSC frontier slots, side pass).
+  std::vector<index_t> k1_bounds;
+  std::vector<index_t> side_bounds;
+
+  void ensure(index_t n, std::size_t pool_slots) {
+    if (x.n != n) {
+      x = BitVector<NT>(n);
+      m = BitVector<NT>(n);
+      y = BitVector<NT>(n);
+      slot_flag.assign(x.words.size(), 0);
+      slots.clear();
+      next_slots.clear();
+    }
+    if (produced.size() < pool_slots) produced.resize(pool_slots);
+  }
+};
+
+/// Local-row count at or above which the per-tile inner test switches from
+/// the bit-scan loop to the full-block SIMD mask intersection
+/// (and_broadcast_hits evaluates all NT rows at once, so it pays off only
+/// when enough candidate rows remain). Both paths compute the same word.
+template <int NT>
+inline constexpr int kHitsKernelThreshold = NT / 8;
+
+// ---------------------------------------------------------------------
 // K1: Push-CSC (paper Alg. 5). Vector-driven: every non-empty frontier
 // word walks its tile column in the CSC form; the OR of the column masks
 // of its set bits is the contribution to the output tile row, masked by
 // the visited vector and merged with an atomic OR (several frontier tiles
-// can hit the same output tile row).
+// can hit the same output tile row). Frontier slots are cut into chunks
+// of roughly equal column weight (conversion-time csc_col_weight), so one
+// hub column cannot serialize the level.
 // ---------------------------------------------------------------------
 template <int NT>
-void kernel_push_csc(const BitTileGraph<NT>& g, const BitVector<NT>& x,
-                     const BitVector<NT>& m, BitVector<NT>& y,
-                     const std::vector<index_t>& slots, ThreadPool* pool) {
+void kernel_push_csc(const BitTileGraph<NT>& g, BfsScratch<NT>& ws,
+                     ThreadPool* pool) {
   using Word = bitword_t<NT>;
+  const std::vector<index_t>& slots = ws.slots;
+  build_weighted_chunks_into(
+      ws.k1_bounds, static_cast<index_t>(slots.size()), kChunkTargetWork,
+      [&](index_t i) {
+        return g.csc_col_weight.empty()
+                   ? kChunkTargetWork / 4  // hand-built graph: 4-slot chunks
+                   : g.csc_col_weight[slots[i]];
+      });
   parallel_for(
-      static_cast<index_t>(slots.size()),
-      [&](index_t si) {
-        const index_t s = slots[si];
-        const Word xw = x.words[s];
-        for (offset_t t = g.csc_tile_ptr[s]; t < g.csc_tile_ptr[s + 1]; ++t) {
-          // Only columns that are both in the frontier and non-empty in
-          // this tile contribute; the summary check skips the payload for
-          // tiles untouched by the frontier.
-          const Word active = xw & g.csc_col_summary[t];
-          if (active == 0) continue;
-          const index_t blk_y_rowid = g.csc_tile_row[t];
-          const Word* col_masks = g.csc_mask(t);
-          Word contrib = 0;
-          for_each_set_bit(active, [&](int lj) { contrib |= col_masks[lj]; });
-          const Word sum = contrib & static_cast<Word>(~m.words[blk_y_rowid]);
-          if (sum != 0) atomic_or(&y.words[blk_y_rowid], sum);
+      static_cast<index_t>(ws.k1_bounds.size()) - 1,
+      [&](index_t c) {
+        std::vector<index_t>& out_slots = ws.produced[ThreadPool::current_slot()];
+        std::uint64_t tiles_visited = 0;
+        for (index_t si = ws.k1_bounds[c]; si < ws.k1_bounds[c + 1]; ++si) {
+          const index_t s = slots[si];
+          const Word xw = ws.x.words[s];
+          for (offset_t t = g.csc_tile_ptr[s]; t < g.csc_tile_ptr[s + 1];
+               ++t) {
+            // Only columns that are both in the frontier and non-empty in
+            // this tile contribute; the summary check skips the payload
+            // for tiles untouched by the frontier.
+            const Word summary = g.csc_col_summary[t];
+            const Word active = xw & summary;
+            if (active == 0) continue;
+            ++tiles_visited;
+            const index_t blk_y_rowid = g.csc_tile_row[t];
+            const Word* col_masks = g.csc_mask(t);
+            Word contrib = 0;
+            if (active == summary && popcount(active) >= NT / 4) {
+              // Every non-empty column of this reasonably dense tile is
+              // in the frontier: the merge is a straight OR over the mask
+              // block (SIMD). The density gate matters — or_reduce reads
+              // all NT words, so on near-empty tiles the per-set-bit loop
+              // below is cheaper.
+              contrib = bitk::or_reduce(col_masks, NT);
+            } else {
+              for_each_set_bit(active,
+                               [&](int lj) { contrib |= col_masks[lj]; });
+            }
+            const Word sum =
+                contrib & static_cast<Word>(~ws.m.words[blk_y_rowid]);
+            if (sum != 0) {
+              atomic_or(&ws.y.words[blk_y_rowid], sum);
+              if (!atomic_test_and_set(&ws.slot_flag[blk_y_rowid])) {
+                out_slots.push_back(blk_y_rowid);
+              }
+            }
+          }
         }
+        obs::counter_add(obs::Counter::kBfsTilesVisited, tiles_visited);
       },
-      pool, /*chunk=*/4);
+      pool, /*chunk=*/1);
+}
+
+/// Matrix-driven dispatch boundaries: the conversion-time weighted chunks
+/// when present, a uniform fallback for hand-built graphs.
+template <int NT>
+const std::vector<index_t>& csr_bounds(const BitTileGraph<NT>& g,
+                                       std::vector<index_t>& fallback) {
+  if (g.csr_chunk_ptr.size() >= 2) return g.csr_chunk_ptr;
+  fallback = uniform_row_chunks(g.tile_n, 16);
+  return fallback;
 }
 
 // ---------------------------------------------------------------------
@@ -68,34 +163,52 @@ void kernel_push_csc(const BitTileGraph<NT>& g, const BitVector<NT>& x,
 // atomics: each tile row is owned by exactly one task.
 // ---------------------------------------------------------------------
 template <int NT>
-void kernel_push_csr(const BitTileGraph<NT>& g, const BitVector<NT>& x,
-                     const BitVector<NT>& m, BitVector<NT>& y,
+void kernel_push_csr(const BitTileGraph<NT>& g, BfsScratch<NT>& ws,
                      ThreadPool* pool) {
   using Word = bitword_t<NT>;
+  std::vector<index_t> fallback;
+  const std::vector<index_t>& bounds = csr_bounds(g, fallback);
   parallel_for(
-      g.tile_n,
-      [&](index_t tr) {
-        const Word unvisited =
-            static_cast<Word>(~m.words[tr]) & m.valid_mask(tr);
-        if (unvisited == 0) return;  // whole tile row already done
-        Word out = 0;
-        for (offset_t t = g.csr_tile_ptr[tr]; t < g.csr_tile_ptr[tr + 1];
-             ++t) {
-          const Word xw = x.words[g.csr_tile_col[t]];
-          if (xw == 0) continue;  // empty frontier tile: skip payload
-          const Word* row_masks =
-              &g.csr_masks[static_cast<std::size_t>(t) * NT];
-          // Restrict to rows that are unvisited, not already found, and
-          // actually present in this tile (summary word).
-          const Word remaining =
-              unvisited & static_cast<Word>(~out) & g.csr_row_summary[t];
-          for_each_set_bit(remaining, [&](int lr) {
-            if (row_masks[lr] & xw) out |= msb_bit<Word>(lr);
-          });
+      static_cast<index_t>(bounds.size()) - 1,
+      [&](index_t c) {
+        std::vector<index_t>& out_slots = ws.produced[ThreadPool::current_slot()];
+        std::uint64_t tiles_visited = 0;
+        for (index_t tr = bounds[c]; tr < bounds[c + 1]; ++tr) {
+          const Word unvisited =
+              static_cast<Word>(~ws.m.words[tr]) & ws.m.valid_mask(tr);
+          if (unvisited == 0) continue;  // whole tile row already done
+          Word out = 0;
+          for (offset_t t = g.csr_tile_ptr[tr]; t < g.csr_tile_ptr[tr + 1];
+               ++t) {
+            const Word xw = ws.x.words[g.csr_tile_col[t]];
+            if (xw == 0) continue;  // empty frontier tile: skip payload
+            // Restrict to rows that are unvisited, not already found, and
+            // actually present in this tile (summary word).
+            const Word remaining =
+                unvisited & static_cast<Word>(~out) & g.csr_row_summary[t];
+            if (remaining == 0) continue;
+            ++tiles_visited;
+            const Word* row_masks =
+                &g.csr_masks[static_cast<std::size_t>(t) * NT];
+            if (popcount(remaining) >= kHitsKernelThreshold<NT>) {
+              out |= bitk::and_broadcast_hits(row_masks, xw) & remaining;
+            } else {
+              for_each_set_bit(remaining, [&](int lr) {
+                if (row_masks[lr] & xw) out |= msb_bit<Word>(lr);
+              });
+            }
+          }
+          if (out != 0) {
+            ws.y.words[tr] |= out;
+            // Tile row tr is owned by this task and the side pass has not
+            // started: a plain flag write registers the produced word.
+            ws.slot_flag[tr] = 1;
+            out_slots.push_back(tr);
+          }
         }
-        if (out != 0) y.words[tr] |= out;
+        obs::counter_add(obs::Counter::kBfsTilesVisited, tiles_visited);
       },
-      pool, /*chunk=*/16);
+      pool, /*chunk=*/1);
 }
 
 // ---------------------------------------------------------------------
@@ -106,65 +219,101 @@ void kernel_push_csr(const BitTileGraph<NT>& g, const BitVector<NT>& x,
 // undirected graphs (see header note).
 // ---------------------------------------------------------------------
 template <int NT>
-void kernel_pull_csc(const BitTileGraph<NT>& g, const BitVector<NT>& m,
-                     BitVector<NT>& y, ThreadPool* pool) {
+void kernel_pull_csc(const BitTileGraph<NT>& g, BfsScratch<NT>& ws,
+                     ThreadPool* pool) {
   using Word = bitword_t<NT>;
+  std::vector<index_t> fallback;
+  const std::vector<index_t>& bounds = csr_bounds(g, fallback);
   parallel_for(
-      g.tile_n,
-      [&](index_t tr) {
-        Word remaining = static_cast<Word>(~m.words[tr]) & m.valid_mask(tr);
-        if (remaining == 0) return;
-        Word out = 0;
-        for (offset_t t = g.csr_tile_ptr[tr];
-             t < g.csr_tile_ptr[tr + 1] && remaining != 0; ++t) {
-          const Word mw = m.words[g.csr_tile_col[t]];
-          if (mw == 0) continue;
-          const Word* row_masks =
-              &g.csr_masks[static_cast<std::size_t>(t) * NT];
-          Word found = 0;
-          for_each_set_bit(remaining & g.csr_row_summary[t], [&](int lu) {
-            if (row_masks[lu] & mw) found |= msb_bit<Word>(lu);
-          });
-          out |= found;
-          remaining &= static_cast<Word>(~found);  // early exit per vertex
+      static_cast<index_t>(bounds.size()) - 1,
+      [&](index_t c) {
+        std::vector<index_t>& out_slots = ws.produced[ThreadPool::current_slot()];
+        std::uint64_t tiles_visited = 0;
+        for (index_t tr = bounds[c]; tr < bounds[c + 1]; ++tr) {
+          Word remaining =
+              static_cast<Word>(~ws.m.words[tr]) & ws.m.valid_mask(tr);
+          if (remaining == 0) continue;
+          Word out = 0;
+          for (offset_t t = g.csr_tile_ptr[tr];
+               t < g.csr_tile_ptr[tr + 1] && remaining != 0; ++t) {
+            const Word mw = ws.m.words[g.csr_tile_col[t]];
+            if (mw == 0) continue;
+            const Word cand = remaining & g.csr_row_summary[t];
+            if (cand == 0) continue;
+            ++tiles_visited;
+            const Word* row_masks =
+                &g.csr_masks[static_cast<std::size_t>(t) * NT];
+            Word found;
+            if (popcount(cand) >= kHitsKernelThreshold<NT>) {
+              found = bitk::and_broadcast_hits(row_masks, mw) & cand;
+            } else {
+              found = 0;
+              for_each_set_bit(cand, [&](int lu) {
+                if (row_masks[lu] & mw) found |= msb_bit<Word>(lu);
+              });
+            }
+            out |= found;
+            remaining &= static_cast<Word>(~found);  // early exit per vertex
+          }
+          if (out != 0) {
+            ws.y.words[tr] |= out;
+            ws.slot_flag[tr] = 1;
+            out_slots.push_back(tr);
+          }
         }
-        if (out != 0) y.words[tr] |= out;
+        obs::counter_add(obs::Counter::kBfsTilesVisited, tiles_visited);
       },
-      pool, /*chunk=*/16);
+      pool, /*chunk=*/1);
 }
 
 // ---------------------------------------------------------------------
 // Side pass for the extracted very-sparse part: frontier-driven expansion
 // over the source-indexed edge list, merged into the same output vector.
-// Cost is proportional to the frontier's extracted out-edges, not to the
-// whole side matrix.
+// Walks the frontier slot list (not every x word) and chunks it by side
+// degree, so both the scan and the schedule cost are proportional to the
+// frontier's extracted out-edges rather than to the whole vector.
 // ---------------------------------------------------------------------
 template <int NT>
-void side_edges_pass(const BitTileGraph<NT>& g, const BitVector<NT>& x,
-                     const BitVector<NT>& m, BitVector<NT>& y,
+void side_edges_pass(const BitTileGraph<NT>& g, BfsScratch<NT>& ws,
                      ThreadPool* pool) {
   using Word = bitword_t<NT>;
   if (g.side_dst.empty()) return;
+  const std::vector<index_t>& slots = ws.slots;
+  build_weighted_chunks_into(
+      ws.side_bounds, static_cast<index_t>(slots.size()), kChunkTargetWork,
+      [&](index_t i) {
+        const index_t lo = slots[i] * NT;
+        const index_t hi = std::min<index_t>(lo + NT, g.n);
+        return offset_t{1} + g.side_ptr[hi] - g.side_ptr[lo];
+      });
   parallel_for(
-      x.num_words(),
-      [&](index_t s) {
-        const Word xw = x.words[s];
-        if (xw == 0) return;
+      static_cast<index_t>(ws.side_bounds.size()) - 1,
+      [&](index_t c) {
+        std::vector<index_t>& out_slots = ws.produced[ThreadPool::current_slot()];
         std::uint64_t relaxed = 0;
-        for_each_set_bit(xw, [&](int b) {
-          const index_t u = s * NT + b;
-          relaxed +=
-              static_cast<std::uint64_t>(g.side_ptr[u + 1] - g.side_ptr[u]);
-          for (offset_t k = g.side_ptr[u]; k < g.side_ptr[u + 1]; ++k) {
-            const index_t dst = g.side_dst[k];
-            if (!m.test(dst)) {
-              atomic_or(&y.words[dst / NT], msb_bit<Word>(dst % NT));
+        for (index_t si = ws.side_bounds[c]; si < ws.side_bounds[c + 1];
+             ++si) {
+          const index_t s = slots[si];
+          const Word xw = ws.x.words[s];
+          for_each_set_bit(xw, [&](int b) {
+            const index_t u = s * NT + b;
+            relaxed +=
+                static_cast<std::uint64_t>(g.side_ptr[u + 1] - g.side_ptr[u]);
+            for (offset_t k = g.side_ptr[u]; k < g.side_ptr[u + 1]; ++k) {
+              const index_t dst = g.side_dst[k];
+              if (!ws.m.test(dst)) {
+                const index_t ds = dst / NT;
+                atomic_or(&ws.y.words[ds], msb_bit<Word>(dst % NT));
+                if (!atomic_test_and_set(&ws.slot_flag[ds])) {
+                  out_slots.push_back(ds);
+                }
+              }
             }
-          }
-        });
+          });
+        }
         obs::counter_add(obs::Counter::kBfsSideEdges, relaxed);
       },
-      pool, /*chunk=*/64);
+      pool, /*chunk=*/1);
 }
 
 template <int NT>
@@ -194,7 +343,8 @@ BfsKernel select_kernel(const TileBfsConfig& cfg, index_t n,
 
 template <int NT>
 BfsResult run_bfs(const BitTileGraph<NT>& g, index_t source,
-                  const TileBfsConfig& cfg, ThreadPool* pool) {
+                  const TileBfsConfig& cfg, ThreadPool* pool,
+                  BfsScratch<NT>& ws) {
   using Word = bitword_t<NT>;
   assert(source >= 0 && source < g.n);
   Timer total;
@@ -202,94 +352,152 @@ BfsResult run_bfs(const BitTileGraph<NT>& g, index_t source,
   result.levels.assign(g.n, -1);
   result.levels[source] = 0;
 
-  BitVector<NT> x(g.n);  // current frontier
-  BitVector<NT> m(g.n);  // visited mask (includes the frontier)
-  BitVector<NT> y(g.n);  // next frontier
-  x.set(source);
-  m.set(source);
+  ThreadPool& p = pool ? *pool : ThreadPool::shared();
+  ws.ensure(g.n, p.size());
+  ws.m.clear();  // the one dense per-run reset; everything else is sparse
+  ws.x.set(source);
+  ws.m.set(source);
+  ws.slots.clear();
+  ws.slots.push_back(source / NT);
   index_t visited = 1;
-  index_t frontier_size = 1;   // carried across iterations (|x| = last |y|)
-  index_t frontier_words = 1;  // non-empty words in x, carried the same way
+  index_t frontier_size = 1;
 
   for (int level = 1;; ++level) {
     const index_t unvisited = g.n - visited;
     if (frontier_size == 0 || unvisited == 0) break;
+    const auto frontier_words = static_cast<index_t>(ws.slots.size());
     const BfsKernel kernel = select_kernel<NT>(
-        cfg, g.n, frontier_size, frontier_words, x.num_words(), unvisited);
+        cfg, g.n, frontier_size, frontier_words, ws.x.num_words(), unvisited);
 
     Timer iter;
     obs::TraceSpan span("bfs/iteration", "bfs", bfs_kernel_name(kernel));
-    y.clear();
+    obs::counter_add(obs::Counter::kBfsFrontierWords,
+                     static_cast<std::uint64_t>(frontier_words));
     switch (kernel) {
-      case BfsKernel::kPushCsc: {
+      case BfsKernel::kPushCsc:
         obs::counter_add(obs::Counter::kBfsIterPushCsc, 1);
-        const std::vector<index_t> slots = x.nonempty_slots();
-        kernel_push_csc(g, x, m, y, slots, pool);
+        kernel_push_csc(g, ws, pool);
         break;
-      }
       case BfsKernel::kPushCsr:
         obs::counter_add(obs::Counter::kBfsIterPushCsr, 1);
-        kernel_push_csr(g, x, m, y, pool);
+        kernel_push_csr(g, ws, pool);
         break;
       case BfsKernel::kPullCsc:
         obs::counter_add(obs::Counter::kBfsIterPullCsc, 1);
-        kernel_pull_csc(g, m, y, pool);
+        kernel_pull_csc(g, ws, pool);
         break;
     }
-    side_edges_pass(g, x, m, y, pool);
+    side_edges_pass(g, ws, pool);
 
-    // Assign levels and fold the new frontier into the visited mask. Each
-    // chunk owns a disjoint word range (level slots don't overlap across
-    // words), so the only shared state is the two reduction counters.
-    struct Tally {
-      index_t discovered = 0;
-      index_t words = 0;
-    };
-    const Tally tally = parallel_reduce<Tally>(
-        y.num_words(), Tally{},
-        [&](index_t s) {
-          Tally t;
-          const Word w = y.words[s];
-          if (w == 0) return t;
-          ++t.words;
-          for_each_set_bit(w, [&](int b) {
-            result.levels[s * NT + b] = level;
-            ++t.discovered;
-          });
-          m.words[s] |= w;
-          return t;
+    // Merge the produced-slot buckets into the next slot list and clear
+    // the registration flags. For dense levels a SIMD scan of y rebuilds
+    // the list in slot order instead (better locality downstream and
+    // cheaper than touching many scattered bucket entries twice).
+    ws.next_slots.clear();
+    std::size_t produced_total = 0;
+    for (const std::vector<index_t>& bucket : ws.produced) {
+      produced_total += bucket.size();
+    }
+    if (produced_total >= static_cast<std::size_t>(ws.y.num_words()) / 8) {
+      ws.next_slots.resize(static_cast<std::size_t>(ws.y.num_words()));
+      const index_t k = bitk::collect_nonzero(
+          ws.y.words.data(), ws.y.num_words(), 0, ws.next_slots.data());
+      ws.next_slots.resize(static_cast<std::size_t>(k));
+      for (std::vector<index_t>& bucket : ws.produced) {
+        for (index_t s : bucket) ws.slot_flag[s] = 0;
+        bucket.clear();
+      }
+    } else {
+      for (std::vector<index_t>& bucket : ws.produced) {
+        for (index_t s : bucket) {
+          ws.slot_flag[s] = 0;
+          ws.next_slots.push_back(s);
+        }
+        bucket.clear();
+      }
+    }
+    const auto produced_words = static_cast<index_t>(ws.next_slots.size());
+    obs::counter_add(obs::Counter::kBfsProducedWords,
+                     static_cast<std::uint64_t>(produced_words));
+
+    // Incremental level tally: assign levels and fold the new frontier
+    // into the visited mask over the produced words only — no re-scan of
+    // the full vectors. Slots are unique (flag-deduplicated), so chunks
+    // touch disjoint words and the only shared state is the reduction sum.
+    const index_t discovered = parallel_reduce<index_t>(
+        produced_words, index_t{0},
+        [&](index_t i) {
+          const index_t s = ws.next_slots[i];
+          const Word w = ws.y.words[s];
+          for_each_set_bit(w,
+                           [&](int b) { result.levels[s * NT + b] = level; });
+          ws.m.words[s] |= w;
+          return static_cast<index_t>(popcount(w));
         },
-        [](Tally a, Tally b) {
-          a.discovered += b.discovered;
-          a.words += b.words;
-          return a;
-        },
-        pool, /*chunk=*/512);
-    const index_t discovered = tally.discovered;
-    const index_t discovered_words = tally.words;
+        [](index_t a, index_t b) { return a + b; }, pool, /*chunk=*/64);
+
     if (cfg.record_iterations) {
-      result.iterations.push_back(
-          {level, kernel, frontier_size, unvisited,
-           static_cast<double>(frontier_size) / g.n,
-           static_cast<double>(unvisited) / g.n, iter.elapsed_ms()});
+      BfsIterationLog log{level,
+                          kernel,
+                          frontier_size,
+                          unvisited,
+                          static_cast<double>(frontier_size) / g.n,
+                          static_cast<double>(unvisited) / g.n,
+                          iter.elapsed_ms(),
+                          frontier_words};
+      result.iterations.push_back(log);
     }
     if (discovered == 0) break;
     visited += discovered;
     frontier_size = discovered;
-    frontier_words = discovered_words;
-    std::swap(x.words, y.words);
+    // Ping-pong: y becomes the frontier; the old frontier's words (now in
+    // y after the swap) are zeroed sparsely through the old slot list,
+    // restoring y's all-zero invariant without a dense clear.
+    std::swap(ws.x.words, ws.y.words);
+    for (index_t s : ws.slots) ws.y.words[s] = 0;
+    std::swap(ws.slots, ws.next_slots);
   }
+
+  // Restore the workspace invariants for the next run: x goes back to
+  // all-zero via its slot list (y and slot_flag already are).
+  for (index_t s : ws.slots) ws.x.words[s] = 0;
+  ws.slots.clear();
+  ws.next_slots.clear();
   result.total_ms = total.elapsed_ms();
   return result;
 }
 
 }  // namespace
 
+struct BfsWorkspace::Impl {
+  BfsScratch<16> s16;
+  BfsScratch<32> s32;
+  BfsScratch<64> s64;
+
+  template <int NT>
+  BfsScratch<NT>& get() {
+    if constexpr (NT == 16) {
+      return s16;
+    } else if constexpr (NT == 32) {
+      return s32;
+    } else {
+      return s64;
+    }
+  }
+};
+
+BfsWorkspace::BfsWorkspace() : impl_(std::make_unique<Impl>()) {}
+BfsWorkspace::~BfsWorkspace() = default;
+BfsWorkspace::BfsWorkspace(BfsWorkspace&&) noexcept = default;
+BfsWorkspace& BfsWorkspace::operator=(BfsWorkspace&&) noexcept = default;
+
 struct TileBfs::Impl {
   TileBfsConfig cfg;
   ThreadPool* pool = nullptr;
   int nt = 32;
-  // Exactly one of the two graphs is populated, per the order rule.
+  // Exactly one of the graphs is populated, per the order rule (or the
+  // forced_tile_size override).
+  std::unique_ptr<BitTileGraph<16>> g16;
   std::unique_ptr<BitTileGraph<32>> g32;
   std::unique_ptr<BitTileGraph<64>> g64;
 };
@@ -302,18 +510,31 @@ TileBfs::TileBfs(const Csr<value_t>& a, TileBfsConfig cfg, ThreadPool* pool)
   if ((cfg.kernel_mask & 7u) == 0) {
     throw std::invalid_argument("TileBfsConfig.kernel_mask must enable a kernel");
   }
+  const int nt = cfg.forced_tile_size != 0
+                     ? cfg.forced_tile_size
+                     : (a.rows > cfg.order_threshold ? 64 : 32);
+  if (nt != 16 && nt != 32 && nt != 64) {
+    throw std::invalid_argument(
+        "TileBfsConfig.forced_tile_size must be 0, 16, 32 or 64");
+  }
   impl_->cfg = cfg;
   impl_->pool = pool;
+  impl_->nt = nt;
   Timer t;
   obs::TraceSpan span("bfs/preprocess", "convert");
-  if (a.rows > cfg.order_threshold) {
-    impl_->nt = 64;
-    impl_->g64 = std::make_unique<BitTileGraph<64>>(
-        BitTileGraph<64>::from_csr(a, cfg.extract_threshold));
-  } else {
-    impl_->nt = 32;
-    impl_->g32 = std::make_unique<BitTileGraph<32>>(
-        BitTileGraph<32>::from_csr(a, cfg.extract_threshold));
+  switch (nt) {
+    case 16:
+      impl_->g16 = std::make_unique<BitTileGraph<16>>(
+          BitTileGraph<16>::from_csr(a, cfg.extract_threshold, true, pool));
+      break;
+    case 32:
+      impl_->g32 = std::make_unique<BitTileGraph<32>>(
+          BitTileGraph<32>::from_csr(a, cfg.extract_threshold, true, pool));
+      break;
+    default:
+      impl_->g64 = std::make_unique<BitTileGraph<64>>(
+          BitTileGraph<64>::from_csr(a, cfg.extract_threshold, true, pool));
+      break;
   }
   preprocess_ms_ = t.elapsed_ms();
 }
@@ -323,25 +544,41 @@ TileBfs::TileBfs(TileBfs&&) noexcept = default;
 TileBfs& TileBfs::operator=(TileBfs&&) noexcept = default;
 
 BfsResult TileBfs::run(index_t source) const {
+  BfsWorkspace ws;
+  return run(source, ws);
+}
+
+BfsResult TileBfs::run(index_t source, BfsWorkspace& ws) const {
   if (impl_->g64) {
-    return run_bfs(*impl_->g64, source, impl_->cfg, impl_->pool);
+    return run_bfs(*impl_->g64, source, impl_->cfg, impl_->pool,
+                   ws.impl_->get<64>());
   }
-  return run_bfs(*impl_->g32, source, impl_->cfg, impl_->pool);
+  if (impl_->g32) {
+    return run_bfs(*impl_->g32, source, impl_->cfg, impl_->pool,
+                   ws.impl_->get<32>());
+  }
+  return run_bfs(*impl_->g16, source, impl_->cfg, impl_->pool,
+                 ws.impl_->get<16>());
 }
 
 int TileBfs::tile_size() const { return impl_->nt; }
 
 offset_t TileBfs::edges() const {
-  return impl_->g64 ? impl_->g64->edges : impl_->g32->edges;
+  if (impl_->g64) return impl_->g64->edges;
+  if (impl_->g32) return impl_->g32->edges;
+  return impl_->g16->edges;
 }
 
 index_t TileBfs::num_tiles() const {
-  return impl_->g64 ? impl_->g64->num_tiles() : impl_->g32->num_tiles();
+  if (impl_->g64) return impl_->g64->num_tiles();
+  if (impl_->g32) return impl_->g32->num_tiles();
+  return impl_->g16->num_tiles();
 }
 
 offset_t TileBfs::side_edge_count() const {
-  return impl_->g64 ? impl_->g64->side_edge_count()
-                    : impl_->g32->side_edge_count();
+  if (impl_->g64) return impl_->g64->side_edge_count();
+  if (impl_->g32) return impl_->g32->side_edge_count();
+  return impl_->g16->side_edge_count();
 }
 
 }  // namespace tilespmspv

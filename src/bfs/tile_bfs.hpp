@@ -63,6 +63,10 @@ struct TileBfsConfig {
   index_t extract_threshold = 2;
   /// Matrix order above which 64×64 tiles are used instead of 32×32.
   index_t order_threshold = 10000;
+  /// Overrides the order rule with a fixed tile size (16, 32 or 64); 0
+  /// keeps the automatic rule. Exists for the differential fuzz harness,
+  /// which exercises every word width against the serial reference.
+  int forced_tile_size = 0;
   /// Record one BfsIterationLog per iteration (kernel choice plus the
   /// frontier-density / unvisited-fraction inputs the selector saw). The
   /// Fig. 9/10 harnesses and --verbose/--json CLI output consume these;
@@ -78,6 +82,10 @@ struct BfsIterationLog {
   double frontier_density = 0.0;  // |x| / n, the selector's K2 input
   double unvisited_frac = 0.0;    // unvisited / n, the selector's K3 input
   double ms = 0.0;
+  // Non-empty frontier words entering the iteration — the selector's
+  // second K2 input (frontier_words_frac guard). Carried incrementally
+  // from the previous level's produced-word tally, never re-scanned.
+  index_t frontier_words = 0;
 };
 
 struct BfsResult {
@@ -94,6 +102,25 @@ struct BfsResult {
   }
 };
 
+/// Hoisted per-query scratch (frontier bit vectors, slot lists, chunk
+/// boundaries, produced-slot buckets), mirroring SpmspvWorkspace: create
+/// once, pass to TileBfs::run repeatedly, and steady-state BFS levels
+/// allocate nothing. A workspace adapts to whatever graph size / tile
+/// size it is used with, but must not be shared by concurrent runs. The
+/// contents are an implementation detail of the BFS engine.
+class BfsWorkspace {
+ public:
+  BfsWorkspace();
+  ~BfsWorkspace();
+  BfsWorkspace(BfsWorkspace&&) noexcept;
+  BfsWorkspace& operator=(BfsWorkspace&&) noexcept;
+
+ private:
+  friend class TileBfs;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Preprocesses a square adjacency matrix once (tiling + bitmask build) and
 /// answers BFS queries from arbitrary sources.
 class TileBfs {
@@ -104,7 +131,13 @@ class TileBfs {
   TileBfs(TileBfs&&) noexcept;
   TileBfs& operator=(TileBfs&&) noexcept;
 
+  /// One-shot query: creates a fresh workspace internally (thread-safe for
+  /// concurrent calls on the same TileBfs).
   BfsResult run(index_t source) const;
+
+  /// Steady-state query: reuses `ws` so repeated traversals allocate only
+  /// the result vector. Not thread-safe with respect to `ws`.
+  BfsResult run(index_t source, BfsWorkspace& ws) const;
 
   /// Tile size selected by the order rule (32 or 64).
   int tile_size() const;

@@ -961,6 +961,20 @@ ValidationResult validate_bit_tile_graph(const G& g) {
     }
   }
 
+  // Scheduling metadata: the weighted tile-row chunk boundaries follow
+  // the same optional contract as TileMatrix::row_chunk_ptr, and the
+  // per-column CSC weights must be absent or cover every tile column
+  // (the Push-CSC frontier chunking indexes them by slot id).
+  detail::check_row_chunks(r, g.csr_chunk_ptr, g.tile_n, "csr_chunk_ptr");
+  if (!r.ok()) return r;
+  if (!g.csc_col_weight.empty() &&
+      g.csc_col_weight.size() != static_cast<std::size_t>(g.tile_n)) {
+    r.add("csc_col_weight/length",
+          "expected " + to_string(g.tile_n) + " column weights, got " +
+              to_string(g.csc_col_weight.size()));
+    return r;
+  }
+
   // Side edge list and the terminal edge count.
   if (!detail::check_ptr_array(r, g.side_ptr,
                                static_cast<std::size_t>(g.n) + 1,

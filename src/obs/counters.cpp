@@ -27,6 +27,12 @@ const char* counter_name(Counter c) {
       return "bfs_iter_pull_csc";
     case Counter::kBfsSideEdges:
       return "bfs_side_edges";
+    case Counter::kBfsFrontierWords:
+      return "bfs_frontier_words";
+    case Counter::kBfsProducedWords:
+      return "bfs_produced_words";
+    case Counter::kBfsTilesVisited:
+      return "bfs_tiles_visited";
     case Counter::kPoolLoops:
       return "pool_loops";
     case Counter::kPoolChunks:

@@ -36,6 +36,9 @@ enum class Counter : int {
   kBfsIterPushCsr,      // BFS iterations run with the Push-CSR kernel
   kBfsIterPullCsc,      // BFS iterations run with the Pull-CSC kernel
   kBfsSideEdges,        // extracted edges relaxed by the BFS side pass
+  kBfsFrontierWords,    // non-empty frontier words entering BFS iterations
+  kBfsProducedWords,    // distinct output words produced by BFS iterations
+  kBfsTilesVisited,     // tiles whose mask payload a BFS kernel touched
   kPoolLoops,           // parallel_ranges invocations (incl. serial path)
   kPoolChunks,          // chunks claimed from pool work queues
   kCount

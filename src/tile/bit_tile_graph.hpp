@@ -23,6 +23,8 @@
 
 #include "formats/csr.hpp"
 #include "formats/validate.hpp"
+#include "parallel/parallel_for.hpp"
+#include "tile/tile_chunks.hpp"
 #include "util/bitops.hpp"
 #include "util/types.hpp"
 
@@ -94,6 +96,22 @@ struct BitTileGraph {
     return static_cast<offset_t>(side_dst.size());
   }
 
+  // Work-weighted dispatch boundaries over tile rows for the matrix-driven
+  // BFS kernels (Push-CSR / Pull-CSC), built once at conversion time like
+  // TileMatrix::row_chunk_ptr: chunk c covers tile rows
+  // [csr_chunk_ptr[c], csr_chunk_ptr[c+1]). The weight of a tile row is
+  // one claim-loop iteration plus, per stored tile, the metadata charge
+  // and the popcount of its row summary (set rows are what the kernels
+  // actually scan). Empty on hand-built graphs; the kernels fall back to
+  // uniform chunks then.
+  std::vector<index_t> csr_chunk_ptr;
+
+  // Per-tile-column work weight of the CSC form (same unit), used by the
+  // per-level frontier-slot chunking of Push-CSC and kept as a length
+  // tile_n array because the frontier is a sparse subset of columns — a
+  // prefix sum over all columns would not compose over the slot list.
+  std::vector<offset_t> csc_col_weight;
+
   index_t num_tiles() const {
     return static_cast<index_t>(csr_tile_col.size());
   }
@@ -105,10 +123,15 @@ struct BitTileGraph {
 
   /// Builds both tile forms from a square CSR pattern (values ignored).
   /// When `share_symmetric` is set and the pattern is symmetric, the CSC
-  /// masks alias the CSR ones (§3.2.3 storage halving).
+  /// masks alias the CSR ones (§3.2.3 storage halving). The build runs in
+  /// parallel over nnz-weighted tile-row ranges on `pool` (nullptr =
+  /// shared pool); range merges happen in range order, so the resulting
+  /// structure is bit-identical to the serial build regardless of pool
+  /// size or scheduling.
   static BitTileGraph from_csr(const Csr<value_t>& a,
                                index_t extract_threshold = 0,
-                               bool share_symmetric = true) {
+                               bool share_symmetric = true,
+                               ThreadPool* pool = nullptr) {
     assert(a.rows == a.cols);
     BitTileGraph g;
     g.n = a.rows;
@@ -116,87 +139,128 @@ struct BitTileGraph {
     g.edges = a.nnz();
     g.csr_tile_ptr.assign(g.tile_n + 1, 0);
 
-    // Pass 1: per tile row, count nnz per tile column; decide kept vs
-    // extracted (same structure as TileMatrix::from_csr).
-    std::vector<offset_t> tile_nnz(g.tile_n, 0);
-    std::vector<index_t> touched;
-    std::vector<index_t> kept_cols;
-    for (index_t tr = 0; tr < g.tile_n; ++tr) {
-      touched.clear();
-      const index_t r_begin = tr * NT;
-      const index_t r_end = std::min<index_t>(r_begin + NT, a.rows);
-      for (index_t r = r_begin; r < r_end; ++r) {
-        for (offset_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
-          const index_t tc = a.col_idx[i] / NT;
-          if (tile_nnz[tc] == 0) touched.push_back(tc);
-          ++tile_nnz[tc];
-        }
-      }
-      std::sort(touched.begin(), touched.end());
-      for (index_t tc : touched) {
-        if (tile_nnz[tc] > extract_threshold) {
-          kept_cols.push_back(tc);
-          ++g.csr_tile_ptr[tr + 1];
-        }
-        tile_nnz[tc] = 0;
-      }
-    }
+    // Parallel grain: tile-row ranges of roughly equal nnz. Each range
+    // owns a disjoint slice of rows (and hence of the tiles and masks
+    // those rows produce), so the two passes below need no atomics.
+    const std::vector<index_t> ranges = build_weighted_chunks(
+        g.tile_n, std::max<offset_t>(a.nnz() / 32 + 1, offset_t{4096}),
+        [&](index_t tr) {
+          const index_t r_begin = tr * NT;
+          const index_t r_end = std::min<index_t>(r_begin + NT, a.rows);
+          return offset_t{1} + a.row_ptr[r_end] - a.row_ptr[r_begin];
+        });
+    const index_t nranges = static_cast<index_t>(ranges.size()) - 1;
+
+    // Pass 1 (parallel): per tile row, count nnz per tile column; decide
+    // kept vs extracted (same structure as TileMatrix::from_csr). Kept
+    // column ids land in per-range buffers whose range-order concatenation
+    // equals the row-order list.
+    std::vector<std::vector<index_t>> range_kept(
+        static_cast<std::size_t>(nranges));
+    parallel_for(
+        nranges,
+        [&](index_t rg) {
+          std::vector<offset_t> tile_nnz(g.tile_n, 0);
+          std::vector<index_t> touched;
+          std::vector<index_t>& kept = range_kept[rg];
+          for (index_t tr = ranges[rg]; tr < ranges[rg + 1]; ++tr) {
+            touched.clear();
+            const index_t r_begin = tr * NT;
+            const index_t r_end = std::min<index_t>(r_begin + NT, a.rows);
+            for (index_t r = r_begin; r < r_end; ++r) {
+              for (offset_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+                const index_t tc = a.col_idx[i] / NT;
+                if (tile_nnz[tc] == 0) touched.push_back(tc);
+                ++tile_nnz[tc];
+              }
+            }
+            std::sort(touched.begin(), touched.end());
+            for (index_t tc : touched) {
+              if (tile_nnz[tc] > extract_threshold) {
+                kept.push_back(tc);
+                ++g.csr_tile_ptr[tr + 1];
+              }
+              tile_nnz[tc] = 0;
+            }
+          }
+        },
+        pool, /*chunk=*/1);
     for (index_t tr = 0; tr < g.tile_n; ++tr) {
       g.csr_tile_ptr[tr + 1] += g.csr_tile_ptr[tr];
     }
-    const index_t ntiles = static_cast<index_t>(kept_cols.size());
-    g.csr_tile_col = std::move(kept_cols);
+    g.csr_tile_col.clear();
+    for (const auto& kept : range_kept) {
+      g.csr_tile_col.insert(g.csr_tile_col.end(), kept.begin(), kept.end());
+    }
+    const index_t ntiles = static_cast<index_t>(g.csr_tile_col.size());
     g.csr_masks.assign(static_cast<std::size_t>(ntiles) * NT, Word{0});
 
-    // Pass 2: fill the CSR row masks; route extracted entries to a
-    // temporary (src=col, dst=row) edge list, bucketed by source below.
-    std::vector<std::pair<index_t, index_t>> extracted_edges;
-    std::vector<index_t> slot_of(g.tile_n, kEmptyTile);
-    for (index_t tr = 0; tr < g.tile_n; ++tr) {
-      const offset_t t_begin = g.csr_tile_ptr[tr];
-      const offset_t t_end = g.csr_tile_ptr[tr + 1];
-      for (offset_t t = t_begin; t < t_end; ++t) {
-        slot_of[g.csr_tile_col[t]] = static_cast<index_t>(t);
-      }
-      const index_t r_begin = tr * NT;
-      const index_t r_end = std::min<index_t>(r_begin + NT, a.rows);
-      for (index_t r = r_begin; r < r_end; ++r) {
-        const index_t lr = r - r_begin;
-        for (offset_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
-          const index_t c = a.col_idx[i];
-          const index_t t = slot_of[c / NT];
-          if (t == kEmptyTile) {
-            extracted_edges.emplace_back(c, r);
-            continue;
+    // Pass 2 (parallel): fill the CSR row masks; route extracted entries
+    // to per-range (src=col, dst=row) edge lists, bucketed by source
+    // below. Every mask word written belongs to a tile of the range's own
+    // rows.
+    std::vector<std::vector<std::pair<index_t, index_t>>> range_extracted(
+        static_cast<std::size_t>(nranges));
+    parallel_for(
+        nranges,
+        [&](index_t rg) {
+          std::vector<index_t> slot_of(g.tile_n, kEmptyTile);
+          auto& extracted = range_extracted[rg];
+          for (index_t tr = ranges[rg]; tr < ranges[rg + 1]; ++tr) {
+            const offset_t t_begin = g.csr_tile_ptr[tr];
+            const offset_t t_end = g.csr_tile_ptr[tr + 1];
+            for (offset_t t = t_begin; t < t_end; ++t) {
+              slot_of[g.csr_tile_col[t]] = static_cast<index_t>(t);
+            }
+            const index_t r_begin = tr * NT;
+            const index_t r_end = std::min<index_t>(r_begin + NT, a.rows);
+            for (index_t r = r_begin; r < r_end; ++r) {
+              const index_t lr = r - r_begin;
+              for (offset_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+                const index_t c = a.col_idx[i];
+                const index_t t = slot_of[c / NT];
+                if (t == kEmptyTile) {
+                  extracted.emplace_back(c, r);
+                  continue;
+                }
+                g.csr_masks[static_cast<std::size_t>(t) * NT + lr] |=
+                    msb_bit<Word>(c % NT);
+              }
+            }
+            for (offset_t t = t_begin; t < t_end; ++t) {
+              slot_of[g.csr_tile_col[t]] = kEmptyTile;
+            }
           }
-          g.csr_masks[static_cast<std::size_t>(t) * NT + lr] |=
-              msb_bit<Word>(c % NT);
-        }
-      }
-      for (offset_t t = t_begin; t < t_end; ++t) {
-        slot_of[g.csr_tile_col[t]] = kEmptyTile;
-      }
-    }
+        },
+        pool, /*chunk=*/1);
 
-    // Bucket the extracted edges by source (counting sort).
+    // Bucket the extracted edges by source (counting sort, range order ==
+    // the serial row-major insertion order).
     g.side_ptr.assign(g.n + 1, 0);
-    g.side_dst.resize(extracted_edges.size());
-    for (const auto& [src, dst] : extracted_edges) {
-      ++g.side_ptr[src + 1];
+    std::size_t total_extracted = 0;
+    for (const auto& extracted : range_extracted) {
+      total_extracted += extracted.size();
+      for (const auto& [src, dst] : extracted) {
+        ++g.side_ptr[src + 1];
+      }
     }
+    g.side_dst.resize(total_extracted);
     for (index_t v = 0; v < g.n; ++v) {
       g.side_ptr[v + 1] += g.side_ptr[v];
     }
     {
       std::vector<offset_t> cursor(g.side_ptr.begin(), g.side_ptr.end() - 1);
-      for (const auto& [src, dst] : extracted_edges) {
-        g.side_dst[cursor[src]++] = dst;
+      for (const auto& extracted : range_extracted) {
+        for (const auto& [src, dst] : extracted) {
+          g.side_dst[cursor[src]++] = dst;
+        }
       }
     }
 
     g.shared_masks = share_symmetric && is_pattern_symmetric(a);
-    g.build_csc_from_csr();
-    g.build_summaries();
+    g.build_csc_from_csr(pool);
+    g.build_summaries(pool);
+    g.build_chunks(pool);
     TILESPMSPV_POSTCONDITION(validate_bit_tile_graph(g),
                              "BitTileGraph::from_csr");
     return g;
@@ -210,33 +274,45 @@ struct BitTileGraph {
   }
 
  private:
-  void build_summaries() {
+  void build_summaries(ThreadPool* pool) {
     const index_t ntiles = num_tiles();
     csr_row_summary.assign(ntiles, Word{0});
     csc_col_summary.assign(ntiles, Word{0});
-    for (index_t t = 0; t < ntiles; ++t) {
-      for (index_t l = 0; l < NT; ++l) {
-        if (csr_masks[static_cast<std::size_t>(t) * NT + l] != 0) {
-          csr_row_summary[t] |= msb_bit<Word>(l);
-        }
-      }
-    }
-    for (index_t t = 0; t < ntiles; ++t) {
-      if (shared_masks) {
-        csc_col_summary[t] = csr_row_summary[csc_mirror[t]];
-      } else {
-        for (index_t l = 0; l < NT; ++l) {
-          if (csc_masks[static_cast<std::size_t>(t) * NT + l] != 0) {
-            csc_col_summary[t] |= msb_bit<Word>(l);
+    parallel_for(
+        ntiles,
+        [&](index_t t) {
+          for (index_t l = 0; l < NT; ++l) {
+            if (csr_masks[static_cast<std::size_t>(t) * NT + l] != 0) {
+              csr_row_summary[t] |= msb_bit<Word>(l);
+            }
           }
-        }
-      }
-    }
+        },
+        pool, /*chunk=*/64);
+    // Second loop after the barrier: the shared-mask branch reads the
+    // fully-built CSR summaries through the mirror references.
+    parallel_for(
+        ntiles,
+        [&](index_t t) {
+          if (shared_masks) {
+            csc_col_summary[t] = csr_row_summary[csc_mirror[t]];
+          } else {
+            for (index_t l = 0; l < NT; ++l) {
+              if (csc_masks[static_cast<std::size_t>(t) * NT + l] != 0) {
+                csc_col_summary[t] |= msb_bit<Word>(l);
+              }
+            }
+          }
+        },
+        pool, /*chunk=*/64);
   }
 
   /// Derives the CSC tile form from the CSR one (tile-grid transpose plus
   /// per-tile mask transpose, or mirror references when masks are shared).
-  void build_csc_from_csr() {
+  /// The cheap position pass stays serial (cursor sweep over tile
+  /// metadata); the per-tile payload — NT×NT mask transpose or mirror
+  /// lookup — runs in parallel over tile columns, each of which owns a
+  /// disjoint slice of the CSC arrays.
+  void build_csc_from_csr(ThreadPool* pool) {
     const index_t ntiles = num_tiles();
     csc_tile_ptr.assign(tile_n + 1, 0);
     for (index_t tc : csr_tile_col) {
@@ -251,31 +327,70 @@ struct BitTileGraph {
     } else {
       csc_masks.assign(static_cast<std::size_t>(ntiles) * NT, Word{0});
     }
+    // CSR-order source tile of each CSC-order slot, recorded by the serial
+    // position pass and consumed by the parallel payload pass.
+    std::vector<offset_t> csc_src(static_cast<std::size_t>(ntiles));
     std::vector<offset_t> cursor(csc_tile_ptr.begin(), csc_tile_ptr.end() - 1);
     for (index_t tr = 0; tr < tile_n; ++tr) {
       for (offset_t t = csr_tile_ptr[tr]; t < csr_tile_ptr[tr + 1]; ++t) {
         const index_t tc = csr_tile_col[t];
         const offset_t u = cursor[tc]++;
         csc_tile_row[u] = tr;
-        if (shared_masks) {
-          // Column masks of (tr, tc) == row masks of the mirror (tc, tr);
-          // find it in tile row tc (the kept-tile pattern is symmetric
-          // because extraction decisions depend only on per-tile nnz).
-          csc_mirror[u] = find_csr_tile(tc, tr);
-        } else {
-          // Transpose the NT×NT bit tile: row mask bit lc becomes column
-          // mask bit lr.
-          const Word* row_masks =
-              &csr_masks[static_cast<std::size_t>(t) * NT];
-          Word* col_masks = &csc_masks[static_cast<std::size_t>(u) * NT];
-          for (index_t lr = 0; lr < NT; ++lr) {
-            for_each_set_bit(row_masks[lr], [&](int lc) {
-              col_masks[lc] |= msb_bit<Word>(lr);
-            });
-          }
-        }
+        csc_src[u] = t;
       }
     }
+    parallel_for(
+        tile_n,
+        [&](index_t tc) {
+          for (offset_t u = csc_tile_ptr[tc]; u < csc_tile_ptr[tc + 1]; ++u) {
+            const index_t tr = csc_tile_row[u];
+            if (shared_masks) {
+              // Column masks of (tr, tc) == row masks of the mirror
+              // (tc, tr); find it in tile row tc (the kept-tile pattern is
+              // symmetric because extraction decisions depend only on
+              // per-tile nnz).
+              csc_mirror[u] = find_csr_tile(tc, tr);
+            } else {
+              // Transpose the NT×NT bit tile: row mask bit lc becomes
+              // column mask bit lr.
+              const Word* row_masks =
+                  &csr_masks[static_cast<std::size_t>(csc_src[u]) * NT];
+              Word* col_masks = &csc_masks[static_cast<std::size_t>(u) * NT];
+              for (index_t lr = 0; lr < NT; ++lr) {
+                for_each_set_bit(row_masks[lr], [&](int lc) {
+                  col_masks[lc] |= msb_bit<Word>(lr);
+                });
+              }
+            }
+          }
+        },
+        pool, /*chunk=*/4);
+  }
+
+  /// Builds the kernel scheduling metadata: weighted tile-row chunk
+  /// boundaries for the matrix-driven kernels and per-column weights for
+  /// the frontier-driven one. Weights count summary popcounts — the unit
+  /// of work the BFS kernels actually perform per tile.
+  void build_chunks(ThreadPool* pool) {
+    csr_chunk_ptr = build_weighted_chunks(
+        tile_n, kChunkTargetWork, [&](index_t tr) {
+          offset_t w = 1;
+          for (offset_t t = csr_tile_ptr[tr]; t < csr_tile_ptr[tr + 1]; ++t) {
+            w += kTileMetaWork + popcount(csr_row_summary[t]);
+          }
+          return w;
+        });
+    csc_col_weight.assign(static_cast<std::size_t>(tile_n), 0);
+    parallel_for(
+        tile_n,
+        [&](index_t tc) {
+          offset_t w = 1;
+          for (offset_t t = csc_tile_ptr[tc]; t < csc_tile_ptr[tc + 1]; ++t) {
+            w += kTileMetaWork + popcount(csc_col_summary[t]);
+          }
+          csc_col_weight[tc] = w;
+        },
+        pool, /*chunk=*/64);
   }
 
   /// CSR-order index of grid tile (tr, tc); the tile must exist.

@@ -9,6 +9,7 @@
 #include <cassert>
 #include <vector>
 
+#include "util/bitkernels.hpp"
 #include "util/bitops.hpp"
 #include "util/types.hpp"
 
@@ -41,17 +42,11 @@ struct BitVector {
 
   /// Number of set bits (frontier size / visited count).
   index_t count() const {
-    index_t c = 0;
-    for (Word w : words) c += popcount(w);
-    return c;
+    return static_cast<index_t>(
+        bitk::popcount_words(words.data(), num_words()));
   }
 
-  bool any() const {
-    for (Word w : words) {
-      if (w != 0) return true;
-    }
-    return false;
-  }
+  bool any() const { return bitk::any_nonzero(words.data(), num_words()); }
 
   /// Fraction of set bits over the logical length — the vector sparsity the
   /// kernel selector compares against 0.01.
@@ -70,12 +65,14 @@ struct BitVector {
   }
 
   /// Compact slot list of non-empty words — the sparse form driving the
-  /// vector-driven kernels.
+  /// vector-driven kernels. The SIMD scan tests whole register-wide blocks
+  /// against zero, so the common mostly-empty frontier costs one test per
+  /// block instead of one branch per word.
   std::vector<index_t> nonempty_slots() const {
-    std::vector<index_t> out;
-    for (index_t s = 0; s < num_words(); ++s) {
-      if (words[s] != 0) out.push_back(s);
-    }
+    std::vector<index_t> out(static_cast<std::size_t>(num_words()));
+    const index_t k =
+        bitk::collect_nonzero(words.data(), num_words(), 0, out.data());
+    out.resize(static_cast<std::size_t>(k));
     return out;
   }
 

@@ -52,6 +52,41 @@ inline std::vector<index_t> build_row_chunks(
   return bounds;
 }
 
+/// Generic weighted chunking into a caller-owned boundary vector: cuts
+/// [0, n) so each chunk accumulates roughly `target` weight, with
+/// weight(i) supplied per item. The into-variant exists for the BFS
+/// frontier scheduling, which re-chunks the frontier slot list every
+/// level and must not allocate in steady state (the workspace keeps the
+/// vector). Boundaries follow the build_row_chunks convention: chunk c
+/// covers items [out[c], out[c+1]), at least one chunk when n > 0.
+template <typename WeightFn>
+inline void build_weighted_chunks_into(std::vector<index_t>& bounds,
+                                       index_t n, offset_t target,
+                                       WeightFn&& weight) {
+  bounds.clear();
+  bounds.push_back(0);
+  if (n <= 0) return;
+  offset_t acc = 0;
+  for (index_t i = 0; i < n; ++i) {
+    acc += weight(i);
+    if (acc >= target) {
+      bounds.push_back(i + 1);
+      acc = 0;
+    }
+  }
+  if (bounds.back() != n) bounds.push_back(n);
+}
+
+/// Allocating convenience wrapper over build_weighted_chunks_into, used at
+/// conversion time (BitTileGraph's per-tile-row popcount weights).
+template <typename WeightFn>
+inline std::vector<index_t> build_weighted_chunks(index_t n, offset_t target,
+                                                  WeightFn&& weight) {
+  std::vector<index_t> bounds;
+  build_weighted_chunks_into(bounds, n, target, weight);
+  return bounds;
+}
+
 /// Fallback boundaries (fixed-width chunks) for tiled matrices created
 /// before chunking existed — e.g. hand-built in tests — so kernels can
 /// assume boundaries are always present.

@@ -1,0 +1,427 @@
+// SIMD bit kernels for the bitmask tile structures (BFS hot path).
+//
+// The TileBFS kernels spend their time in three word-level shapes:
+//   - bulk boolean algebra over contiguous word spans (OR/AND/ANDNOT and
+//     OR-reductions of an NT-word mask block);
+//   - multi-word popcounts (frontier / visited tallies);
+//   - scans for non-empty words (the frontier's sparse slot form) and
+//     "which of these NT masks intersects word x" tests (the inner AND of
+//     Push-CSR and Pull-CSC).
+//
+// Same tier policy as util/simd.hpp (which this header shares its macros
+// with): AVX2, SSE2 or scalar selected at compile time, every kernel with
+// a `*_scalar` twin compiled unconditionally so one binary can
+// differentially test the active tier (tests/test_bfs_fuzz.cpp), and
+// TILESPMSPV_NO_SIMD forcing the scalar tier everywhere. All kernels are
+// exact bitwise functions — tiers must produce identical words, not just
+// equivalent ones, which the fuzz tests assert.
+//
+// Word-width note: the boolean/popcount/scan kernels are width-agnostic
+// (they process bytes) and work for any bitword_t. The mask-intersection
+// kernel (`and_broadcast_hits`) has vector paths for the 32- and 64-bit
+// words the paper's tile sizes use; 8/16-bit words take the scalar twin.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/bitops.hpp"
+#include "util/simd.hpp"  // tier macros (TILESPMSPV_SIMD_AVX2 / _SSE2)
+#include "util/types.hpp"
+
+namespace tilespmspv::bitk {
+
+using tilespmspv::index_t;
+
+// ---------------------------------------------------------------------
+// popcount_words: total set bits over n contiguous words.
+// ---------------------------------------------------------------------
+template <typename W>
+inline std::uint64_t popcount_words_scalar(const W* w, index_t n) {
+  std::uint64_t c = 0;
+  for (index_t i = 0; i < n; ++i) c += static_cast<unsigned>(popcount(w[i]));
+  return c;
+}
+
+#if defined(TILESPMSPV_SIMD_AVX2)
+template <typename W>
+inline std::uint64_t popcount_words(const W* w, index_t n) {
+  // Nibble-LUT popcount (pshufb) accumulated through sad_epu8; width
+  // agnostic because popcount distributes over bytes.
+  const auto* p = reinterpret_cast<const std::uint8_t*>(w);
+  std::size_t bytes = static_cast<std::size_t>(n) * sizeof(W);
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+                                       3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2,
+                                       2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0F);
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 32 <= bytes; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    const __m256i lo = _mm256_and_si256(v, low_mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+    const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                        _mm256_shuffle_epi8(lut, hi));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, _mm256_setzero_si256()));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::uint64_t total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < bytes; ++i) {
+    total += static_cast<unsigned>(popcount(p[i]));
+  }
+  return total;
+}
+#else
+template <typename W>
+inline std::uint64_t popcount_words(const W* w, index_t n) {
+  // SSE2 has no byte shuffle; the per-word std::popcount already compiles
+  // to popcnt/SWAR, so the scalar twin is the right tier here.
+  return popcount_words_scalar(w, n);
+}
+#endif
+
+// ---------------------------------------------------------------------
+// or_reduce: OR of n contiguous words (the Push-CSC full-column merge).
+// ---------------------------------------------------------------------
+template <typename W>
+inline W or_reduce_scalar(const W* w, index_t n) {
+  W acc{0};
+  for (index_t i = 0; i < n; ++i) acc |= w[i];
+  return acc;
+}
+
+#if defined(TILESPMSPV_SIMD_AVX2) || defined(TILESPMSPV_SIMD_SSE2)
+template <typename W>
+inline W or_reduce(const W* w, index_t n) {
+#if defined(TILESPMSPV_SIMD_AVX2)
+  constexpr index_t kLane = static_cast<index_t>(32 / sizeof(W));
+  __m256i acc = _mm256_setzero_si256();
+  index_t i = 0;
+  for (; i + kLane <= n; i += kLane) {
+    acc = _mm256_or_si256(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i)));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::uint64_t folded = lanes[0] | lanes[1] | lanes[2] | lanes[3];
+#else
+  constexpr index_t kLane = static_cast<index_t>(16 / sizeof(W));
+  __m128i acc = _mm_setzero_si128();
+  index_t i = 0;
+  for (; i + kLane <= n; i += kLane) {
+    acc = _mm_or_si128(
+        acc, _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + i)));
+  }
+  alignas(16) std::uint64_t lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  std::uint64_t folded = lanes[0] | lanes[1];
+#endif
+  if constexpr (sizeof(W) < 8) folded |= folded >> 32;
+  if constexpr (sizeof(W) < 4) folded |= folded >> 16;
+  if constexpr (sizeof(W) < 2) folded |= folded >> 8;
+  W out = static_cast<W>(folded);
+  for (; i < n; ++i) out |= w[i];
+  return out;
+}
+#else
+template <typename W>
+inline W or_reduce(const W* w, index_t n) {
+  return or_reduce_scalar(w, n);
+}
+#endif
+
+// ---------------------------------------------------------------------
+// or_into: dst[i] |= src[i] (bulk visited-mask / frontier merges).
+// ---------------------------------------------------------------------
+template <typename W>
+inline void or_into_scalar(W* dst, const W* src, index_t n) {
+  for (index_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+#if defined(TILESPMSPV_SIMD_AVX2) || defined(TILESPMSPV_SIMD_SSE2)
+template <typename W>
+inline void or_into(W* dst, const W* src, index_t n) {
+#if defined(TILESPMSPV_SIMD_AVX2)
+  constexpr index_t kLane = static_cast<index_t>(32 / sizeof(W));
+  index_t i = 0;
+  for (; i + kLane <= n; i += kLane) {
+    auto* d = reinterpret_cast<__m256i*>(dst + i);
+    const __m256i v = _mm256_or_si256(
+        _mm256_loadu_si256(d),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i)));
+    _mm256_storeu_si256(d, v);
+  }
+#else
+  constexpr index_t kLane = static_cast<index_t>(16 / sizeof(W));
+  index_t i = 0;
+  for (; i + kLane <= n; i += kLane) {
+    auto* d = reinterpret_cast<__m128i*>(dst + i);
+    const __m128i v = _mm_or_si128(
+        _mm_loadu_si128(d),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i)));
+    _mm_storeu_si128(d, v);
+  }
+#endif
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+#else
+template <typename W>
+inline void or_into(W* dst, const W* src, index_t n) {
+  or_into_scalar(dst, src, n);
+}
+#endif
+
+// ---------------------------------------------------------------------
+// andnot_words: out[i] = a[i] & ~b[i] (frontier candidates vs visited).
+// ---------------------------------------------------------------------
+template <typename W>
+inline void andnot_words_scalar(const W* a, const W* b, W* out, index_t n) {
+  for (index_t i = 0; i < n; ++i) out[i] = static_cast<W>(a[i] & ~b[i]);
+}
+
+#if defined(TILESPMSPV_SIMD_AVX2) || defined(TILESPMSPV_SIMD_SSE2)
+template <typename W>
+inline void andnot_words(const W* a, const W* b, W* out, index_t n) {
+#if defined(TILESPMSPV_SIMD_AVX2)
+  constexpr index_t kLane = static_cast<index_t>(32 / sizeof(W));
+  index_t i = 0;
+  for (; i + kLane <= n; i += kLane) {
+    // _mm256_andnot_si256(x, y) = ~x & y.
+    const __m256i v = _mm256_andnot_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+  }
+#else
+  constexpr index_t kLane = static_cast<index_t>(16 / sizeof(W));
+  index_t i = 0;
+  for (; i + kLane <= n; i += kLane) {
+    const __m128i v = _mm_andnot_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), v);
+  }
+#endif
+  for (; i < n; ++i) out[i] = static_cast<W>(a[i] & ~b[i]);
+}
+#else
+template <typename W>
+inline void andnot_words(const W* a, const W* b, W* out, index_t n) {
+  andnot_words_scalar(a, b, out, n);
+}
+#endif
+
+// ---------------------------------------------------------------------
+// collect_nonzero: append `base + i` for every w[i] != 0 to `out`
+// (preallocated, capacity >= n); returns the count. This is the sparse
+// slot form of a bit vector — the vector paths test whole 32/16-byte
+// blocks against zero so long empty stretches cost one test per block.
+// ---------------------------------------------------------------------
+template <typename W>
+inline index_t collect_nonzero_scalar(const W* w, index_t n, index_t base,
+                                      index_t* out) {
+  index_t k = 0;
+  for (index_t i = 0; i < n; ++i) {
+    if (w[i] != 0) out[k++] = base + i;
+  }
+  return k;
+}
+
+#if defined(TILESPMSPV_SIMD_AVX2) || defined(TILESPMSPV_SIMD_SSE2)
+template <typename W>
+inline index_t collect_nonzero(const W* w, index_t n, index_t base,
+                               index_t* out) {
+  index_t k = 0;
+  index_t i = 0;
+#if defined(TILESPMSPV_SIMD_AVX2)
+  constexpr index_t kLane = static_cast<index_t>(32 / sizeof(W));
+  for (; i + kLane <= n; i += kLane) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    if (_mm256_testz_si256(v, v)) continue;
+    for (index_t j = i; j < i + kLane; ++j) {
+      if (w[j] != 0) out[k++] = base + j;
+    }
+  }
+#else
+  constexpr index_t kLane = static_cast<index_t>(16 / sizeof(W));
+  const __m128i zero = _mm_setzero_si128();
+  for (; i + kLane <= n; i += kLane) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + i));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi8(v, zero)) == 0xFFFF) continue;
+    for (index_t j = i; j < i + kLane; ++j) {
+      if (w[j] != 0) out[k++] = base + j;
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    if (w[i] != 0) out[k++] = base + i;
+  }
+  return k;
+}
+#else
+template <typename W>
+inline index_t collect_nonzero(const W* w, index_t n, index_t base,
+                               index_t* out) {
+  return collect_nonzero_scalar(w, n, base, out);
+}
+#endif
+
+// ---------------------------------------------------------------------
+// any_nonzero: true iff some word in [0, n) is non-zero.
+// ---------------------------------------------------------------------
+template <typename W>
+inline bool any_nonzero_scalar(const W* w, index_t n) {
+  for (index_t i = 0; i < n; ++i) {
+    if (w[i] != 0) return true;
+  }
+  return false;
+}
+
+#if defined(TILESPMSPV_SIMD_AVX2) || defined(TILESPMSPV_SIMD_SSE2)
+template <typename W>
+inline bool any_nonzero(const W* w, index_t n) {
+  index_t i = 0;
+#if defined(TILESPMSPV_SIMD_AVX2)
+  constexpr index_t kLane = static_cast<index_t>(32 / sizeof(W));
+  for (; i + kLane <= n; i += kLane) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    if (!_mm256_testz_si256(v, v)) return true;
+  }
+#else
+  constexpr index_t kLane = static_cast<index_t>(16 / sizeof(W));
+  const __m128i zero = _mm_setzero_si128();
+  for (; i + kLane <= n; i += kLane) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + i));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi8(v, zero)) != 0xFFFF) return true;
+  }
+#endif
+  for (; i < n; ++i) {
+    if (w[i] != 0) return true;
+  }
+  return false;
+}
+#else
+template <typename W>
+inline bool any_nonzero(const W* w, index_t n) {
+  return any_nonzero_scalar(w, n);
+}
+#endif
+
+// ---------------------------------------------------------------------
+// and_broadcast_hits: given an NT-word mask block (one word per local
+// row, as stored per tile) and a broadcast word x, return the word whose
+// msb-first bit l is set iff masks[l] & x != 0. This is the whole inner
+// loop of Push-CSR ("which unvisited local rows see the frontier word")
+// and Pull-CSC ("which remaining local rows see a visited neighbor")
+// evaluated for all NT rows at once; callers AND the result with their
+// candidate word. Vector paths exist for 32/64-bit words; 8/16-bit tile
+// sizes take the scalar twin.
+// ---------------------------------------------------------------------
+namespace detail {
+
+/// Msb-first reversal tables mapping movemask lane bits (lane 0 = lowest
+/// address = lowest local row) onto the tile word's bit order.
+inline constexpr std::uint8_t kRev4[16] = {0, 8,  4, 12, 2, 10, 6, 14,
+                                           1, 9,  5, 13, 3, 11, 7, 15};
+
+inline constexpr std::uint8_t rev8(std::uint8_t b) {
+  return static_cast<std::uint8_t>((kRev4[b & 0xF] << 4) | kRev4[b >> 4]);
+}
+
+}  // namespace detail
+
+template <typename W>
+inline W and_broadcast_hits_scalar(const W* masks, W x) {
+  constexpr int NT = static_cast<int>(sizeof(W)) * 8;
+  W out{0};
+  for (int l = 0; l < NT; ++l) {
+    if (masks[l] & x) out |= msb_bit<W>(l);
+  }
+  return out;
+}
+
+template <typename W>
+inline W and_broadcast_hits(const W* masks, W x) {
+  return and_broadcast_hits_scalar(masks, x);
+}
+
+#if defined(TILESPMSPV_SIMD_AVX2)
+template <>
+inline std::uint32_t and_broadcast_hits(const std::uint32_t* masks,
+                                        std::uint32_t x) {
+  const __m256i bx = _mm256_set1_epi32(static_cast<int>(x));
+  const __m256i zero = _mm256_setzero_si256();
+  std::uint32_t out = 0;
+  for (int base = 0; base < 32; base += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(masks + base));
+    const __m256i eq = _mm256_cmpeq_epi32(_mm256_and_si256(v, bx), zero);
+    const auto zmask = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+    const auto hits = static_cast<std::uint8_t>(~zmask & 0xFFu);
+    out |= static_cast<std::uint32_t>(detail::rev8(hits)) << (24 - base);
+  }
+  return out;
+}
+
+template <>
+inline std::uint64_t and_broadcast_hits(const std::uint64_t* masks,
+                                        std::uint64_t x) {
+  const __m256i bx = _mm256_set1_epi64x(static_cast<long long>(x));
+  const __m256i zero = _mm256_setzero_si256();
+  std::uint64_t out = 0;
+  for (int base = 0; base < 64; base += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(masks + base));
+    const __m256i eq = _mm256_cmpeq_epi64(_mm256_and_si256(v, bx), zero);
+    const auto zmask = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+    const unsigned hits = ~zmask & 0xFu;
+    out |= static_cast<std::uint64_t>(detail::kRev4[hits]) << (60 - base);
+  }
+  return out;
+}
+#elif defined(TILESPMSPV_SIMD_SSE2)
+template <>
+inline std::uint32_t and_broadcast_hits(const std::uint32_t* masks,
+                                        std::uint32_t x) {
+  const __m128i bx = _mm_set1_epi32(static_cast<int>(x));
+  const __m128i zero = _mm_setzero_si128();
+  std::uint32_t out = 0;
+  for (int base = 0; base < 32; base += 4) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(masks + base));
+    const __m128i eq = _mm_cmpeq_epi32(_mm_and_si128(v, bx), zero);
+    const auto zmask =
+        static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(eq)));
+    const unsigned hits = ~zmask & 0xFu;
+    out |= static_cast<std::uint32_t>(detail::kRev4[hits]) << (28 - base);
+  }
+  return out;
+}
+
+template <>
+inline std::uint64_t and_broadcast_hits(const std::uint64_t* masks,
+                                        std::uint64_t x) {
+  // SSE2 has no 64-bit compare; a 64-bit lane is zero iff both of its
+  // 32-bit halves compare equal to zero (adjacent movemask_ps bit pairs).
+  const __m128i bx = _mm_set1_epi64x(static_cast<long long>(x));
+  const __m128i zero = _mm_setzero_si128();
+  std::uint64_t out = 0;
+  for (int base = 0; base < 64; base += 2) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(masks + base));
+    const __m128i eq = _mm_cmpeq_epi32(_mm_and_si128(v, bx), zero);
+    const auto m = static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(eq)));
+    if ((m & 0x3u) != 0x3u) out |= msb_bit<std::uint64_t>(base);
+    if ((m & 0xCu) != 0xCu) out |= msb_bit<std::uint64_t>(base + 1);
+  }
+  return out;
+}
+#endif
+
+}  // namespace tilespmspv::bitk

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <bit>
+#include <cassert>
 #include <cstdint>
 #include <type_traits>
 
@@ -56,13 +57,24 @@ constexpr int popcount(W w) {
   return std::popcount(static_cast<std::make_unsigned_t<W>>(w));
 }
 
-/// Index (msb-first) of the highest set bit; undefined for w == 0.
+/// Index (msb-first) of the highest set bit.
+///
+/// Precondition: w != 0. For w == 0 countl_zero returns the word width,
+/// which msb_bit would turn into an out-of-range shift (UB) at every call
+/// site that feeds the result back into a bit mask — so the precondition
+/// is asserted here rather than silently returning a poison index. Callers
+/// that may hold an empty word must branch first (the BFS kernels and
+/// BitVector all guard with `w != 0` / `active != 0` before scanning).
 template <typename W>
 constexpr int first_set_msb(W w) {
+  assert(w != 0 && "first_set_msb requires a non-zero word");
   return std::countl_zero(static_cast<std::make_unsigned_t<W>>(w));
 }
 
-/// Visits the msb-first index of every set bit in `w`.
+/// Visits the msb-first index of every set bit in `w`. Safe for w == 0
+/// (visits nothing) — the loop condition is checked before the first scan,
+/// so no countl_zero result is ever converted into a shift amount for an
+/// empty word.
 template <typename W, typename Fn>
 void for_each_set_bit(W w, Fn&& fn) {
   auto u = static_cast<std::make_unsigned_t<W>>(w);

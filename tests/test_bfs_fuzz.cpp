@@ -1,0 +1,217 @@
+// Differential BFS fuzzing: random (graph, source, configuration) draws,
+// TileBFS compared against the serial queue reference on each. The sweep
+// covers every tile width (forced_tile_size 16/32/64), every forced
+// kernel of the Fig. 9 ablation, and both extraction settings, so the
+// SIMD word kernels, the work-weighted frontier scheduling and the
+// incremental level tallies are all exercised on inputs nobody
+// hand-picked. Seeds are fixed, so failures replay exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/serial_bfs.hpp"
+#include "bfs/tile_bfs.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "util/bitkernels.hpp"
+#include "util/prng.hpp"
+#include "util/simd.hpp"
+
+namespace tilespmspv {
+namespace {
+
+// TileBFS reads the adjacency convention A[i][j] != 0 <=> edge j -> i,
+// so on directed draws the serial reference (which scans out-edge rows)
+// runs on the transpose; on symmetric draws both coincide.
+struct GraphDraw {
+  Csr<value_t> adjacency;  // what TileBfs consumes
+  Csr<value_t> out_edges;  // what serial_bfs consumes
+};
+
+GraphDraw random_graph(Prng& rng) {
+  const auto n = static_cast<index_t>(40 + rng.next_below(700));
+  const double density = rng.next_double(0.001, 0.05);
+  const std::uint64_t seed = rng.next_u64();
+  Coo<value_t> coo = gen_erdos_renyi(n, n, density, seed);
+  const bool directed = rng.next_below(2) == 0;  // directed half the time
+  if (!directed) coo.symmetrize();
+  Csr<value_t> a = Csr<value_t>::from_coo(coo);
+  Csr<value_t> out = directed ? a.transpose() : a;
+  return {std::move(a), std::move(out)};
+}
+
+TEST(BfsFuzz, TileBfsMatchesSerialAcrossWidthsKernelsAndExtraction) {
+  Prng meta_rng(0xBF5F);
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    const GraphDraw g = random_graph(meta_rng);
+    const Csr<value_t>& a = g.adjacency;
+    const auto src = static_cast<index_t>(meta_rng.next_below(
+        static_cast<std::uint64_t>(a.rows)));
+    const auto expect = serial_bfs(g.out_edges, src);
+    for (int nt : {16, 32, 64}) {
+      for (unsigned mask : {1u, 2u, 4u, 7u}) {
+        for (index_t extract : {index_t{0}, index_t{2}}) {
+          SCOPED_TRACE("round " + std::to_string(round) + " n=" +
+                       std::to_string(a.rows) + " src=" +
+                       std::to_string(src) + " nt=" + std::to_string(nt) +
+                       " mask=" + std::to_string(mask) + " extract=" +
+                       std::to_string(extract));
+          TileBfsConfig cfg;
+          cfg.forced_tile_size = nt;
+          cfg.kernel_mask = mask;
+          cfg.extract_threshold = extract;
+          TileBfs bfs(a, cfg, &pool);
+          ASSERT_EQ(bfs.tile_size(), nt);
+          ASSERT_EQ(bfs.run(src).levels, expect);
+        }
+      }
+    }
+  }
+}
+
+TEST(BfsFuzz, ForcedTileSizeRejectsInvalidValues) {
+  const Csr<value_t> a =
+      Csr<value_t>::from_coo(gen_erdos_renyi(50, 50, 0.05, 1));
+  for (int nt : {1, 8, 24, 128}) {
+    TileBfsConfig cfg;
+    cfg.forced_tile_size = nt;
+    EXPECT_THROW(TileBfs(a, cfg), std::invalid_argument) << nt;
+  }
+}
+
+// One workspace reused across graphs of different sizes, tile widths and
+// sources must behave exactly like a fresh workspace per query: the
+// end-of-run invariant (all scratch bit vectors zeroed, slot lists
+// cleared) is what steady-state reuse relies on.
+TEST(BfsFuzz, WorkspaceReuseMatchesOneShotRuns) {
+  Prng meta_rng(0x5EED);
+  ThreadPool pool(4);
+  BfsWorkspace ws;
+  for (int round = 0; round < 8; ++round) {
+    const GraphDraw g = random_graph(meta_rng);
+    TileBfsConfig cfg;
+    cfg.forced_tile_size = std::vector<int>{16, 32, 64}[round % 3];
+    TileBfs bfs(g.adjacency, cfg, &pool);
+    for (int q = 0; q < 3; ++q) {
+      const auto src = static_cast<index_t>(meta_rng.next_below(
+          static_cast<std::uint64_t>(g.adjacency.rows)));
+      SCOPED_TRACE("round " + std::to_string(round) + " q=" +
+                   std::to_string(q) + " src=" + std::to_string(src));
+      const BfsResult reused = bfs.run(src, ws);
+      const BfsResult fresh = bfs.run(src);
+      ASSERT_EQ(reused.levels, fresh.levels);
+      ASSERT_EQ(reused.levels, serial_bfs(g.out_edges, src));
+    }
+  }
+}
+
+// Scale-free graph with hubs: stresses the weighted frontier chunking
+// (hub columns get their own chunks) and the hybrid produced-slot merge.
+TEST(BfsFuzz, RmatHubGraphsAcrossWidths) {
+  Prng meta_rng(0xA11CE);
+  ThreadPool pool(4);
+  BfsWorkspace ws;
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    RmatParams p;
+    p.scale = 9;
+    p.edge_factor = 10;
+    const Csr<value_t> a = Csr<value_t>::from_coo(gen_rmat(p, seed));
+    const auto src = static_cast<index_t>(meta_rng.next_below(
+        static_cast<std::uint64_t>(a.rows)));
+    const auto expect = serial_bfs(a, src);
+    for (int nt : {16, 32, 64}) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " nt=" +
+                   std::to_string(nt) + " src=" + std::to_string(src));
+      TileBfsConfig cfg;
+      cfg.forced_tile_size = nt;
+      TileBfs bfs(a, cfg, &pool);
+      ASSERT_EQ(bfs.run(src, ws).levels, expect);
+    }
+  }
+}
+
+// The bit-kernel layer guarantees a scalar twin with identical results
+// for every word kernel; this fuzzes the active tier (AVX2, SSE2 or
+// scalar — whatever the binary was built with) against the twins over
+// random word spans per tile width, hitting n = 0, 1 and vector-tail
+// lengths. Equality is exact: the kernels are pure bit arithmetic.
+template <typename W>
+void fuzz_bit_kernel_twins(std::uint64_t seed) {
+  Prng rng(seed);
+  for (int round = 0; round < 150; ++round) {
+    const auto n = static_cast<index_t>(rng.next_below(70));  // covers 0, 1
+    std::vector<W> a(n), b(n);
+    for (index_t i = 0; i < n; ++i) {
+      // Mix dense, sparse and zero words so the nonzero-block scans and
+      // the or_reduce folds see both early-outs and full work.
+      const int kind = static_cast<int>(rng.next_below(4));
+      const W r = static_cast<W>(rng.next_u64());
+      a[i] = kind == 0 ? W{0} : kind == 1 ? static_cast<W>(r & (r >> 1) & (r >> 3))
+                                          : r;
+      b[i] = static_cast<W>(rng.next_u64());
+    }
+    SCOPED_TRACE("round " + std::to_string(round) + " n=" +
+                 std::to_string(n) + " width=" +
+                 std::to_string(sizeof(W) * 8));
+
+    ASSERT_EQ(bitk::popcount_words(a.data(), n),
+              bitk::popcount_words_scalar(a.data(), n));
+    ASSERT_EQ(bitk::or_reduce(a.data(), n),
+              bitk::or_reduce_scalar(a.data(), n));
+    ASSERT_EQ(bitk::any_nonzero(a.data(), n),
+              bitk::any_nonzero_scalar(a.data(), n));
+
+    std::vector<W> dst_v(b), dst_s(b);
+    bitk::or_into(dst_v.data(), a.data(), n);
+    bitk::or_into_scalar(dst_s.data(), a.data(), n);
+    ASSERT_EQ(dst_v, dst_s);
+
+    std::vector<W> out_v(n), out_s(n);
+    bitk::andnot_words(a.data(), b.data(), out_v.data(), n);
+    bitk::andnot_words_scalar(a.data(), b.data(), out_s.data(), n);
+    ASSERT_EQ(out_v, out_s);
+
+    const auto base = static_cast<index_t>(rng.next_below(1000));
+    std::vector<index_t> slots_v(n), slots_s(n);
+    const index_t kv =
+        bitk::collect_nonzero(a.data(), n, base, slots_v.data());
+    const index_t ks =
+        bitk::collect_nonzero_scalar(a.data(), n, base, slots_s.data());
+    ASSERT_EQ(kv, ks);
+    slots_v.resize(static_cast<std::size_t>(kv));
+    slots_s.resize(static_cast<std::size_t>(ks));
+    ASSERT_EQ(slots_v, slots_s);
+
+    // and_broadcast_hits reads exactly NT mask words.
+    constexpr index_t kNt = static_cast<index_t>(sizeof(W)) * 8;
+    std::vector<W> masks(kNt);
+    for (index_t i = 0; i < kNt; ++i) {
+      masks[i] = static_cast<W>(rng.next_u64());
+      if (rng.next_below(3) == 0) masks[i] = 0;
+    }
+    const W x = static_cast<W>(rng.next_u64());
+    ASSERT_EQ(bitk::and_broadcast_hits(masks.data(), x),
+              bitk::and_broadcast_hits_scalar(masks.data(), x));
+    ASSERT_EQ(bitk::and_broadcast_hits(masks.data(), W{0}), W{0});
+  }
+}
+
+TEST(BfsFuzz, BitKernelTwinsMatch16) {
+  SCOPED_TRACE(std::string("active isa: ") + simd::active_isa());
+  fuzz_bit_kernel_twins<std::uint16_t>(0xB16);
+}
+
+TEST(BfsFuzz, BitKernelTwinsMatch32) {
+  SCOPED_TRACE(std::string("active isa: ") + simd::active_isa());
+  fuzz_bit_kernel_twins<std::uint32_t>(0xB32);
+}
+
+TEST(BfsFuzz, BitKernelTwinsMatch64) {
+  SCOPED_TRACE(std::string("active isa: ") + simd::active_isa());
+  fuzz_bit_kernel_twins<std::uint64_t>(0xB64);
+}
+
+}  // namespace
+}  // namespace tilespmspv

@@ -306,6 +306,7 @@ int cmd_bfs(const Args& args, obs::MetricsRegistry& metrics) {
       w.key("unvisited").value(it.unvisited);
       w.key("frontier_density").value(it.frontier_density);
       w.key("unvisited_frac").value(it.unvisited_frac);
+      w.key("frontier_words").value(it.frontier_words);
       w.key("ms").value(it.ms);
       w.end_object();
     }
