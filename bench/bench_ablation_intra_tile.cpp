@@ -32,11 +32,11 @@ int main(int argc, char** argv) {
     const double nnz_per_tile =
         static_cast<double>(t.tiled_nnz()) / std::max<index_t>(1, t.num_tiles());
     const double csr_meta =
-        (t.intra_row_ptr.size() * sizeof(std::uint16_t) +
-         t.local_col.size()) /
+        static_cast<double>(t.intra_row_ptr.size() * sizeof(std::uint16_t) +
+                            t.local_col.size()) /
         static_cast<double>(t.tiled_nnz());
-    const double packed_meta =
-        p.packed.size() / static_cast<double>(p.vals.size());
+    const double packed_meta = static_cast<double>(p.packed.size()) /
+                               static_cast<double>(p.vals.size());
 
     const SparseVec<value_t> x = gen_sparse_vector(a.cols, 0.01, 1);
     const TileVector<value_t> xt = TileVector<value_t>::from_sparse(x, 16);

@@ -45,7 +45,7 @@ SpmspvFixture& fixture(double vec_sparsity) {
 }
 
 void BM_TileSpmspv(benchmark::State& state) {
-  auto& f = fixture(1.0 / state.range(0));
+  auto& f = fixture(1.0 / static_cast<double>(state.range(0)));
   SpmspvWorkspace<value_t> ws;
   for (auto _ : state) {
     benchmark::DoNotOptimize(tile_spmspv(f.tiled, f.xt, ws));
@@ -54,7 +54,7 @@ void BM_TileSpmspv(benchmark::State& state) {
 BENCHMARK(BM_TileSpmspv)->Arg(10)->Arg(100)->Arg(1000);
 
 void BM_CsrSpmv(benchmark::State& state) {
-  auto& f = fixture(1.0 / state.range(0));
+  auto& f = fixture(1.0 / static_cast<double>(state.range(0)));
   std::vector<value_t> yd;
   for (auto _ : state) {
     benchmark::DoNotOptimize(csr_spmv(f.a, f.xd, yd));
@@ -63,7 +63,7 @@ void BM_CsrSpmv(benchmark::State& state) {
 BENCHMARK(BM_CsrSpmv)->Arg(10)->Arg(100)->Arg(1000);
 
 void BM_TileSpmv(benchmark::State& state) {
-  auto& f = fixture(1.0 / state.range(0));
+  auto& f = fixture(1.0 / static_cast<double>(state.range(0)));
   std::vector<value_t> yd;
   for (auto _ : state) {
     benchmark::DoNotOptimize(tile_spmv(f.tiled, f.xd, yd));
@@ -72,7 +72,7 @@ void BM_TileSpmv(benchmark::State& state) {
 BENCHMARK(BM_TileSpmv)->Arg(10)->Arg(100)->Arg(1000);
 
 void BM_SpmspvBucket(benchmark::State& state) {
-  auto& f = fixture(1.0 / state.range(0));
+  auto& f = fixture(1.0 / static_cast<double>(state.range(0)));
   BucketWorkspace<value_t> ws;
   for (auto _ : state) {
     benchmark::DoNotOptimize(spmspv_bucket(f.c, f.x, ws, 16));
@@ -82,7 +82,7 @@ BENCHMARK(BM_SpmspvBucket)->Arg(10)->Arg(100)->Arg(1000);
 
 void BM_SpmspvViaSpgemm(benchmark::State& state) {
   // The paper's intro strawman: SpMSpV as A * (n×1) through Gustavson.
-  auto& f = fixture(1.0 / state.range(0));
+  auto& f = fixture(1.0 / static_cast<double>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(spmspv_via_spgemm(f.a, f.x));
   }

@@ -54,7 +54,8 @@ int main() {
     }
   }
   std::printf("reachable set: %zu of %d pages (%.1f%%) in %d rounds, %.2f ms\n",
-              visited.size(), a.rows, 100.0 * visited.size() / a.rows,
+              visited.size(), a.rows,
+              100.0 * static_cast<double>(visited.size()) / a.rows,
               rounds, t.elapsed_ms());
   return 0;
 }

@@ -191,7 +191,8 @@ void kernel_push_csr(const BitTileGraph<NT>& g, BfsScratch<NT>& ws,
             const Word* row_masks =
                 &g.csr_masks[static_cast<std::size_t>(t) * NT];
             if (popcount(remaining) >= kHitsKernelThreshold<NT>) {
-              out |= bitk::and_broadcast_hits(row_masks, xw) & remaining;
+              out |= static_cast<Word>(bitk::and_broadcast_hits(row_masks, xw) &
+                                       remaining);
             } else {
               for_each_set_bit(remaining, [&](int lr) {
                 if (row_masks[lr] & xw) out |= msb_bit<Word>(lr);

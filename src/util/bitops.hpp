@@ -77,11 +77,12 @@ constexpr int first_set_msb(W w) {
 /// empty word.
 template <typename W, typename Fn>
 void for_each_set_bit(W w, Fn&& fn) {
-  auto u = static_cast<std::make_unsigned_t<W>>(w);
+  using U = std::make_unsigned_t<W>;
+  auto u = static_cast<U>(w);
   while (u != 0) {
     const int i = std::countl_zero(u);
     fn(i);
-    u &= ~msb_bit<std::make_unsigned_t<W>>(i);
+    u = static_cast<U>(u & static_cast<U>(~msb_bit<U>(i)));
   }
 }
 

@@ -191,7 +191,8 @@ TEST(BitTileGraph, SymmetricPatternSharesMasks) {
   EXPECT_FALSE(unshared.shared_masks);
   EXPECT_TRUE(shared.csc_masks.empty());
   // Roughly half the mask bytes (the mirror index adds a little back).
-  EXPECT_LT(shared.mask_bytes(), 0.7 * unshared.mask_bytes());
+  EXPECT_LT(static_cast<double>(shared.mask_bytes()),
+            0.7 * static_cast<double>(unshared.mask_bytes()));
   // Mask content identical through the accessor.
   ASSERT_EQ(shared.num_tiles(), unshared.num_tiles());
   for (index_t t = 0; t < shared.num_tiles(); ++t) {

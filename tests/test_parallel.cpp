@@ -140,7 +140,7 @@ TEST(Timer, MeasuresElapsedTime) {
   Timer t;
   // Busy-wait ~2ms of wall clock.
   volatile double sink = 0.0;
-  while (t.elapsed_ms() < 2.0) sink += 1.0;
+  while (t.elapsed_ms() < 2.0) sink = sink + 1.0;
   EXPECT_GE(t.elapsed_ms(), 2.0);
   EXPECT_GT(t.elapsed_s(), 0.0);
   t.reset();

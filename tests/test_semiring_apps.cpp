@@ -345,7 +345,9 @@ TEST(Ppr, ColumnStochasticColumnsSumToOne) {
     }
   }
   for (index_t j = 0; j < 100; ++j) {
-    if (colsum[j] > 0.0) EXPECT_NEAR(colsum[j], 1.0, 1e-9);
+    if (colsum[j] > 0.0) {
+      EXPECT_NEAR(colsum[j], 1.0, 1e-9);
+    }
   }
 }
 

@@ -167,7 +167,9 @@ TEST(TileMatrix, ValueAtReadsEveryEntry) {
     for (offset_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
       if (a.col_idx[i] == c) stored = true;
     }
-    if (!stored) EXPECT_EQ(t.value_at(r, c), 0.0);
+    if (!stored) {
+      EXPECT_EQ(t.value_at(r, c), 0.0);
+    }
   }
 }
 

@@ -401,7 +401,8 @@ int cmd_ppr(const Args& args) {
     ranked.emplace_back(r.scores.vals[k], r.scores.idx[k]);
   }
   std::sort(ranked.rbegin(), ranked.rend());
-  for (index_t i = 0; i < std::min<index_t>(topk, ranked.size()); ++i) {
+  for (index_t i = 0;
+       i < std::min(topk, static_cast<index_t>(ranked.size())); ++i) {
     std::printf("  #%-3d vertex %-8d score %.6f\n", i + 1, ranked[i].second,
                 ranked[i].first);
   }
