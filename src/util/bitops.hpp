@@ -37,6 +37,20 @@ struct BitWord<64> {
 template <int NT>
 using bitword_t = typename BitWord<NT>::type;
 
+// Layout guards: a bitmask tile row/column must be exactly one NT-bit
+// unsigned machine word — the bitk:: kernels and the serialized tile
+// formats both assume bit i of a word is a real matrix position, with no
+// padding bits (paper §3.4).
+static_assert(sizeof(bitword_t<8>) * 8 == 8 && sizeof(bitword_t<16>) * 8 == 16 &&
+                  sizeof(bitword_t<32>) * 8 == 32 &&
+                  sizeof(bitword_t<64>) * 8 == 64,
+              "bitword_t<NT> must be exactly NT bits wide");
+static_assert(std::is_unsigned_v<bitword_t<8>> &&
+                  std::is_unsigned_v<bitword_t<16>> &&
+                  std::is_unsigned_v<bitword_t<32>> &&
+                  std::is_unsigned_v<bitword_t<64>>,
+              "bitmask words must be unsigned so shifts and ~ stay defined");
+
 /// Set bit `i` counting from the most significant bit, matching the paper's
 /// figures where the first vector element maps to the leading bit (e.g. the
 /// length-4 tile {1,0,0,0} is written as the value 8).
