@@ -34,6 +34,14 @@ template <int NT>
 struct BitTileGraph {
   using Word = bitword_t<NT>;
 
+  // Paper §3.2.3 layout guards: every tile is NT mask words of NT bits
+  // each, so the word width must equal the tile size exactly and the
+  // per-tile mask block (csr_masks[t*NT .. t*NT+NT)) must be NT words.
+  static_assert(NT == 8 || NT == 16 || NT == 32 || NT == 64,
+                "tile size must match a machine word width");
+  static_assert(sizeof(Word) * 8 == NT,
+                "bitmask tile rows must be exactly one NT-bit word");
+
   index_t n = 0;       // number of vertices (matrix order)
   index_t tile_n = 0;  // ceil(n / NT)
   offset_t edges = 0;  // total nnz including extracted part

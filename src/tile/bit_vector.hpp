@@ -19,6 +19,12 @@ template <int NT>
 struct BitVector {
   using Word = bitword_t<NT>;
 
+  // One word per length-NT tile with no spare bits: index arithmetic
+  // below (i / NT, msb_bit<Word>(i % NT)) is only correct when the word
+  // width equals the tile size.
+  static_assert(sizeof(Word) * 8 == NT,
+                "bit-vector tiles must be exactly one NT-bit word");
+
   index_t n = 0;            // logical length
   std::vector<Word> words;  // ceil(n/NT) tiles
 

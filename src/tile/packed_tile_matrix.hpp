@@ -32,6 +32,13 @@ template <typename T = value_t>
 struct PackedTileMatrix {
   static constexpr index_t kNt = 16;  // fixed: two 4-bit coordinates
 
+  // Paper §3.2.1 layout guards: one packed entry is (row << 4) | col, so
+  // both local coordinates must fit a nibble and the pair must fill one
+  // unsigned char exactly.
+  static_assert(kNt <= 16, "local row/col must fit 4 bits each");
+  static_assert(sizeof(std::uint8_t) * 8 == 8,
+                "packed nibble pair must fill one byte exactly");
+
   index_t rows = 0;
   index_t cols = 0;
   index_t tile_rows = 0;

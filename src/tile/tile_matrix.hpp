@@ -10,6 +10,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "formats/coo.hpp"
@@ -23,6 +24,12 @@ namespace tilespmspv {
 
 template <typename T = value_t>
 struct TileMatrix {
+  /// Largest supported tile size: local column indices are stored as one
+  /// byte (`local_col`), so a tile edge may not exceed 256.
+  static constexpr index_t kMaxNt = 256;
+  static_assert(kMaxNt - 1 <= std::numeric_limits<std::uint8_t>::max(),
+                "local column indices must fit the 8-bit intra-tile format");
+
   index_t rows = 0;
   index_t cols = 0;
   index_t nt = 16;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cassert>
+#include <type_traits>
 #include <vector>
 
 #include "formats/sparse_vector.hpp"
@@ -18,6 +19,11 @@ namespace tilespmspv {
 
 template <typename T = value_t>
 struct TileVector {
+  // The empty-tile sentinel (paper Fig. 3) relies on x_ptr holding -1 for
+  // dropped slots, so the index type must be signed.
+  static_assert(std::is_signed_v<index_t> && kEmptyTile < 0,
+                "x_ptr needs a negative empty-tile sentinel");
+
   index_t n = 0;              // logical length
   index_t nt = 16;            // tile size
   index_t nnz = 0;            // nonzeros of the source vector

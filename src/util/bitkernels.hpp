@@ -20,10 +20,11 @@
 // (they process bytes) and work for any bitword_t. The mask-intersection
 // kernel (`and_broadcast_hits`) has vector paths for the 32- and 64-bit
 // words the paper's tile sizes use; 8/16-bit words take the scalar twin.
-#pragma once
+#pragma once  // lint:hot-path-file
 
 #include <cassert>
 #include <cstdint>
+#include <type_traits>
 
 #include "util/bitops.hpp"
 #include "util/simd.hpp"  // tier macros (TILESPMSPV_SIMD_AVX2 / _SSE2)
@@ -32,6 +33,12 @@
 namespace tilespmspv::bitk {
 
 using tilespmspv::index_t;
+
+// The kernels size loop counters and collected slot indices as index_t
+// and assume word counts fit it; the 32-bit signed layout is also what
+// the serialized formats store, so pin it here.
+static_assert(sizeof(index_t) == 4 && std::is_signed_v<index_t>,
+              "bitk:: kernels assume 32-bit signed tile/word indices");
 
 // ---------------------------------------------------------------------
 // popcount_words: total set bits over n contiguous words.
