@@ -6,7 +6,6 @@
 // when the frontier shrinks (beta heuristic).
 #pragma once
 
-#include <atomic>
 #include <mutex>
 #include <vector>
 
@@ -35,8 +34,7 @@ std::vector<index_t> dobfs(const Csr<T>& out_edges, const Csr<T>& in_edges,
                            std::vector<double>* iter_ms = nullptr) {
   const index_t n = out_edges.rows;
   std::vector<index_t> levels(n, -1);
-  // levels doubles as the visited structure; atomic CAS claims vertices.
-  auto* lv = reinterpret_cast<std::atomic<index_t>*>(levels.data());
+  // levels doubles as the visited structure; atomic_claim claims vertices.
 
   std::vector<index_t> frontier{source};
   levels[source] = 0;
@@ -72,10 +70,7 @@ std::vector<index_t> dobfs(const Csr<T>& out_edges, const Csr<T>& in_edges,
               for (offset_t i = out_edges.row_ptr[u];
                    i < out_edges.row_ptr[u + 1]; ++i) {
                 const index_t v = out_edges.col_idx[i];
-                index_t expected = -1;
-                if (lv[v].load(std::memory_order_relaxed) == -1 &&
-                    lv[v].compare_exchange_strong(
-                        expected, level, std::memory_order_relaxed)) {
+                if (atomic_claim(&levels[v], index_t{-1}, level)) {
                   local.push_back(v);
                 }
               }
@@ -96,12 +91,11 @@ std::vector<index_t> dobfs(const Csr<T>& out_edges, const Csr<T>& in_edges,
           [&](index_t begin, index_t end) {
             std::vector<index_t> local;
             for (index_t v = begin; v < end; ++v) {
-              if (lv[v].load(std::memory_order_relaxed) != -1) continue;
+              if (atomic_load(&levels[v]) != -1) continue;
               for (offset_t i = in_edges.row_ptr[v];
                    i < in_edges.row_ptr[v + 1]; ++i) {
-                if (lv[in_edges.col_idx[i]].load(std::memory_order_relaxed) ==
-                    level - 1) {
-                  lv[v].store(level, std::memory_order_relaxed);
+                if (atomic_load(&levels[in_edges.col_idx[i]]) == level - 1) {
+                  atomic_store(&levels[v], level);
                   local.push_back(v);
                   break;
                 }

@@ -10,11 +10,11 @@
 // as in the published system.
 #pragma once
 
-#include <atomic>
 #include <mutex>
 #include <vector>
 
 #include "formats/csr.hpp"
+#include "parallel/atomics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/types.hpp"
 
@@ -33,7 +33,6 @@ std::vector<index_t> enterprise_bfs(const Csr<T>& out_edges,
                                     ThreadPool* pool = nullptr) {
   const index_t n = out_edges.rows;
   std::vector<index_t> levels(n, -1);
-  auto* lv = reinterpret_cast<std::atomic<index_t>*>(levels.data());
   std::vector<index_t> frontier{source};
   levels[source] = 0;
 
@@ -51,11 +50,11 @@ std::vector<index_t> enterprise_bfs(const Csr<T>& out_edges,
           [&](index_t begin, index_t end) {
             std::vector<index_t> local;
             for (index_t v = begin; v < end; ++v) {
-              if (lv[v].load(std::memory_order_relaxed) != -1) continue;
+              if (atomic_load(&levels[v]) != -1) continue;
               for (offset_t i = in_edges.row_ptr[v];
                    i < in_edges.row_ptr[v + 1]; ++i) {
                 if (in_frontier[in_edges.col_idx[i]]) {
-                  lv[v].store(level, std::memory_order_relaxed);
+                  atomic_store(&levels[v], level);
                   local.push_back(v);
                   break;
                 }
@@ -92,10 +91,7 @@ std::vector<index_t> enterprise_bfs(const Csr<T>& out_edges,
                 for (offset_t i = out_edges.row_ptr[u];
                      i < out_edges.row_ptr[u + 1]; ++i) {
                   const index_t v = out_edges.col_idx[i];
-                  index_t expected = -1;
-                  if (lv[v].load(std::memory_order_relaxed) == -1 &&
-                      lv[v].compare_exchange_strong(
-                          expected, level, std::memory_order_relaxed)) {
+                  if (atomic_claim(&levels[v], index_t{-1}, level)) {
                     local.push_back(v);
                   }
                 }

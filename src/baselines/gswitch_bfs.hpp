@@ -13,12 +13,12 @@
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstring>
 #include <mutex>
 #include <vector>
 
 #include "formats/csr.hpp"
+#include "parallel/atomics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/timer.hpp"
 #include "util/types.hpp"
@@ -99,7 +99,6 @@ std::vector<index_t> gswitch_bfs(const Csr<T>& out_edges,
                                  std::vector<double>* iter_ms = nullptr) {
   const index_t n = out_edges.rows;
   std::vector<index_t> levels(n, -1);
-  auto* lv = reinterpret_cast<std::atomic<index_t>*>(levels.data());
   std::vector<index_t> frontier{source};
   std::vector<unsigned char> in_frontier(n, 0);
   levels[source] = 0;
@@ -129,10 +128,7 @@ std::vector<index_t> gswitch_bfs(const Csr<T>& out_edges,
                 for (offset_t i = out_edges.row_ptr[u];
                      i < out_edges.row_ptr[u + 1]; ++i) {
                   const index_t v = out_edges.col_idx[i];
-                  index_t expected = -1;
-                  if (lv[v].load(std::memory_order_relaxed) == -1 &&
-                      lv[v].compare_exchange_strong(
-                          expected, level, std::memory_order_relaxed)) {
+                  if (atomic_claim(&levels[v], index_t{-1}, level)) {
                     local.push_back(v);
                   }
                 }
@@ -157,11 +153,11 @@ std::vector<index_t> gswitch_bfs(const Csr<T>& out_edges,
                 for (offset_t i = out_edges.row_ptr[u];
                      i < out_edges.row_ptr[u + 1]; ++i) {
                   const index_t v = out_edges.col_idx[i];
-                  if (lv[v].load(std::memory_order_relaxed) == -1) {
+                  if (atomic_load(&levels[v]) == -1) {
                     // Idempotent flag; relaxed atomic store avoids a formal
                     // write-write race between chunks.
-                    reinterpret_cast<std::atomic<unsigned char>*>(&out_map[v])
-                        ->store(1, std::memory_order_relaxed);
+                    atomic_store(&out_map[v],
+                                 static_cast<unsigned char>(1));
                   }
                 }
               }
@@ -183,11 +179,11 @@ std::vector<index_t> gswitch_bfs(const Csr<T>& out_edges,
             [&](index_t begin, index_t end) {
               std::vector<index_t> local;
               for (index_t v = begin; v < end; ++v) {
-                if (lv[v].load(std::memory_order_relaxed) != -1) continue;
+                if (atomic_load(&levels[v]) != -1) continue;
                 for (offset_t i = in_edges.row_ptr[v];
                      i < in_edges.row_ptr[v + 1]; ++i) {
                   if (in_frontier[in_edges.col_idx[i]]) {
-                    lv[v].store(level, std::memory_order_relaxed);
+                    atomic_store(&levels[v], level);
                     local.push_back(v);
                     break;
                   }

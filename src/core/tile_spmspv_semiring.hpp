@@ -10,11 +10,11 @@
 // sparse workloads this path serves have little tile contention.
 #pragma once
 
-#include <atomic>
 #include <vector>
 
 #include "core/semiring.hpp"
 #include "formats/sparse_vector.hpp"
+#include "parallel/atomics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "tile/tile_matrix.hpp"
 #include "tile/tile_vector.hpp"
@@ -35,9 +35,8 @@ SparseVec<T> tile_spmspv_semiring(const TileMatrix<T>& at,
 
   std::vector<T> yd(out_n, S::zero());
   std::vector<unsigned char> flag(out_tiles, 0);
-  // One lock word per output tile; std::atomic_flag would need C++20 init
-  // gymnastics in a vector, so a byte CAS serves.
-  std::vector<std::atomic<unsigned char>> locks(out_tiles);
+  // One byte spinlock per output tile (parallel/atomics.hpp).
+  std::vector<unsigned char> locks(out_tiles, 0);
 
   std::vector<index_t> active;
   for (index_t s = 0; s < x.num_tiles(); ++s) {
@@ -48,16 +47,8 @@ SparseVec<T> tile_spmspv_semiring(const TileMatrix<T>& at,
     }
   }
 
-  auto lock_tile = [&](index_t t) {
-    unsigned char expected = 0;
-    while (!locks[t].compare_exchange_weak(expected, 1,
-                                           std::memory_order_acquire)) {
-      expected = 0;
-    }
-  };
-  auto unlock_tile = [&](index_t t) {
-    locks[t].store(0, std::memory_order_release);
-  };
+  auto lock_tile = [&](index_t t) { spin_lock(&locks[t]); };
+  auto unlock_tile = [&](index_t t) { spin_unlock(&locks[t]); };
 
   parallel_for(
       static_cast<index_t>(active.size()),

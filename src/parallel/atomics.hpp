@@ -49,4 +49,45 @@ inline W atomic_load(const W* target) {
       std::memory_order_relaxed);
 }
 
+/// Relaxed atomic store of a plain word. For idempotent updates where
+/// overlapping tasks may write the same value (bottom-up BFS level
+/// assignment, shared flag maps) — atomicity only exists to keep the
+/// formal data race out, not to order anything.
+template <typename W>
+inline void atomic_store(W* target, W v) {
+  static_assert(std::is_integral_v<W>);
+  reinterpret_cast<std::atomic<W>*>(target)->store(v,
+                                                   std::memory_order_relaxed);
+}
+
+/// atomicCAS equivalent: claims `*target` for `desired` iff it still holds
+/// `expected`. The BFS baselines claim unvisited vertices by CAS-ing the
+/// level array from -1; exactly one claimant wins. Returns true for the
+/// winner. The relaxed pre-load keeps the common already-claimed case off
+/// the bus-locked path.
+template <typename T>
+inline bool atomic_claim(T* target, T expected, T desired) {
+  static_assert(std::is_integral_v<T>);
+  auto* a = reinterpret_cast<std::atomic<T>*>(target);
+  if (a->load(std::memory_order_relaxed) != expected) return false;
+  return a->compare_exchange_strong(expected, desired,
+                                    std::memory_order_relaxed);
+}
+
+/// Byte spinlock (acquire/release) over plain storage, for short per-tile
+/// critical sections where a vector of std::atomic_flag would need C++20
+/// initialization gymnastics. Pairs: spin_lock / spin_unlock.
+inline void spin_lock(unsigned char* lock) {
+  auto* a = reinterpret_cast<std::atomic<unsigned char>*>(lock);
+  unsigned char expected = 0;
+  while (!a->compare_exchange_weak(expected, 1, std::memory_order_acquire)) {
+    expected = 0;
+  }
+}
+
+inline void spin_unlock(unsigned char* lock) {
+  reinterpret_cast<std::atomic<unsigned char>*>(lock)->store(
+      0, std::memory_order_release);
+}
+
 }  // namespace tilespmspv
