@@ -56,7 +56,7 @@ inline constexpr int kProdScratch = 4096;
 template <typename T>
 inline void intra_tile_accumulate(const T* vals, const std::uint8_t* cols,
                                   const std::uint16_t* p, index_t nt,
-                                  const T* xt, T* acc, T* prod) {
+                                  const T* xt, T* acc, T* prod) {  // lint:hot-path
   if constexpr (std::is_same_v<T, double>) {
     const int nnz = p[nt];
     if (nnz <= kProdScratch) {
@@ -95,7 +95,8 @@ template <typename T>
 inline void intra_tile_accumulate_runs(const T* vals, const std::uint8_t* cols,
                                        const std::uint8_t* runs, int nruns,
                                        int nnz, std::uint8_t strategy,
-                                       const T* xt, T* acc, T* prod) {
+                                       const T* xt, T* acc,
+                                       T* prod) {  // lint:hot-path
   if constexpr (std::is_same_v<T, double>) {
     if (strategy == TileMatrix<T>::kRunFlat && nnz <= kProdScratch) {
       simd::gather_mul(vals, cols, nnz, xt, prod);

@@ -81,6 +81,9 @@ namespace detail {
 /// One cache-padded block per thread; blocks live until process exit so a
 /// snapshot can still read contributions from threads that have finished.
 struct alignas(64) CounterBlock {
+  // Counter cells are read by snapshot() while workers bump them; the
+  // atomic_* helpers wrap plain storage, which a concurrent reader makes
+  // the wrong shape here. lint:allow(raw-atomic)
   std::array<std::atomic<std::uint64_t>, kNumCounters> v{};
 };
 

@@ -56,8 +56,10 @@ struct TraceState {
   std::vector<ThreadBuf*> bufs;
   std::size_t capacity = 16384;
   int next_tid = 0;
+  // Cross-thread enable flag + epoch; genuinely shared control state, not
+  // kernel data the atomic_* helpers model. lint:allow(raw-atomic)
   std::atomic<bool> enabled{false};
-  std::atomic<std::int64_t> epoch_ns{0};
+  std::atomic<std::int64_t> epoch_ns{0};  // lint:allow(raw-atomic)
 };
 
 TraceState& state() {

@@ -72,8 +72,12 @@ class ThreadPool {
     void* ctx = nullptr;
     index_t n = 0;
     index_t chunk = 1;
+    // Work-stealing cursor and completion count: the pool IS the
+    // synchronization layer the atomic_* helpers sit on top of, and these
+    // need fetch_add/acq_rel orderings the helpers deliberately don't
+    // expose. lint:allow(raw-atomic)
     std::atomic<index_t> next{0};
-    std::atomic<int> remaining{0};
+    std::atomic<int> remaining{0};  // lint:allow(raw-atomic)
   };
 
   void run_task(Task& task);

@@ -14,7 +14,7 @@
 // tests/test_fuzz_differential.cpp). Kernels only change the order in which
 // partial products are summed, never which products are formed, so the
 // observability counters (payload_macs etc.) are unaffected by the tier.
-#pragma once
+#pragma once  // lint:hot-path-file
 
 #include <cstdint>
 #include <cstring>
@@ -36,6 +36,7 @@ namespace tilespmspv::simd {
 /// Gather wrapper over the masked intrinsic with a zeroed source: the plain
 /// _mm256_i32gather_pd takes an undefined source vector, which GCC's header
 /// implementation reports as maybe-uninitialized under -Werror.
+/// Intrinsic wrapper, not a kernel: no scalar twin. lint:allow(simd-twin)
 inline __m256d gather_pd(const double* base, __m128i idx) {
   return _mm256_mask_i32gather_pd(_mm256_setzero_pd(), base, idx,
                                   _mm256_castsi256_pd(_mm256_set1_epi64x(-1)),

@@ -1,0 +1,7 @@
+#pragma once
+
+namespace tilespmspv {
+
+inline int add(int a, int b) { return a + b; }
+
+}  // namespace tilespmspv

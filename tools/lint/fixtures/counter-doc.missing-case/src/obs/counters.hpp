@@ -1,0 +1,11 @@
+#pragma once
+
+namespace tilespmspv {
+
+enum class Counter {
+  kTilesScanned,
+  kMissingCase,  // seeded: no case in counter_name()
+  kCount,
+};
+
+}  // namespace tilespmspv

@@ -1,0 +1,12 @@
+#include "counters.hpp"
+
+namespace tilespmspv {
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kTilesScanned: return "tiles_scanned";
+    default: return "?";
+  }
+}
+
+}  // namespace tilespmspv

@@ -1,0 +1,10 @@
+#pragma once
+
+namespace tilespmspv {
+
+enum class Counter {
+  kTilesScanned,
+  kCount,
+};
+
+}  // namespace tilespmspv

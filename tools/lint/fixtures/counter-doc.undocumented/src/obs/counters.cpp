@@ -1,0 +1,13 @@
+#include "counters.hpp"
+
+namespace tilespmspv {
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kTilesScanned: return "tiles_scanned";
+    case Counter::kOrphan: return "orphan";
+    default: return "?";
+  }
+}
+
+}  // namespace tilespmspv

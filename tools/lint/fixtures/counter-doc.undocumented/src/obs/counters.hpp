@@ -1,0 +1,11 @@
+#pragma once
+
+namespace tilespmspv {
+
+enum class Counter {
+  kTilesScanned,
+  kOrphan,  // seeded: named in counter_name() but absent from the docs table
+  kCount,
+};
+
+}  // namespace tilespmspv

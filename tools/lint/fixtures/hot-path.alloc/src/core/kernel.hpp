@@ -1,0 +1,12 @@
+#pragma once
+
+#include <vector>
+
+namespace tilespmspv {
+
+// Seeded violation: container growth inside the marked region.
+inline void accumulate(std::vector<int>& out) {  // lint:hot-path
+  out.push_back(1);
+}
+
+}  // namespace tilespmspv

@@ -1,0 +1,13 @@
+#pragma once
+
+#include <functional>
+
+namespace tilespmspv {
+
+// Seeded violation: type-erased callable inside the marked region.
+inline int apply(int x) {  // lint:hot-path
+  std::function<int(int)> f = [](int v) { return v + 1; };
+  return f(x);
+}
+
+}  // namespace tilespmspv

@@ -1,0 +1,10 @@
+#pragma once
+
+#include <iostream>
+
+namespace tilespmspv {
+
+// Seeded violation: <iostream> in a hot-layer header.
+inline void dump(int x) { std::cout << x << "\n"; }
+
+}  // namespace tilespmspv

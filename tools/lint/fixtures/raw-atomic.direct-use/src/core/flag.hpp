@@ -1,0 +1,10 @@
+#pragma once
+
+#include <atomic>
+
+namespace tilespmspv {
+
+// Seeded violation: raw std::atomic outside parallel/atomics.hpp.
+inline bool is_set(std::atomic<int>& a) { return a.load() != 0; }
+
+}  // namespace tilespmspv

@@ -1,0 +1,12 @@
+#pragma once
+
+namespace simd {
+
+#if defined(__AVX2__)
+// Seeded violation: SIMD-tier kernel with no dot4_scalar twin.
+inline double dot4(const double* a, const double* b) {
+  return a[0] * b[0] + a[1] * b[1] + a[2] * b[2] + a[3] * b[3];
+}
+#endif
+
+}  // namespace simd

@@ -1,0 +1,13 @@
+#pragma once
+
+namespace simd {
+
+#if defined(__AVX2__)
+inline double sum2(const double* a) { return a[0] + a[1]; }
+#endif
+
+// The twin exists, but no tests/*fuzz* file exercises the pair — seeded
+// twin-fuzz violation.
+inline double sum2_scalar(const double* a) { return a[0] + a[1]; }
+
+}  // namespace simd

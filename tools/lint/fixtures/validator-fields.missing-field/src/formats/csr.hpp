@@ -1,0 +1,10 @@
+#pragma once
+
+namespace tilespmspv {
+
+struct ToyCsr {
+  int rows = 0;
+  int cols = 0;  // seeded: validate_toy_csr() never looks at this
+};
+
+}  // namespace tilespmspv

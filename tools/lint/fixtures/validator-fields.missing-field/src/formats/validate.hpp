@@ -1,0 +1,17 @@
+#pragma once
+
+#include "csr.hpp"
+
+namespace tilespmspv {
+
+struct ValidationResult {
+  bool ok = true;
+};
+
+inline ValidationResult validate_toy_csr(const ToyCsr& m) {
+  ValidationResult r;
+  if (m.rows < 0) r.ok = false;
+  return r;
+}
+
+}  // namespace tilespmspv

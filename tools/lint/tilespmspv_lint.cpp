@@ -1,0 +1,916 @@
+// tilespmspv_lint — repo-specific invariant linter.
+//
+// Generic compilers and clang-tidy cannot see this repo's conventions; this
+// tool token-scans the tree and enforces the ones that are load-bearing
+// (see docs/STATIC_ANALYSIS.md for the rule catalogue and the annotation
+// syntax). Rules:
+//
+//   simd-twin         every kernel defined under a SIMD-conditional
+//                     preprocessor region in util/simd.hpp or
+//                     util/bitkernels.hpp has an unconditionally compiled
+//                     `*_scalar` twin in the same file
+//   twin-fuzz         every twinned kernel pair is exercised against each
+//                     other by a tests/*fuzz* file
+//   counter-doc       obs counter enum, counter_name() switch, and the
+//                     docs/OBSERVABILITY.md counter table stay in sync
+//   validator-fields  each formats/validate.hpp validator mentions every
+//                     field of the struct it validates
+//   hot-path          no heap allocation, container growth, or
+//                     std::function inside `// lint:hot-path` regions
+//   raw-atomic        no raw std::atomic outside parallel/atomics.hpp
+//   include-hygiene   no <iostream> in headers under src/tile, src/core,
+//                     src/bfs
+//
+// Suppressions: `// lint:allow(<rule>)` on the offending line or the line
+// directly above waives that rule for that line. A line ENDING with
+// `// lint:hot-path` marks the next `{...}` block as a hot-path region; a
+// line ending with `// lint:hot-path-file` marks the whole file. Markers
+// are end-of-line anchored so prose mentions (like this comment) do not
+// open regions.
+//
+// Modes (mirroring tools/tilespmspv_validate):
+//   tilespmspv_lint --root DIR    lint the tree rooted at DIR (default .)
+//   tilespmspv_lint --suite DIR   self-check against the seeded-violation
+//                                 fixtures under DIR
+// Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;  // root-relative path
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct SourceFile {
+  std::string rel;           // root-relative path, '/' separators
+  std::string raw;           // file contents as read
+  std::string code;          // comments and string contents blanked
+  std::vector<int> line_at;  // line_at[i] = 1-based line of raw[i]
+};
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Replaces comment bodies and string/char-literal contents with spaces,
+/// preserving length and newlines so offsets and line numbers survive.
+std::string strip_comments_and_strings(const std::string& s) {
+  std::string out = s;
+  enum class St { Code, Line, Block, Str, Chr } st = St::Code;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const char n = i + 1 < s.size() ? s[i + 1] : '\0';
+    switch (st) {
+      case St::Code:
+        if (c == '/' && n == '/') {
+          st = St::Line;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && n == '*') {
+          st = St::Block;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = St::Str;
+        } else if (c == '\'') {
+          st = St::Chr;
+        }
+        break;
+      case St::Line:
+        if (c == '\n')
+          st = St::Code;
+        else
+          out[i] = ' ';
+        break;
+      case St::Block:
+        if (c == '*' && n == '/') {
+          st = St::Code;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::Str:
+        if (c == '\\' && n != '\0') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = St::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::Chr:
+        if (c == '\\' && n != '\0') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = St::Code;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+SourceFile load_file(const fs::path& root, const fs::path& p) {
+  SourceFile f;
+  f.rel = fs::relative(p, root).generic_string();
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  f.raw = ss.str();
+  f.code = strip_comments_and_strings(f.raw);
+  f.line_at.resize(f.raw.size() + 1);
+  int line = 1;
+  for (std::size_t i = 0; i < f.raw.size(); ++i) {
+    f.line_at[i] = line;
+    if (f.raw[i] == '\n') ++line;
+  }
+  f.line_at[f.raw.size()] = line;
+  return f;
+}
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+/// True when `line` (1-based) or the line above carries
+/// `lint:allow(<rule>)` in the raw text.
+bool allowed(const std::vector<std::string>& raw_lines, int line,
+             const std::string& rule) {
+  const std::string tag = "lint:allow(" + rule + ")";
+  for (int l = std::max(1, line - 1); l <= line; ++l) {
+    if (l <= static_cast<int>(raw_lines.size()) &&
+        raw_lines[l - 1].find(tag) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// True when `line`, trimmed of trailing whitespace, ends with `marker`.
+/// Anchoring to end-of-line keeps prose mentions of a marker (docs, the
+/// rule catalogue above, string literals in this very file) from opening
+/// hot-path regions.
+bool ends_with_marker(const std::string& line, const std::string& marker) {
+  const std::size_t e = line.find_last_not_of(" \t\r");
+  if (e == std::string::npos) return false;
+  const std::size_t len = e + 1;
+  return len >= marker.size() &&
+         line.compare(len - marker.size(), marker.size(), marker) == 0;
+}
+
+bool contains_word(const std::string& s, const std::string& w) {
+  std::size_t pos = 0;
+  while ((pos = s.find(w, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(s[pos - 1]);
+    const std::size_t end = pos + w.size();
+    const bool right_ok = end >= s.size() || !ident_char(s[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+std::size_t find_word(const std::string& s, const std::string& w,
+                      std::size_t from) {
+  std::size_t pos = from;
+  while ((pos = s.find(w, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(s[pos - 1]);
+    const std::size_t end = pos + w.size();
+    const bool right_ok = end >= s.size() || !ident_char(s[end]);
+    if (left_ok && right_ok) return pos;
+    pos = end;
+  }
+  return std::string::npos;
+}
+
+/// Position of the brace matching the `{` at `open` in blanked code, or
+/// npos when unbalanced.
+std::size_t match_brace(const std::string& code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '{') ++depth;
+    if (code[i] == '}' && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+// ---------------------------------------------------------------------
+// Function-definition scanning (for the twin rules). Good enough for the
+// kernel headers' style: free functions whose parameter list is directly
+// followed by `{`.
+// ---------------------------------------------------------------------
+
+struct FuncDef {
+  std::string name;
+  int line = 0;
+  bool simd_conditional = false;  // defined under a SIMD #if tier
+};
+
+const std::set<std::string>& keywords() {
+  static const std::set<std::string> k = {
+      "if",     "for",    "while",   "switch", "return", "sizeof",
+      "catch",  "static", "assert",  "defined", "alignas", "alignof",
+      "decltype", "static_assert", "constexpr", "operator"};
+  return k;
+}
+
+/// True when the preprocessor condition selects a SIMD tier.
+bool simd_condition(const std::string& cond) {
+  return cond.find("TILESPMSPV_SIMD_") != std::string::npos ||
+         cond.find("__AVX2__") != std::string::npos ||
+         cond.find("__SSE2__") != std::string::npos ||
+         cond.find("__FMA__") != std::string::npos;
+}
+
+std::vector<FuncDef> scan_function_defs(const SourceFile& f) {
+  std::vector<FuncDef> defs;
+  const std::vector<std::string> lines = split_lines(f.code);
+  // Per-line SIMD-conditional flag from the preprocessor stack. A group
+  // counts as SIMD-conditional once any of its branch conditions names a
+  // tier macro — the #else branch of a tier split is still tier-selected.
+  std::vector<bool> line_simd(lines.size() + 2, false);
+  std::vector<bool> stack;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    std::string t = lines[li];
+    const std::size_t h = t.find_first_not_of(" \t");
+    bool in_simd = false;
+    if (h != std::string::npos && t[h] == '#') {
+      const std::string d = t.substr(h + 1);
+      if (d.rfind("if", 0) == 0) {
+        stack.push_back(simd_condition(d));
+      } else if (d.rfind("elif", 0) == 0 && !stack.empty()) {
+        stack.back() = stack.back() || simd_condition(d);
+      } else if (d.rfind("endif", 0) == 0 && !stack.empty()) {
+        stack.pop_back();
+      }
+      // #else keeps the group's flag.
+    }
+    for (bool b : stack) in_simd = in_simd || b;
+    line_simd[li + 1] = in_simd;  // 1-based
+  }
+
+  const std::string& c = f.code;
+  for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+    if (c[i] != '(') continue;
+    // Identifier directly before '('.
+    std::size_t e = i;
+    while (e > 0 && std::isspace(static_cast<unsigned char>(c[e - 1]))) --e;
+    std::size_t b = e;
+    while (b > 0 && ident_char(c[b - 1])) --b;
+    if (b == e) continue;
+    const std::string name = c.substr(b, e - b);
+    if (keywords().count(name)) continue;
+    if (b > 0 && (c[b - 1] == '.' || c[b - 1] == ':' ||
+                  (b > 1 && c[b - 2] == '-' && c[b - 1] == '>'))) {
+      continue;  // member/qualified call, not a definition name
+    }
+    // Matching ')' then optional qualifiers then '{' => definition.
+    int pd = 0;
+    std::size_t j = i;
+    for (; j < c.size(); ++j) {
+      if (c[j] == '(') ++pd;
+      if (c[j] == ')' && --pd == 0) break;
+    }
+    if (j >= c.size()) continue;
+    std::size_t k = j + 1;
+    while (k < c.size()) {
+      while (k < c.size() && std::isspace(static_cast<unsigned char>(c[k])))
+        ++k;
+      if (c.compare(k, 5, "const") == 0 && !ident_char(c[k + 5])) {
+        k += 5;
+        continue;
+      }
+      if (c.compare(k, 8, "noexcept") == 0) {
+        k += 8;
+        continue;
+      }
+      break;
+    }
+    if (k >= c.size() || c[k] != '{') continue;
+    FuncDef d;
+    d.name = name;
+    d.line = f.line_at[b];
+    d.simd_conditional = line_simd[static_cast<std::size_t>(d.line)];
+    defs.push_back(d);
+  }
+  return defs;
+}
+
+// ---------------------------------------------------------------------
+// The linter proper.
+// ---------------------------------------------------------------------
+
+struct Tree {
+  fs::path root;
+  std::vector<SourceFile> files;  // all .hpp/.cpp under src/, tools/, tests/
+
+  const SourceFile* find(const std::string& rel) const {
+    for (const SourceFile& f : files) {
+      if (f.rel == rel) return &f;
+    }
+    return nullptr;
+  }
+};
+
+Tree load_tree(const fs::path& root) {
+  Tree t;
+  t.root = root;
+  for (const char* dir : {"src", "tools", "tests"}) {
+    const fs::path d = root / dir;
+    if (!fs::exists(d)) continue;
+    for (const auto& ent : fs::recursive_directory_iterator(d)) {
+      if (!ent.is_regular_file()) continue;
+      const std::string ext = ent.path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc")
+        continue;
+      // The linter's own fixture trees are inputs, not part of the tree.
+      const std::string rel = fs::relative(ent.path(), root).generic_string();
+      if (rel.rfind("tools/lint/fixtures/", 0) == 0) continue;
+      t.files.push_back(load_file(root, ent.path()));
+    }
+  }
+  std::sort(t.files.begin(), t.files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel < b.rel;
+            });
+  return t;
+}
+
+void rule_simd_twin(const Tree& t, std::vector<Violation>& out) {
+  for (const char* relc : {"src/util/simd.hpp", "src/util/bitkernels.hpp"}) {
+    const SourceFile* f = t.find(relc);
+    if (!f) continue;
+    const std::vector<FuncDef> defs = scan_function_defs(*f);
+    const std::vector<std::string> raw_lines = split_lines(f->raw);
+    std::set<std::string> all;
+    for (const FuncDef& d : defs) all.insert(d.name);
+    std::set<std::string> reported;
+    for (const FuncDef& d : defs) {
+      if (!d.simd_conditional) continue;
+      if (d.name.size() > 7 &&
+          d.name.compare(d.name.size() - 7, 7, "_scalar") == 0)
+        continue;
+      if (all.count(d.name + "_scalar")) continue;
+      if (allowed(raw_lines, d.line, "simd-twin")) continue;
+      if (!reported.insert(d.name).second) continue;
+      out.push_back({f->rel, d.line, "simd-twin",
+                     "SIMD-tier kernel '" + d.name +
+                         "' has no in-binary '" + d.name +
+                         "_scalar' twin in this file"});
+    }
+  }
+}
+
+void rule_twin_fuzz(const Tree& t, std::vector<Violation>& out) {
+  // Collect the fuzz tests once.
+  std::vector<const SourceFile*> fuzz;
+  for (const SourceFile& f : t.files) {
+    if (f.rel.rfind("tests/", 0) == 0 &&
+        f.rel.find("fuzz") != std::string::npos) {
+      fuzz.push_back(&f);
+    }
+  }
+  for (const char* relc : {"src/util/simd.hpp", "src/util/bitkernels.hpp"}) {
+    const SourceFile* f = t.find(relc);
+    if (!f) continue;
+    const std::vector<FuncDef> defs = scan_function_defs(*f);
+    const std::vector<std::string> raw_lines = split_lines(f->raw);
+    std::set<std::string> all;
+    for (const FuncDef& d : defs) all.insert(d.name);
+    std::set<std::string> checked;
+    for (const FuncDef& d : defs) {
+      if (!all.count(d.name + "_scalar")) continue;  // not a twinned kernel
+      if (!checked.insert(d.name).second) continue;
+      if (allowed(raw_lines, d.line, "twin-fuzz")) continue;
+      bool active = false, scalar = false;
+      for (const SourceFile* tf : fuzz) {
+        if (contains_word(tf->code, d.name)) active = true;
+        if (contains_word(tf->code, d.name + "_scalar")) scalar = true;
+      }
+      if (active && scalar) continue;
+      out.push_back({f->rel, d.line, "twin-fuzz",
+                     "twinned kernel '" + d.name + "' / '" + d.name +
+                         "_scalar' is not differentially exercised by any "
+                         "tests/*fuzz* file"});
+    }
+  }
+}
+
+void rule_counter_doc(const Tree& t, std::vector<Violation>& out) {
+  const SourceFile* hpp = t.find("src/obs/counters.hpp");
+  const SourceFile* cpp = t.find("src/obs/counters.cpp");
+  if (!hpp || !cpp) return;  // layer absent (e.g. minimal fixtures)
+
+  // Enumerators of `enum class Counter`.
+  std::vector<std::pair<std::string, int>> enums;  // (kName, line)
+  std::size_t ep = hpp->code.find("enum class Counter");
+  if (ep == std::string::npos) return;
+  std::size_t open = hpp->code.find('{', ep);
+  std::size_t close = open == std::string::npos
+                          ? std::string::npos
+                          : match_brace(hpp->code, open);
+  if (close == std::string::npos) return;
+  for (std::size_t i = open; i < close; ++i) {
+    if (hpp->code[i] != 'k' || (i > 0 && ident_char(hpp->code[i - 1])))
+      continue;
+    std::size_t e = i;
+    while (e < close && ident_char(hpp->code[e])) ++e;
+    const std::string name = hpp->code.substr(i, e - i);
+    if (name != "kCount") enums.emplace_back(name, hpp->line_at[i]);
+    i = e;
+  }
+
+  // counter_name() switch: Counter::kX ... return "x".
+  std::map<std::string, std::string> names;  // kX -> "x"
+  const std::string& cc = cpp->code;
+  const std::string& craw = cpp->raw;
+  std::size_t pos = 0;
+  while ((pos = cc.find("Counter::k", pos)) != std::string::npos) {
+    std::size_t b = pos + 9;  // at 'k'
+    std::size_t e = b;
+    while (e < cc.size() && ident_char(cc[e])) ++e;
+    const std::string enumerator = cc.substr(b, e - b);
+    // The string literal is blanked in `code`; read it from raw.
+    const std::size_t q1 = craw.find('"', e);
+    const std::size_t ret = cc.find("return", e);
+    const std::size_t next_case = cc.find("Counter::k", e);
+    if (q1 != std::string::npos && ret != std::string::npos &&
+        (next_case == std::string::npos || q1 < next_case)) {
+      const std::size_t q2 = craw.find('"', q1 + 1);
+      if (q2 != std::string::npos) {
+        names[enumerator] = craw.substr(q1 + 1, q2 - q1 - 1);
+      }
+    }
+    pos = e;
+  }
+
+  const std::vector<std::string> hpp_raw = split_lines(hpp->raw);
+  // Docs table.
+  const fs::path docp = t.root / "docs" / "OBSERVABILITY.md";
+  std::string doc;
+  if (fs::exists(docp)) {
+    std::ifstream in(docp, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    doc = ss.str();
+  }
+
+  for (const auto& [en, line] : enums) {
+    if (allowed(hpp_raw, line, "counter-doc")) continue;
+    const auto it = names.find(en);
+    if (it == names.end()) {
+      out.push_back({cpp->rel, 1, "counter-doc",
+                     "counter enumerator '" + en +
+                         "' has no case in counter_name()"});
+      continue;
+    }
+    if (doc.find("`" + it->second + "`") == std::string::npos) {
+      out.push_back({hpp->rel, line, "counter-doc",
+                     "counter '" + it->second +
+                         "' is not documented in docs/OBSERVABILITY.md"});
+    }
+  }
+
+  // Stale doc entries: first-column backticked tokens of the counter
+  // table must all be live counters.
+  std::set<std::string> live;
+  for (const auto& [en, nm] : names) live.insert(nm);
+  const std::vector<std::string> doc_lines = split_lines(doc);
+  bool in_table = false;
+  for (std::size_t li = 0; li < doc_lines.size(); ++li) {
+    const std::string& l = doc_lines[li];
+    if (l.find("| counter |") != std::string::npos) {
+      in_table = true;
+      continue;
+    }
+    if (!in_table) continue;
+    if (l.empty() || l[0] != '|') {
+      in_table = false;
+      continue;
+    }
+    const std::size_t second = l.find('|', 1);
+    if (second == std::string::npos) continue;
+    const std::string first_col = l.substr(0, second);
+    std::size_t q = 0;
+    while ((q = first_col.find('`', q)) != std::string::npos) {
+      const std::size_t q2 = first_col.find('`', q + 1);
+      if (q2 == std::string::npos) break;
+      const std::string tok = first_col.substr(q + 1, q2 - q - 1);
+      if (!tok.empty() && tok != "counter" && !live.count(tok)) {
+        out.push_back({"docs/OBSERVABILITY.md", static_cast<int>(li + 1),
+                       "counter-doc",
+                       "documented counter '" + tok +
+                           "' does not exist in obs/counters.cpp"});
+      }
+      q = q2 + 1;
+    }
+  }
+}
+
+/// snake_case -> CamelCase ("packed_tile_matrix" -> "PackedTileMatrix").
+std::string camel(const std::string& snake) {
+  std::string out;
+  bool up = true;
+  for (char c : snake) {
+    if (c == '_') {
+      up = true;
+    } else {
+      out += up ? static_cast<char>(std::toupper(c)) : c;
+      up = false;
+    }
+  }
+  return out;
+}
+
+struct StructDef {
+  const SourceFile* file = nullptr;
+  std::vector<std::pair<std::string, int>> fields;  // (name, line)
+};
+
+/// Finds `struct <name>` in the tree and token-scans its data members.
+bool find_struct(const Tree& t, const std::string& name, StructDef& sd) {
+  for (const SourceFile& f : t.files) {
+    const std::size_t p = find_word(f.code, "struct " + name, 0);
+    std::size_t sp = std::string::npos;
+    if (p != std::string::npos) {
+      sp = p;
+    } else {
+      // Allow whitespace variations: locate "struct" then the name.
+      std::size_t q = 0;
+      while ((q = find_word(f.code, "struct", q)) != std::string::npos) {
+        std::size_t r = q + 6;
+        while (r < f.code.size() &&
+               std::isspace(static_cast<unsigned char>(f.code[r])))
+          ++r;
+        if (f.code.compare(r, name.size(), name) == 0 &&
+            !ident_char(f.code[r + name.size()])) {
+          sp = q;
+          break;
+        }
+        q += 6;
+      }
+    }
+    if (sp == std::string::npos) continue;
+    const std::size_t open = f.code.find('{', sp);
+    if (open == std::string::npos) continue;
+    const std::size_t close = match_brace(f.code, open);
+    if (close == std::string::npos) continue;
+    sd.file = &f;
+    // Scan statements at struct depth 1.
+    int depth = 0;
+    std::string stmt;
+    std::size_t stmt_start = open + 1;
+    for (std::size_t i = open; i <= close; ++i) {
+      const char c = f.code[i];
+      if (c == '{') {
+        ++depth;
+        if (depth == 1) stmt_start = i + 1;
+        stmt.clear();
+        continue;
+      }
+      if (c == '}') {
+        --depth;
+        stmt.clear();
+        stmt_start = i + 1;
+        continue;
+      }
+      if (depth != 1) continue;
+      if (c == ';') {
+        // A data member: no parens (functions), not an alias/assert.
+        std::string s = stmt;
+        const bool has_paren = s.find('(') != std::string::npos;
+        const bool skip = contains_word(s, "using") ||
+                          contains_word(s, "typedef") ||
+                          contains_word(s, "friend") ||
+                          contains_word(s, "static");
+        if (!has_paren && !skip) {
+          // Identifier before '=' (or end).
+          const std::size_t eq = s.find('=');
+          std::string head = eq == std::string::npos ? s : s.substr(0, eq);
+          std::size_t e = head.size();
+          while (e > 0 &&
+                 std::isspace(static_cast<unsigned char>(head[e - 1])))
+            --e;
+          std::size_t b = e;
+          while (b > 0 && ident_char(head[b - 1])) --b;
+          if (b < e) {
+            const std::string fieldname = head.substr(b, e - b);
+            if (!fieldname.empty() &&
+                !std::isdigit(static_cast<unsigned char>(fieldname[0]))) {
+              sd.fields.emplace_back(fieldname, f.line_at[stmt_start]);
+            }
+          }
+        }
+        stmt.clear();
+        stmt_start = i + 1;
+        continue;
+      }
+      if (stmt.empty() &&
+          std::isspace(static_cast<unsigned char>(c))) {
+        stmt_start = i + 1;
+        continue;
+      }
+      stmt += c;
+    }
+    return true;
+  }
+  return false;
+}
+
+void rule_validator_fields(const Tree& t, std::vector<Violation>& out) {
+  const SourceFile* v = t.find("src/formats/validate.hpp");
+  if (!v) return;
+  const std::vector<std::string> vraw = split_lines(v->raw);
+  std::size_t pos = 0;
+  while ((pos = find_word(v->code, "ValidationResult", pos)) !=
+         std::string::npos) {
+    std::size_t b = pos + 16;
+    while (b < v->code.size() &&
+           std::isspace(static_cast<unsigned char>(v->code[b])))
+      ++b;
+    std::size_t e = b;
+    while (e < v->code.size() && ident_char(v->code[e])) ++e;
+    const std::string fname = v->code.substr(b, e - b);
+    pos = e;
+    if (fname.rfind("validate_", 0) != 0) continue;
+    const std::size_t paren = v->code.find('(', e);
+    if (paren == std::string::npos || v->code[e] != '(') continue;
+    const std::size_t open = v->code.find('{', paren);
+    if (open == std::string::npos) continue;
+    const std::size_t close = match_brace(v->code, open);
+    if (close == std::string::npos) continue;
+    const std::string body = v->code.substr(open, close - open);
+    const int fline = v->line_at[b];
+    if (allowed(vraw, fline, "validator-fields")) {
+      pos = close;
+      continue;
+    }
+    const std::string struct_name = camel(fname.substr(9));
+    StructDef sd;
+    if (!find_struct(t, struct_name, sd)) {
+      pos = close;
+      continue;  // duck-typed helper without a concrete struct
+    }
+    const std::vector<std::string> sraw = split_lines(sd.file->raw);
+    for (const auto& [field, fldline] : sd.fields) {
+      if (contains_word(body, field)) continue;
+      if (allowed(sraw, fldline, "validator-fields")) continue;
+      out.push_back({v->rel, fline, "validator-fields",
+                     fname + "() never mentions field '" + field + "' of " +
+                         struct_name + " (" + sd.file->rel + ":" +
+                         std::to_string(fldline) + ")"});
+    }
+    pos = close;
+  }
+}
+
+void rule_hot_path(const Tree& t, std::vector<Violation>& out) {
+  static const char* kBanned[] = {
+      "new",       "malloc",       "calloc",  "realloc",     "push_back",
+      "emplace_back", "emplace",   "resize",  "reserve",     "insert",
+      "assign",    "make_unique", "make_shared", "shrink_to_fit"};
+  for (const SourceFile& f : t.files) {
+    const std::vector<std::string> raw_lines = split_lines(f.raw);
+    // Offset of each raw line's first character, for mapping a marker line
+    // to the block that follows it.
+    std::vector<std::size_t> line_start(raw_lines.size() + 1, 0);
+    {
+      std::size_t off = 0;
+      for (std::size_t li = 0; li < raw_lines.size(); ++li) {
+        line_start[li] = off;
+        off += raw_lines[li].size() + 1;
+      }
+      line_start[raw_lines.size()] = f.raw.size();
+    }
+    std::vector<std::pair<std::size_t, std::size_t>> regions;
+    for (std::size_t li = 0; li < raw_lines.size(); ++li) {
+      if (ends_with_marker(raw_lines[li], "// lint:hot-path-file")) {
+        regions.emplace_back(0, f.code.size());
+      } else if (ends_with_marker(raw_lines[li], "// lint:hot-path")) {
+        const std::size_t open = f.code.find('{', line_start[li]);
+        if (open != std::string::npos) {
+          const std::size_t close = match_brace(f.code, open);
+          if (close != std::string::npos) regions.emplace_back(open, close);
+        }
+      }
+    }
+    for (const auto& [rb, re] : regions) {
+      for (const char* w : kBanned) {
+        std::size_t p = rb;
+        while ((p = find_word(f.code, w, p)) != std::string::npos &&
+               p < re) {
+          const int line = f.line_at[p];
+          if (!allowed(raw_lines, line, "hot-path")) {
+            out.push_back({f.rel, line, "hot-path",
+                           std::string("'") + w +
+                               "' inside a lint:hot-path region (steady "
+                               "state must not allocate or type-erase)"});
+          }
+          p += std::string(w).size();
+        }
+      }
+      // std::function is two tokens; check separately.
+      std::size_t p = rb;
+      while ((p = f.code.find("std::function", p)) != std::string::npos &&
+             p < re) {
+        const int line = f.line_at[p];
+        if (!allowed(raw_lines, line, "hot-path")) {
+          out.push_back({f.rel, line, "hot-path",
+                         "'std::function' inside a lint:hot-path region "
+                         "(steady state must not allocate or type-erase)"});
+        }
+        p += 13;
+      }
+    }
+  }
+}
+
+void rule_raw_atomic(const Tree& t, std::vector<Violation>& out) {
+  for (const SourceFile& f : t.files) {
+    if (f.rel.rfind("src/", 0) != 0) continue;
+    if (f.rel == "src/parallel/atomics.hpp") continue;
+    const std::vector<std::string> raw_lines = split_lines(f.raw);
+    std::size_t p = 0;
+    while ((p = f.code.find("std::atomic", p)) != std::string::npos) {
+      const int line = f.line_at[p];
+      if (!allowed(raw_lines, line, "raw-atomic")) {
+        out.push_back({f.rel, line, "raw-atomic",
+                       "raw std::atomic outside parallel/atomics.hpp — use "
+                       "the atomic_* helpers or annotate why not"});
+      }
+      p += 11;
+    }
+  }
+}
+
+void rule_include_hygiene(const Tree& t, std::vector<Violation>& out) {
+  for (const SourceFile& f : t.files) {
+    const bool guarded_dir = f.rel.rfind("src/tile/", 0) == 0 ||
+                             f.rel.rfind("src/core/", 0) == 0 ||
+                             f.rel.rfind("src/bfs/", 0) == 0;
+    if (!guarded_dir) continue;
+    if (f.rel.size() < 4 || f.rel.compare(f.rel.size() - 4, 4, ".hpp") != 0)
+      continue;
+    const std::vector<std::string> raw_lines = split_lines(f.raw);
+    const std::vector<std::string> lines = split_lines(f.code);
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+      if (lines[li].find("#include <iostream>") == std::string::npos)
+        continue;
+      const int line = static_cast<int>(li + 1);
+      if (!allowed(raw_lines, line, "include-hygiene")) {
+        out.push_back({f.rel, line, "include-hygiene",
+                       "<iostream> in a hot-layer header (stream state + "
+                       "static init cost in every TU); use <cstdio> in a "
+                       ".cpp instead"});
+      }
+    }
+  }
+}
+
+std::vector<Violation> lint_tree(const fs::path& root) {
+  const Tree t = load_tree(root);
+  std::vector<Violation> out;
+  rule_simd_twin(t, out);
+  rule_twin_fuzz(t, out);
+  rule_counter_doc(t, out);
+  rule_validator_fields(t, out);
+  rule_hot_path(t, out);
+  rule_raw_atomic(t, out);
+  rule_include_hygiene(t, out);
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+  // Overlapping hot-path regions (file marker + block marker) can report
+  // the same site twice; keep one.
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Violation& a, const Violation& b) {
+                          return a.file == b.file && a.line == b.line &&
+                                 a.rule == b.rule && a.message == b.message;
+                        }),
+            out.end());
+  return out;
+}
+
+int run_suite(const fs::path& fixtures) {
+  if (!fs::exists(fixtures)) {
+    std::fprintf(stderr, "fixture directory not found: %s\n",
+                 fixtures.string().c_str());
+    return 2;
+  }
+  int failures = 0;
+  int cases = 0;
+  std::vector<fs::path> dirs;
+  for (const auto& ent : fs::directory_iterator(fixtures)) {
+    if (ent.is_directory()) dirs.push_back(ent.path());
+  }
+  std::sort(dirs.begin(), dirs.end());
+  for (const fs::path& d : dirs) {
+    ++cases;
+    const std::string fixture = d.filename().string();
+    // Expected rule = directory name up to the first '.' ("clean" = none).
+    const std::string expect = fixture.substr(0, fixture.find('.'));
+    const std::vector<Violation> v = lint_tree(d);
+    bool ok;
+    if (expect == "clean") {
+      ok = v.empty();
+    } else {
+      ok = !v.empty();
+      for (const Violation& x : v) ok = ok && x.rule == expect;
+    }
+    std::printf("  %-28s %s (%zu finding%s)\n", fixture.c_str(),
+                ok ? "PASS" : "FAIL", v.size(), v.size() == 1 ? "" : "s");
+    if (!ok) {
+      ++failures;
+      for (const Violation& x : v) {
+        std::printf("      %s:%d: [%s] %s\n", x.file.c_str(), x.line,
+                    x.rule.c_str(), x.message.c_str());
+      }
+      if (v.empty() && expect != "clean") {
+        std::printf("      expected at least one '%s' finding, got none\n",
+                    expect.c_str());
+      }
+    }
+  }
+  std::printf("lint suite: %d/%d fixtures behaved as seeded\n",
+              cases - failures, cases);
+  return failures == 0 && cases > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  fs::path suite;
+  bool suite_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (a == "--suite" && i + 1 < argc) {
+      suite_mode = true;
+      suite = argv[++i];
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "usage: tilespmspv_lint [--root DIR] | --suite FIXTURE_DIR\n"
+          "Lints the TileSpMSpV tree for repo-specific invariants\n"
+          "(see docs/STATIC_ANALYSIS.md). Exit 0 clean, 1 findings.\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (suite_mode) return run_suite(suite);
+  if (!fs::exists(root / "src")) {
+    std::fprintf(stderr, "no src/ under --root %s — wrong directory?\n",
+                 root.string().c_str());
+    return 2;
+  }
+  const std::vector<Violation> v = lint_tree(root);
+  for (const Violation& x : v) {
+    std::printf("%s:%d: [%s] %s\n", x.file.c_str(), x.line, x.rule.c_str(),
+                x.message.c_str());
+  }
+  if (v.empty()) {
+    std::printf("tilespmspv_lint: tree is clean\n");
+    return 0;
+  }
+  std::printf("tilespmspv_lint: %zu finding%s\n", v.size(),
+              v.size() == 1 ? "" : "s");
+  return 1;
+}
