@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "formats/csr.hpp"
@@ -32,22 +33,43 @@ struct TimingStats {
   std::vector<double> samples;
 };
 
+/// The one reduction from raw samples to reported timing fields. Every
+/// harness that collects its own samples (e.g. fig11's fresh-build
+/// conversion loop) funnels them through here so BENCH_*.json timing
+/// fields mean the same thing in every file.
+inline TimingStats stats_from_samples(std::vector<double> samples) {
+  TimingStats t;
+  t.best = min_of(samples);
+  t.mean = tilespmspv::mean(samples);
+  t.p50 = percentile(samples, 50.0);
+  t.p95 = percentile(samples, 95.0);
+  t.samples = std::move(samples);
+  return t;
+}
+
 /// Runs `fn` once to warm caches, then `iters` timed runs.
 template <typename Fn>
 TimingStats time_stats_ms(Fn&& fn, int iters = 5) {
   fn();  // warm-up
-  TimingStats t;
-  t.samples.reserve(static_cast<std::size_t>(iters));
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(iters));
   for (int i = 0; i < iters; ++i) {
     Timer timer;
     fn();
-    t.samples.push_back(timer.elapsed_ms());
+    samples.push_back(timer.elapsed_ms());
   }
-  t.best = min_of(t.samples);
-  t.mean = tilespmspv::mean(t.samples);
-  t.p50 = percentile(t.samples, 50.0);
-  t.p95 = percentile(t.samples, 95.0);
-  return t;
+  return stats_from_samples(std::move(samples));
+}
+
+/// Shared reporter field names: every fig harness emits the same four
+/// timing keys per case so exported files are cross-comparable (and so
+/// tools/bench_compare can treat any of them uniformly).
+inline void put_timing(obs::MetricsRegistry& m, const std::string& key,
+                       const TimingStats& t) {
+  m.put_double(key + ".ms_best", t.best);
+  m.put_double(key + ".ms_mean", t.mean);
+  m.put_double(key + ".ms_p50", t.p50);
+  m.put_double(key + ".ms_p95", t.p95);
 }
 
 /// Dumps the current global counter snapshot into `m` under "counters.*".

@@ -80,11 +80,9 @@ int main(int argc, char** argv) {
               << " ms\n\n";
     if (!metrics_path.empty()) {
       const std::string key(name);
-      metrics.put_double(key + ".tilebfs.ms_best", t_tile.best);
-      metrics.put_double(key + ".tilebfs.ms_mean", t_tile.mean);
-      metrics.put_double(key + ".tilebfs.ms_p95", t_tile.p95);
-      metrics.put_double(key + ".gunrock.ms_best", t_gunrock.best);
-      metrics.put_double(key + ".gswitch.ms_best", t_gswitch.best);
+      put_timing(metrics, key + ".tilebfs", t_tile);
+      put_timing(metrics, key + ".gunrock", t_gunrock);
+      put_timing(metrics, key + ".gswitch", t_gswitch);
       metrics.put_int(key + ".levels", static_cast<std::int64_t>(levels));
     }
   }

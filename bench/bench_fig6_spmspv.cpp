@@ -92,10 +92,7 @@ int main(int argc, char** argv) {
                      fmt(t_cusparse / t_this.best, 2),
                      fmt(t_combblas / t_this.best, 2)});
       if (!metrics_path.empty()) {
-        const std::string key = name + "@" + fmt(sp, 4);
-        metrics.put_double(key + ".ms_best", t_this.best);
-        metrics.put_double(key + ".ms_mean", t_this.mean);
-        metrics.put_double(key + ".ms_p95", t_this.p95);
+        put_timing(metrics, name + "@" + fmt(sp, 4), t_this);
       }
     }
 

@@ -69,11 +69,8 @@ int main(int argc, char** argv) {
                      fmt(t_gunrock / t_tile.best, 2),
                      fmt(t_gswitch / t_tile.best, 2)});
       if (!metrics_path.empty()) {
-        const std::string key =
-            name + "@threads" + std::to_string(dev.threads);
-        metrics.put_double(key + ".ms_best", t_tile.best);
-        metrics.put_double(key + ".ms_mean", t_tile.mean);
-        metrics.put_double(key + ".ms_p95", t_tile.p95);
+        put_timing(metrics, name + "@threads" + std::to_string(dev.threads),
+                   t_tile);
       }
     }
 

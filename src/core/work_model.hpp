@@ -84,6 +84,29 @@ SpmspvWork work_spmv(const TileMatrix<T>& a) {
   return w;
 }
 
+/// Main-memory traffic (bytes) implied by a SpmspvWork prediction, from
+/// the tiled format's storage layout: a scanned tile reads its metadata
+/// entry (4-byte tile col id + 8-byte nnz pointer), a computed payload
+/// nonzero reads an 8-byte value plus its 1-byte local column, a side-COO
+/// multiply-add reads value + row + column (8 + 4 + 4), and every gather
+/// slot touches one 8-byte output cell. Vector traffic (read of x, write
+/// of y) rides on the same slots and is second-order for the sparse
+/// regimes the model targets, so it is folded into the slot constant.
+/// The bench-report roofline attribution divides this by the calibrated
+/// memory bandwidth (obs/bench_report.hpp) to lower-bound the run time.
+inline double spmspv_traffic_bytes(const SpmspvWork& w) {
+  return 12.0 * static_cast<double>(w.tiles_scanned) +
+         9.0 * static_cast<double>(w.payload_macs) +
+         16.0 * static_cast<double>(w.side_macs) +
+         8.0 * static_cast<double>(w.gather_slots);
+}
+
+/// Useful floating-point operations of the same prediction (each
+/// multiply-add is two FLOPs, in the tiles and the side pass alike).
+inline double spmspv_flops(const SpmspvWork& w) {
+  return 2.0 * static_cast<double>(w.payload_macs + w.side_macs);
+}
+
 /// Work of a column-driven element-wise SpMSpV (CombBLAS-bucket class):
 /// exactly the nonzeros of the active columns.
 template <typename T>

@@ -1,0 +1,414 @@
+#include "obs/bench_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "obs/json_value.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace tilespmspv::obs {
+
+namespace {
+
+// Calibration results funnel through a volatile sink so the measured
+// loops survive dead-code elimination at any optimization level.
+volatile double g_calibration_sink = 0.0;
+
+double measure_mem_bw_gbs() {
+  // 32 MB of doubles: larger than any last-level cache the suite targets,
+  // small enough that the calibration stays ~10 ms per pass.
+  const std::size_t n = std::size_t{1} << 22;
+  std::vector<double> buf(n, 1.0);
+  double best_s = 1e300;
+  for (int pass = 0; pass < 3; ++pass) {
+    Timer t;
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (std::size_t i = 0; i + 4 <= n; i += 4) {
+      s0 += buf[i];
+      s1 += buf[i + 1];
+      s2 += buf[i + 2];
+      s3 += buf[i + 3];
+    }
+    g_calibration_sink = s0 + s1 + s2 + s3;
+    best_s = std::min(best_s, t.elapsed_s());
+  }
+  const double bytes = static_cast<double>(n) * sizeof(double);
+  return best_s > 0.0 ? bytes / best_s / 1e9 : 0.0;
+}
+
+double measure_scalar_gflops() {
+  // A dependent multiply-add chain: each step waits for the previous one,
+  // so the rate is the latency-bound scalar FLOP rate (what a serial
+  // reduction achieves), not the wide throughput peak.
+  const std::int64_t iters = std::int64_t{1} << 22;
+  const double a = 0.9999999999;
+  const double b = 1e-12;
+  double best_s = 1e300;
+  for (int pass = 0; pass < 3; ++pass) {
+    double x = 1.0;
+    Timer t;
+    for (std::int64_t i = 0; i < iters; ++i) x = x * a + b;
+    g_calibration_sink = x;
+    best_s = std::min(best_s, t.elapsed_s());
+  }
+  return best_s > 0.0 ? 2.0 * static_cast<double>(iters) / best_s / 1e9 : 0.0;
+}
+
+double measure_simd_gflops() {
+  // Independent per-element multiply-adds over an L1-resident array: the
+  // compiler vectorizes this with whatever tier the build enables, so the
+  // measured rate tracks the same ISA the kernels run on.
+  constexpr int n = 1024;  // 8 KB, safely L1-resident
+  constexpr int passes = 8192;
+  std::vector<double> v(static_cast<std::size_t>(n), 1.0000001);
+  double best_s = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    std::vector<double> acc(static_cast<std::size_t>(n), 0.0);
+    Timer t;
+    for (int p = 0; p < passes; ++p) {
+      const double s = 1.0 + 1e-12 * p;
+      for (int i = 0; i < n; ++i) {
+        acc[static_cast<std::size_t>(i)] =
+            acc[static_cast<std::size_t>(i)] * 0.999 +
+            v[static_cast<std::size_t>(i)] * s;
+      }
+    }
+    g_calibration_sink = acc[0] + acc[n / 2];
+    best_s = std::min(best_s, t.elapsed_s());
+  }
+  const double flops = 3.0 * n * passes;
+  return best_s > 0.0 ? flops / best_s / 1e9 : 0.0;
+}
+
+std::string read_cpu_model() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (in && std::getline(in, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos) break;
+      std::size_t start = colon + 1;
+      while (start < line.size() && line[start] == ' ') ++start;
+      return line.substr(start);
+    }
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+MachineProfile measure_machine_profile() {
+  MachineProfile m;
+  m.cpu_model = read_cpu_model();
+  m.cores = static_cast<int>(std::thread::hardware_concurrency());
+  m.mem_bw_gbs = measure_mem_bw_gbs();
+  m.scalar_gflops = measure_scalar_gflops();
+  m.simd_gflops = measure_simd_gflops();
+  return m;
+}
+
+std::string read_git_sha(const std::string& start_dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path dir = fs::absolute(start_dir, ec);
+  if (ec) return "unknown";
+  for (int up = 0; up < 8; ++up) {
+    const fs::path head_path = dir / ".git" / "HEAD";
+    std::ifstream head(head_path);
+    if (head) {
+      std::string line;
+      std::getline(head, line);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.rfind("ref: ", 0) == 0) {
+        const std::string ref = line.substr(5);
+        std::ifstream ref_file(dir / ".git" / ref);
+        std::string sha;
+        if (ref_file && std::getline(ref_file, sha) && sha.size() >= 40) {
+          return sha.substr(0, 40);
+        }
+        std::ifstream packed(dir / ".git" / "packed-refs");
+        std::string pl;
+        while (packed && std::getline(packed, pl)) {
+          if (!pl.empty() && pl.back() == '\r') pl.pop_back();
+          if (pl.size() > 41 && pl[0] != '#' && pl.substr(41) == ref) {
+            return pl.substr(0, 40);
+          }
+        }
+        return "unknown";
+      }
+      if (line.size() >= 40) return line.substr(0, 40);  // detached HEAD
+      return "unknown";
+    }
+    if (!dir.has_parent_path() || dir.parent_path() == dir) break;
+    dir = dir.parent_path();
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------
+
+int LatencyHistogram::bin_index(double ms) {
+  if (!(ms > kMinMs)) return 0;  // also catches NaN and non-positive
+  const int idx = static_cast<int>(
+      std::floor(std::log2(ms / kMinMs) * kBinsPerOctave));
+  return std::clamp(idx, 0, kNumBins - 1);
+}
+
+double LatencyHistogram::bin_lo_ms(int idx) {
+  return kMinMs * std::exp2(static_cast<double>(idx) / kBinsPerOctave);
+}
+
+void LatencyHistogram::add(double ms) {
+  ++bins_[static_cast<std::size_t>(bin_index(ms))];
+  ++total_;
+}
+
+void LatencyHistogram::add_samples(const std::vector<double>& samples_ms) {
+  for (const double ms : samples_ms) add(ms);
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  p = std::clamp(std::isnan(p) ? 0.0 : p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(total_ - 1);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kNumBins; ++i) {
+    const std::uint64_t c = bins_[static_cast<std::size_t>(i)];
+    if (c == 0) continue;
+    if (rank < static_cast<double>(cum + c)) {
+      const double frac = (rank - static_cast<double>(cum)) /
+                          static_cast<double>(c);
+      const double lo = bin_lo_ms(i);
+      const double hi = bin_lo_ms(i + 1);
+      return lo + (hi - lo) * frac;
+    }
+    cum += c;
+  }
+  // Only floating-point rounding of `rank` can land here; report the top
+  // occupied bin's upper edge.
+  for (int i = kNumBins - 1; i >= 0; --i) {
+    if (bins_[static_cast<std::size_t>(i)] != 0) return bin_lo_ms(i + 1);
+  }
+  return 0.0;
+}
+
+std::vector<LatencyHistogram::Bin> LatencyHistogram::nonzero_bins() const {
+  std::vector<Bin> out;
+  for (int i = 0; i < kNumBins; ++i) {
+    const std::uint64_t c = bins_[static_cast<std::size_t>(i)];
+    if (c == 0) continue;
+    out.push_back({bin_lo_ms(i), bin_lo_ms(i + 1), c});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Span aggregation
+// ---------------------------------------------------------------------
+
+std::vector<SpanStats> aggregate_spans(
+    const std::vector<TraceSample>& samples) {
+  std::map<std::string, std::vector<double>> by_name;
+  for (const TraceSample& s : samples) {
+    by_name[s.name].push_back(s.dur_ms);
+  }
+  std::vector<SpanStats> out;
+  out.reserve(by_name.size());
+  for (auto& [name, durs] : by_name) {
+    SpanStats row;
+    row.name = name;
+    row.count = durs.size();
+    for (const double d : durs) row.total_ms += d;
+    row.mean_ms = mean(durs);
+    row.p95_ms = percentile(durs, 95.0);
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(), [](const SpanStats& a, const SpanStats& b) {
+    return a.total_ms > b.total_ms;
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// BenchCase / BenchReport
+// ---------------------------------------------------------------------
+
+CaseModel attribute_case(double flops, double bytes, double measured_best_ms,
+                         const MachineProfile& machine) {
+  CaseModel m;
+  m.flops = flops;
+  m.bytes = bytes;
+  const double compute_ms =
+      machine.simd_gflops > 0.0 ? flops / (machine.simd_gflops * 1e6) : 0.0;
+  const double memory_ms =
+      machine.mem_bw_gbs > 0.0 ? bytes / (machine.mem_bw_gbs * 1e6) : 0.0;
+  m.predicted_ms = std::max(compute_ms, memory_ms);
+  m.roofline_pct =
+      measured_best_ms > 0.0 ? 100.0 * m.predicted_ms / measured_best_ms : 0.0;
+  return m;
+}
+
+void BenchCase::set_timing(const std::vector<double>& samples_ms) {
+  ms_best = min_of(samples_ms);
+  ms_mean = mean(samples_ms);
+  ms_p50 = percentile(samples_ms, 50.0);
+  ms_p95 = percentile(samples_ms, 95.0);
+  samples = samples_ms.size();
+  hist.add_samples(samples_ms);
+}
+
+void BenchCase::set_counters(const CounterSnapshot& delta) {
+  counters.clear();
+  for (int i = 0; i < kNumCounters; ++i) {
+    const auto c = static_cast<Counter>(i);
+    if (delta[c] != 0) counters.emplace_back(counter_name(c), delta[c]);
+  }
+}
+
+void BenchReport::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("schema").value(kBenchSchema);
+  w.key("bench_id").value(bench_id);
+  w.key("tier").value(tier);
+  w.key("manifest").begin_object();
+  w.key("git_sha").value(manifest.git_sha);
+  w.key("build_type").value(manifest.build_type);
+  w.key("simd_isa").value(manifest.simd_isa);
+  w.key("threads").value(manifest.threads);
+  w.key("iters").value(manifest.iters);
+  w.key("machine").begin_object();
+  w.key("cpu_model").value(manifest.machine.cpu_model);
+  w.key("cores").value(manifest.machine.cores);
+  w.key("mem_bw_gbs").value(manifest.machine.mem_bw_gbs);
+  w.key("scalar_gflops").value(manifest.machine.scalar_gflops);
+  w.key("simd_gflops").value(manifest.machine.simd_gflops);
+  w.end_object();
+  w.end_object();
+  w.key("cases").begin_array();
+  for (const BenchCase& c : cases) {
+    w.begin_object();
+    w.key("name").value(c.name);
+    w.key("group").value(c.group);
+    w.key("ms").begin_object();
+    w.key("best").value(c.ms_best);
+    w.key("mean").value(c.ms_mean);
+    w.key("p50").value(c.ms_p50);
+    w.key("p95").value(c.ms_p95);
+    w.end_object();
+    w.key("samples").value(c.samples);
+    w.key("histogram").begin_object();
+    w.key("unit").value("ms");
+    w.key("bins").begin_array();
+    for (const LatencyHistogram::Bin& b : c.hist.nonzero_bins()) {
+      w.begin_array();
+      w.value(b.lo_ms);
+      w.value(b.hi_ms);
+      w.value(b.count);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+    w.key("counters").begin_object();
+    for (const auto& [name, v] : c.counters) {
+      w.key(name).value(v);
+    }
+    w.end_object();
+    if (c.has_model) {
+      w.key("model").begin_object();
+      w.key("flops").value(c.model.flops);
+      w.key("bytes").value(c.model.bytes);
+      w.key("predicted_ms").value(c.model.predicted_ms);
+      w.key("roofline_pct").value(c.model.roofline_pct);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+bool BenchReport::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_json(f);
+  return static_cast<bool>(f);
+}
+
+bool parse_bench_report(std::string_view json, ParsedBenchReport* out,
+                        std::string* err) {
+  const auto fail = [err](const char* why) {
+    if (err != nullptr) *err = why;
+    return false;
+  };
+  JsonValue root;
+  if (!json_parse_value(json, &root)) return fail("malformed JSON");
+  if (!root.is_object()) return fail("document is not an object");
+  out->schema = root.string_or("schema", "");
+  if (out->schema.rfind("tilespmspv-bench/", 0) != 0) {
+    return fail("missing or foreign schema tag");
+  }
+  out->bench_id = root.string_or("bench_id", "");
+  out->tier = root.string_or("tier", "");
+  if (const JsonValue* man = root.find("manifest");
+      man != nullptr && man->is_object()) {
+    out->git_sha = man->string_or("git_sha", "unknown");
+    out->build_type = man->string_or("build_type", "unknown");
+    out->simd_isa = man->string_or("simd_isa", "unknown");
+    out->threads = static_cast<int>(man->number_or("threads", 0.0));
+    out->iters = static_cast<int>(man->number_or("iters", 0.0));
+    if (const JsonValue* mach = man->find("machine");
+        mach != nullptr && mach->is_object()) {
+      out->machine.cpu_model = mach->string_or("cpu_model", "unknown");
+      out->machine.cores = static_cast<int>(mach->number_or("cores", 0.0));
+      out->machine.mem_bw_gbs = mach->number_or("mem_bw_gbs", 0.0);
+      out->machine.scalar_gflops = mach->number_or("scalar_gflops", 0.0);
+      out->machine.simd_gflops = mach->number_or("simd_gflops", 0.0);
+    }
+  }
+  const JsonValue* cases = root.find("cases");
+  if (cases == nullptr || !cases->is_array()) {
+    return fail("missing cases array");
+  }
+  for (const JsonValue& c : cases->arr) {
+    if (!c.is_object()) return fail("case entry is not an object");
+    ParsedCase pc;
+    pc.name = c.string_or("name", "");
+    if (pc.name.empty()) return fail("case without a name");
+    pc.group = c.string_or("group", "");
+    if (const JsonValue* ms = c.find("ms"); ms != nullptr && ms->is_object()) {
+      pc.ms_best = ms->number_or("best", 0.0);
+      pc.ms_mean = ms->number_or("mean", 0.0);
+      pc.ms_p50 = ms->number_or("p50", 0.0);
+      pc.ms_p95 = ms->number_or("p95", 0.0);
+    }
+    pc.samples = static_cast<std::uint64_t>(c.number_or("samples", 0.0));
+    if (const JsonValue* h = c.find("histogram");
+        h != nullptr && h->is_object()) {
+      if (const JsonValue* bins = h->find("bins");
+          bins != nullptr && bins->is_array()) {
+        for (const JsonValue& b : bins->arr) {
+          if (b.is_array() && b.arr.size() == 3 && b.arr[2].is_number()) {
+            pc.hist_count += static_cast<std::uint64_t>(b.arr[2].num);
+          }
+        }
+      }
+    }
+    out->cases.push_back(std::move(pc));
+  }
+  return true;
+}
+
+}  // namespace tilespmspv::obs

@@ -1,0 +1,202 @@
+// Benchmark-trajectory reporting: the schema'd document behind the
+// repo-root BENCH_*.json files. A report carries a run manifest (git SHA,
+// build type, SIMD ISA, thread count, and a calibrated machine profile),
+// one entry per benchmark case (best/mean/p50/p95 timings, a log-scale
+// latency histogram, the case's counter deltas) and a work-model
+// attribution block (model-predicted FLOPs/bytes vs the machine's
+// roofline). tools/tilespmspv_bench writes these; tools/bench_compare
+// diffs two of them with noise-aware verdicts; the machine profile is the
+// one-time calibration the ROADMAP autotuner (item 4) needs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
+namespace tilespmspv::obs {
+
+/// Bumped when the document layout changes incompatibly; bench_compare
+/// refuses mixed major schemas.
+inline constexpr const char* kBenchSchema = "tilespmspv-bench/1";
+
+// ---------------------------------------------------------------------
+// Machine profile: a short calibration of the host, measured once per
+// bench run (~100 ms). Rates are best-of over a few passes so a noisy
+// neighbour can only make the machine look slower, never faster.
+// ---------------------------------------------------------------------
+struct MachineProfile {
+  std::string cpu_model = "unknown";  // /proc/cpuinfo "model name"
+  int cores = 0;                      // hardware_concurrency
+  double mem_bw_gbs = 0.0;            // streaming-read bandwidth, GB/s
+  double scalar_gflops = 0.0;         // dependent FMA chain (latency-bound)
+  double simd_gflops = 0.0;           // independent lanes (throughput-bound)
+};
+
+/// Runs the calibration loops (memory sweep + two FLOP kernels).
+MachineProfile measure_machine_profile();
+
+/// Resolves the checked-out commit by reading .git/HEAD (following one
+/// level of symbolic ref, including packed-refs), walking up from
+/// `start_dir`. Returns "unknown" outside a git checkout — no subprocess.
+std::string read_git_sha(const std::string& start_dir = ".");
+
+/// Everything needed to attribute a recorded number to the build and host
+/// that produced it.
+struct RunManifest {
+  std::string git_sha = "unknown";
+  std::string build_type = "unknown";  // CMAKE_BUILD_TYPE of the binary
+  std::string simd_isa = "scalar";     // simd::active_isa()
+  int threads = 0;                     // pool size the cases ran with
+  int iters = 0;                       // timed iterations per case
+  MachineProfile machine;
+};
+
+// ---------------------------------------------------------------------
+// Log-scale latency histogram: fixed bins at 4 per octave from 0.1 us,
+// so one histogram spans microsecond kernels and multi-second traversals
+// without tuning. Percentiles read back from the bins are exact to one
+// bin width (~19% relative), which is inside run-to-run noise.
+// ---------------------------------------------------------------------
+class LatencyHistogram {
+ public:
+  static constexpr double kMinMs = 1e-4;  // 0.1 us
+  static constexpr int kBinsPerOctave = 4;
+  static constexpr int kNumBins = 128;  // covers kMinMs * 2^32 (~7 min)
+
+  struct Bin {
+    double lo_ms = 0.0;
+    double hi_ms = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  void add(double ms);
+  void add_samples(const std::vector<double>& samples_ms);
+
+  std::uint64_t count() const { return total_; }
+
+  /// p in [0, 100]; linear interpolation inside the covering bin.
+  /// Returns 0 for an empty histogram.
+  double percentile(double p) const;
+
+  /// Occupied bins only, in latency order (what the JSON emits).
+  std::vector<Bin> nonzero_bins() const;
+
+  static double bin_lo_ms(int idx);
+
+ private:
+  static int bin_index(double ms);
+
+  std::array<std::uint64_t, kNumBins> bins_{};
+  std::uint64_t total_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Per-span phase aggregation: rolls the flat trace-sample stream up into
+// one row per span name (count / total / mean / p95). Used by the CLI's
+// --profile table and available to the serving layer's /metrics.
+// ---------------------------------------------------------------------
+struct SpanStats {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+  double mean_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+/// Groups samples by span name; rows come back sorted by total time,
+/// descending, so the dominant phase leads the table.
+std::vector<SpanStats> aggregate_spans(const std::vector<TraceSample>& samples);
+
+// ---------------------------------------------------------------------
+// The report document.
+// ---------------------------------------------------------------------
+
+/// Work-model attribution of one case: what the analytic model says the
+/// case must move/compute, and how close the measured time came to the
+/// calibrated roofline for that work.
+struct CaseModel {
+  double flops = 0.0;         // model-predicted useful FLOPs
+  double bytes = 0.0;         // model-predicted bytes moved
+  double predicted_ms = 0.0;  // roofline lower bound on the run time
+  double roofline_pct = 0.0;  // 100 * predicted_ms / measured best
+};
+
+/// Roofline attribution: the predicted time is the slower of the compute
+/// leg (flops / SIMD rate) and the memory leg (bytes / bandwidth).
+CaseModel attribute_case(double flops, double bytes, double measured_best_ms,
+                         const MachineProfile& machine);
+
+struct BenchCase {
+  std::string name;   // unique key, e.g. "fig6/cant@0.01"
+  std::string group;  // filter key, e.g. "fig6"
+  double ms_best = 0.0;
+  double ms_mean = 0.0;
+  double ms_p50 = 0.0;
+  double ms_p95 = 0.0;
+  std::uint64_t samples = 0;
+  LatencyHistogram hist;
+  /// Counter deltas of the timed region, nonzero counters only.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  bool has_model = false;
+  CaseModel model;
+
+  /// Fills ms_* and the histogram from raw per-iteration samples.
+  void set_timing(const std::vector<double>& samples_ms);
+
+  /// Records the nonzero counters of `delta`.
+  void set_counters(const CounterSnapshot& delta);
+};
+
+struct BenchReport {
+  std::string bench_id;  // "BENCH_0006"
+  std::string tier;      // "quick" | "full"
+  RunManifest manifest;
+  std::vector<BenchCase> cases;
+
+  void write_json(std::ostream& os) const;
+  /// Returns false when the file cannot be opened.
+  bool write_file(const std::string& path) const;
+};
+
+// ---------------------------------------------------------------------
+// Read-back form (bench_compare, tests). Only the fields comparison
+// needs; unknown members are ignored so minor-schema additions do not
+// break old readers.
+// ---------------------------------------------------------------------
+struct ParsedCase {
+  std::string name;
+  std::string group;
+  double ms_best = 0.0;
+  double ms_mean = 0.0;
+  double ms_p50 = 0.0;
+  double ms_p95 = 0.0;
+  std::uint64_t samples = 0;
+  std::uint64_t hist_count = 0;  // sum of histogram bin counts
+};
+
+struct ParsedBenchReport {
+  std::string schema;
+  std::string bench_id;
+  std::string tier;
+  std::string git_sha;
+  std::string build_type;
+  std::string simd_isa;
+  int threads = 0;
+  int iters = 0;
+  MachineProfile machine;
+  std::vector<ParsedCase> cases;
+};
+
+/// Parses a BENCH_*.json document. On failure returns false and, when
+/// `err` is non-null, stores a one-line reason.
+bool parse_bench_report(std::string_view json, ParsedBenchReport* out,
+                        std::string* err = nullptr);
+
+}  // namespace tilespmspv::obs

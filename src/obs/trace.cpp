@@ -31,6 +31,8 @@ bool trace_write_chrome_json_file(const std::string& path) {
   return static_cast<bool>(f);
 }
 
+std::vector<TraceSample> trace_samples() { return {}; }
+
 #else
 
 namespace {
@@ -206,6 +208,21 @@ bool trace_write_chrome_json_file(const std::string& path) {
   if (!f) return false;
   trace_write_chrome_json(f);
   return static_cast<bool>(f);
+}
+
+std::vector<TraceSample> trace_samples() {
+  std::vector<TraceSample> samples;
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (ThreadBuf* b : s.bufs) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    const std::uint64_t n = std::min<std::uint64_t>(b->head, b->slots.size());
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Event& e = b->slots[i];
+      samples.push_back({e.name, e.dur_us * 1e-3});
+    }
+  }
+  return samples;
 }
 
 TraceSpan::TraceSpan(const char* name, const char* cat, const char* detail)

@@ -20,8 +20,16 @@
 #include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 namespace tilespmspv::obs {
+
+/// One buffered span, reduced to what aggregation needs. `name` follows
+/// the span naming convention below ("spmspv/phase1_tiled", ...).
+struct TraceSample {
+  std::string name;
+  double dur_ms = 0.0;
+};
 
 /// Starts a trace session: clears previous events, re-zeroes the clock and
 /// sizes every thread's ring to `events_per_thread` events.
@@ -44,6 +52,11 @@ void trace_write_chrome_json(std::ostream& os);
 
 /// Same, to a file. Returns false when the file cannot be opened.
 bool trace_write_chrome_json_file(const std::string& path);
+
+/// Copies every buffered span out as (name, duration) samples — the input
+/// of obs/bench_report.hpp's per-span aggregation (CLI --profile). Like
+/// the exporters, call while instrumented code is quiescent.
+std::vector<TraceSample> trace_samples();
 
 #ifdef TILESPMSPV_NO_COUNTERS
 

@@ -12,16 +12,24 @@
 namespace tilespmspv {
 
 /// Geometric mean of strictly positive samples. Returns 0 for empty input.
+/// Non-positive samples are a caller bug (asserted in debug builds); in
+/// release they are skipped rather than poisoning the result with
+/// log(<=0), and an all-skipped input returns 0.
 inline double geomean(const std::vector<double>& xs) {
-  if (xs.empty()) return 0.0;
   double log_sum = 0.0;
+  std::size_t used = 0;
   for (double x : xs) {
     assert(x > 0.0);
+    if (!(x > 0.0)) continue;
     log_sum += std::log(x);
+    ++used;
   }
-  return std::exp(log_sum / static_cast<double>(xs.size()));
+  if (used == 0) return 0.0;
+  return std::exp(log_sum / static_cast<double>(used));
 }
 
+/// Arithmetic mean. Defined for every input size: empty returns 0, a
+/// single sample returns that sample.
 inline double mean(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
   double s = 0.0;
@@ -46,8 +54,15 @@ inline double min_of(const std::vector<double>& xs) {
 /// statistics. Takes the vector by value because it sorts. The bench
 /// harnesses report p50/p95 next to best-of so the exported results carry
 /// run-to-run variance, not just minima.
+///
+/// Degenerate inputs are defined, not trusted away: an empty vector
+/// returns 0, a single sample is every percentile of itself, p outside
+/// [0, 100] clamps to the nearest end, and a NaN p is a caller bug
+/// (asserted in debug) that returns 0 in release.
 inline double percentile(std::vector<double> xs, double p) {
-  if (xs.empty()) return 0.0;
+  assert(!std::isnan(p));
+  if (xs.empty() || std::isnan(p)) return 0.0;
+  if (xs.size() == 1) return xs.front();
   std::sort(xs.begin(), xs.end());
   if (p <= 0.0) return xs.front();
   if (p >= 100.0) return xs.back();

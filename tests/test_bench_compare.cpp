@@ -1,0 +1,137 @@
+// End-to-end tests for tools/bench_compare: crafted report pairs pin the
+// verdicts and exit codes CI's perf-regression gate depends on. The tool
+// is a standalone binary (path baked in by tests/CMakeLists.txt), so
+// these tests write real BenchReport JSON files and shell out, the same
+// contract tests/test_lint.cpp pins for the linter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/bench_report.hpp"
+
+using namespace tilespmspv;
+using namespace tilespmspv::obs;
+
+namespace {
+
+int run(const std::string& args) {
+  const std::string cmd =
+      std::string(TILESPMSPV_BENCH_COMPARE_BIN) + " " + args + " > /dev/null";
+  const int status = std::system(cmd.c_str());
+#if defined(_WIN32)
+  return status;
+#else
+  return WEXITSTATUS(status);
+#endif
+}
+
+/// A report with one case per (name, best, p95) triple. mean/p50 ride at
+/// best; samples at 5.
+BenchReport make_report(
+    const std::vector<std::tuple<std::string, double, double>>& cases) {
+  BenchReport r;
+  r.bench_id = "BENCH_TEST";
+  r.tier = "quick";
+  r.manifest.git_sha = "test";
+  r.manifest.build_type = "Release";
+  r.manifest.simd_isa = "scalar";
+  r.manifest.threads = 1;
+  r.manifest.iters = 5;
+  for (const auto& [name, best, p95] : cases) {
+    BenchCase c;
+    c.name = name;
+    c.group = name.substr(0, name.find('/'));
+    c.ms_best = best;
+    c.ms_mean = best;
+    c.ms_p50 = best;
+    c.ms_p95 = p95;
+    c.samples = 5;
+    r.cases.push_back(std::move(c));
+  }
+  return r;
+}
+
+/// Writes `r` to a fresh path under the test's temp dir.
+std::string write_report(const BenchReport& r, const std::string& stem) {
+  const std::string path =
+      testing::TempDir() + "bench_compare_" + stem + ".json";
+  EXPECT_TRUE(r.write_file(path));
+  return path;
+}
+
+}  // namespace
+
+TEST(BenchCompare, SelfCompareIsClean) {
+  const std::string p = write_report(
+      make_report({{"fig6/a", 1.0, 1.2}, {"fig7/b", 5.0, 6.0}}), "self");
+  EXPECT_EQ(run(p + " " + p), 0);
+}
+
+TEST(BenchCompare, RegressionPastToleranceFails) {
+  const std::string oldp =
+      write_report(make_report({{"fig6/a", 1.0, 1.2}}), "reg_old");
+  // +50% best with the default 30% tolerance: regression.
+  const std::string newp =
+      write_report(make_report({{"fig6/a", 1.5, 1.8}}), "reg_new");
+  EXPECT_EQ(run(oldp + " " + newp), 1);
+  // A wide enough tolerance accepts the same pair.
+  EXPECT_EQ(run(oldp + " " + newp + " --tol 0.8"), 0);
+}
+
+TEST(BenchCompare, ImprovementPasses) {
+  const std::string oldp =
+      write_report(make_report({{"fig6/a", 2.0, 2.5}}), "imp_old");
+  const std::string newp =
+      write_report(make_report({{"fig6/a", 1.0, 1.2}}), "imp_new");
+  EXPECT_EQ(run(oldp + " " + newp), 0);
+}
+
+TEST(BenchCompare, SubFloorNoiseIsIgnored) {
+  // 0.001 ms -> 0.004 ms is a 4x "regression", but both sit below the
+  // default 0.05 ms noise floor: timer noise, not a verdict.
+  const std::string oldp =
+      write_report(make_report({{"fig6/tiny", 0.001, 0.002}}), "noise_old");
+  const std::string newp =
+      write_report(make_report({{"fig6/tiny", 0.004, 0.008}}), "noise_new");
+  EXPECT_EQ(run(oldp + " " + newp), 0);
+  // Lowering the floor turns the same pair into a failure.
+  EXPECT_EQ(run(oldp + " " + newp + " --min-ms 0.0001"), 1);
+}
+
+TEST(BenchCompare, P95RegressionWarnsButPasses) {
+  // Healthy best, 3x p95 tail: warn-only by design (shared-machine tail
+  // noise must not flake the CI gate).
+  const std::string oldp =
+      write_report(make_report({{"fig6/a", 1.0, 1.2}}), "p95_old");
+  const std::string newp =
+      write_report(make_report({{"fig6/a", 1.0, 3.6}}), "p95_new");
+  EXPECT_EQ(run(oldp + " " + newp), 0);
+}
+
+TEST(BenchCompare, MissingCasePolicy) {
+  const std::string oldp = write_report(
+      make_report({{"fig6/a", 1.0, 1.2}, {"fig6/b", 1.0, 1.2}}), "miss_old");
+  const std::string newp =
+      write_report(make_report({{"fig6/a", 1.0, 1.2}}), "miss_new");
+  // Dropped case warns by default, fails under --strict-missing.
+  EXPECT_EQ(run(oldp + " " + newp), 0);
+  EXPECT_EQ(run(oldp + " " + newp + " --strict-missing"), 1);
+  // New-only cases never fail (they simply have no baseline yet).
+  EXPECT_EQ(run(newp + " " + oldp + " --strict-missing"), 0);
+}
+
+TEST(BenchCompare, BadInputsExitTwo) {
+  const std::string good =
+      write_report(make_report({{"fig6/a", 1.0, 1.2}}), "good");
+  EXPECT_EQ(run(good + " /nonexistent/path.json"), 2);
+  const std::string garbage = testing::TempDir() + "bench_compare_bad.json";
+  std::FILE* f = std::fopen(garbage.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"schema\":\"other/9\"}", f);
+  std::fclose(f);
+  EXPECT_EQ(run(good + " " + garbage), 2);
+  EXPECT_EQ(run(good), 2);  // missing operand
+}

@@ -1,0 +1,252 @@
+// Tests for the benchmark-trajectory report module (obs/bench_report):
+// the latency histogram, span aggregation, roofline attribution, machine
+// calibration, git-SHA resolution, and the write -> parse round trip that
+// tools/bench_compare depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "obs/bench_report.hpp"
+#include "obs/trace.hpp"
+#include "util/stats.hpp"
+
+using namespace tilespmspv;
+using namespace tilespmspv::obs;
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+  EXPECT_TRUE(h.nonzero_bins().empty());
+}
+
+TEST(LatencyHistogramTest, CountsEverySample) {
+  LatencyHistogram h;
+  h.add_samples({0.001, 0.5, 3.0, 3.1, 1e-9, 1e9});  // extremes clamp
+  EXPECT_EQ(h.count(), 6u);
+  std::uint64_t in_bins = 0;
+  for (const auto& b : h.nonzero_bins()) in_bins += b.count;
+  EXPECT_EQ(in_bins, 6u);
+}
+
+TEST(LatencyHistogramTest, BinsAreLogSpaced) {
+  // Four bins per octave: bin lo doubles every 4 bins.
+  EXPECT_DOUBLE_EQ(LatencyHistogram::bin_lo_ms(0), LatencyHistogram::kMinMs);
+  EXPECT_NEAR(LatencyHistogram::bin_lo_ms(4), 2.0 * LatencyHistogram::kMinMs,
+              1e-12);
+  EXPECT_NEAR(LatencyHistogram::bin_lo_ms(8), 4.0 * LatencyHistogram::kMinMs,
+              1e-12);
+}
+
+TEST(LatencyHistogramTest, PercentileTracksExactWithinOneBin) {
+  // A 4-per-octave histogram is exact to one bin width: hi/lo = 2^(1/4),
+  // ~19% relative. Check the histogram percentile against the exact
+  // sample percentile with that tolerance.
+  std::vector<double> samples;
+  for (int i = 1; i <= 200; ++i) {
+    samples.push_back(0.01 * static_cast<double>(i));  // 0.01 .. 2.0 ms
+  }
+  LatencyHistogram h;
+  h.add_samples(samples);
+  for (const double p : {10.0, 50.0, 90.0, 95.0, 99.0}) {
+    const double exact = percentile(samples, p);
+    const double approx = h.percentile(p);
+    EXPECT_NEAR(approx, exact, 0.20 * exact)
+        << "p" << p << ": exact " << exact << " vs histogram " << approx;
+  }
+}
+
+TEST(LatencyHistogramTest, PercentileBoundsAndMonotonicity) {
+  LatencyHistogram h;
+  h.add_samples({0.1, 0.2, 0.4, 0.8, 1.6});
+  double prev = 0.0;
+  for (double p = 0.0; p <= 100.0; p += 5.0) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_LE(h.percentile(100.0), 1.6 * 1.2);  // within one bin of the max
+}
+
+TEST(SpanAggregationTest, GroupsAndSorts) {
+  std::vector<TraceSample> samples = {
+      {"convert", 5.0}, {"spmspv", 1.0}, {"spmspv", 3.0},
+      {"gather", 0.5},  {"spmspv", 2.0},
+  };
+  const std::vector<SpanStats> rows = aggregate_spans(samples);
+  ASSERT_EQ(rows.size(), 3u);
+  // Sorted by total, descending: spmspv (6.0) > convert (5.0) > gather.
+  EXPECT_EQ(rows[0].name, "spmspv");
+  EXPECT_EQ(rows[0].count, 3u);
+  EXPECT_DOUBLE_EQ(rows[0].total_ms, 6.0);
+  EXPECT_DOUBLE_EQ(rows[0].mean_ms, 2.0);
+  EXPECT_EQ(rows[1].name, "convert");
+  EXPECT_EQ(rows[2].name, "gather");
+  EXPECT_DOUBLE_EQ(rows[2].p95_ms, 0.5);
+}
+
+TEST(SpanAggregationTest, EmptyInput) {
+  EXPECT_TRUE(aggregate_spans({}).empty());
+}
+
+TEST(AttributionTest, PicksTheSlowerRooflineLeg) {
+  MachineProfile m;
+  m.mem_bw_gbs = 10.0;      // 10 GB/s
+  m.simd_gflops = 100.0;    // 100 GFLOP/s
+  m.scalar_gflops = 2.0;
+
+  // Memory-bound: 1e7 bytes at 10 GB/s = 1 ms; compute leg is 1e-3 ms.
+  const CaseModel mem = attribute_case(1e5, 1e7, 2.0, m);
+  EXPECT_NEAR(mem.predicted_ms, 1.0, 1e-9);
+  EXPECT_NEAR(mem.roofline_pct, 50.0, 1e-6);
+
+  // Compute-bound: 1e9 flops at 100 GFLOP/s = 10 ms.
+  const CaseModel cpu = attribute_case(1e9, 1e3, 20.0, m);
+  EXPECT_NEAR(cpu.predicted_ms, 10.0, 1e-9);
+  EXPECT_NEAR(cpu.roofline_pct, 50.0, 1e-6);
+}
+
+TEST(AttributionTest, DegenerateInputsAreSafe) {
+  MachineProfile zero;  // all rates 0: no roofline available
+  const CaseModel c = attribute_case(1e6, 1e6, 1.0, zero);
+  EXPECT_EQ(c.predicted_ms, 0.0);
+  EXPECT_EQ(c.roofline_pct, 0.0);
+  MachineProfile m;
+  m.mem_bw_gbs = 10.0;
+  m.simd_gflops = 100.0;
+  const CaseModel z = attribute_case(1e6, 1e6, 0.0, m);  // measured 0 ms
+  EXPECT_EQ(z.roofline_pct, 0.0);
+}
+
+TEST(MachineProfileTest, CalibrationProducesPositiveRates) {
+  const MachineProfile m = measure_machine_profile();
+  EXPECT_FALSE(m.cpu_model.empty());
+  EXPECT_GE(m.cores, 1);
+  EXPECT_GT(m.mem_bw_gbs, 0.0);
+  EXPECT_GT(m.scalar_gflops, 0.0);
+  EXPECT_GT(m.simd_gflops, 0.0);
+}
+
+TEST(GitShaTest, ResolvesInsideARepoOrReportsUnknown) {
+  const std::string sha = read_git_sha();
+  if (sha != "unknown") {
+    EXPECT_EQ(sha.size(), 40u);
+    for (char c : sha) {
+      EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << sha;
+    }
+  }
+}
+
+namespace {
+
+BenchReport make_report() {
+  BenchReport r;
+  r.bench_id = "BENCH_TEST";
+  r.tier = "quick";
+  r.manifest.git_sha = "0123456789abcdef0123456789abcdef01234567";
+  r.manifest.build_type = "Release";
+  r.manifest.simd_isa = "avx2";
+  r.manifest.threads = 4;
+  r.manifest.iters = 5;
+  r.manifest.machine.cpu_model = "Test CPU \"quoted\"";
+  r.manifest.machine.cores = 8;
+  r.manifest.machine.mem_bw_gbs = 12.5;
+  r.manifest.machine.scalar_gflops = 2.0;
+  r.manifest.machine.simd_gflops = 50.0;
+
+  BenchCase c;
+  c.name = "fig6/cant@0.0100";
+  c.group = "fig6";
+  c.set_timing({0.5, 0.6, 0.7, 0.8, 0.9});
+  c.counters.emplace_back("tiles_scanned", 123u);
+  c.has_model = true;
+  c.model = attribute_case(1e6, 1e6, c.ms_best, r.manifest.machine);
+  r.cases.push_back(std::move(c));
+
+  BenchCase c2;
+  c2.name = "fig7/road-small";
+  c2.group = "fig7";
+  c2.set_timing({2.0});
+  r.cases.push_back(std::move(c2));
+  return r;
+}
+
+}  // namespace
+
+TEST(BenchReportTest, SetTimingFillsEveryField) {
+  BenchCase c;
+  c.set_timing({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(c.ms_best, 1.0);
+  EXPECT_DOUBLE_EQ(c.ms_mean, 2.0);
+  EXPECT_EQ(c.samples, 3u);
+  EXPECT_EQ(c.hist.count(), 3u);
+  EXPECT_GT(c.ms_p95, c.ms_p50);
+}
+
+TEST(BenchReportTest, WriteParseRoundTrip) {
+  const BenchReport r = make_report();
+  std::ostringstream os;
+  r.write_json(os);
+  const std::string json = os.str();
+
+  ParsedBenchReport parsed;
+  std::string err;
+  ASSERT_TRUE(parse_bench_report(json, &parsed, &err)) << err;
+  EXPECT_EQ(parsed.schema, kBenchSchema);
+  EXPECT_EQ(parsed.bench_id, "BENCH_TEST");
+  EXPECT_EQ(parsed.tier, "quick");
+  EXPECT_EQ(parsed.git_sha, r.manifest.git_sha);
+  EXPECT_EQ(parsed.build_type, "Release");
+  EXPECT_EQ(parsed.simd_isa, "avx2");
+  EXPECT_EQ(parsed.threads, 4);
+  EXPECT_EQ(parsed.iters, 5);
+  EXPECT_EQ(parsed.machine.cpu_model, "Test CPU \"quoted\"");
+  EXPECT_EQ(parsed.machine.cores, 8);
+  EXPECT_DOUBLE_EQ(parsed.machine.mem_bw_gbs, 12.5);
+
+  ASSERT_EQ(parsed.cases.size(), 2u);
+  EXPECT_EQ(parsed.cases[0].name, "fig6/cant@0.0100");
+  EXPECT_EQ(parsed.cases[0].group, "fig6");
+  EXPECT_DOUBLE_EQ(parsed.cases[0].ms_best, 0.5);
+  EXPECT_EQ(parsed.cases[0].samples, 5u);
+  EXPECT_EQ(parsed.cases[0].hist_count, 5u);
+  EXPECT_EQ(parsed.cases[1].name, "fig7/road-small");
+  EXPECT_EQ(parsed.cases[1].hist_count, 1u);
+}
+
+TEST(BenchReportTest, ParserRejectsGarbage) {
+  ParsedBenchReport out;
+  std::string err;
+  EXPECT_FALSE(parse_bench_report("", &out, &err));
+  EXPECT_FALSE(parse_bench_report("not json at all", &out, &err));
+  EXPECT_FALSE(parse_bench_report("[1,2,3]", &out, &err));
+  // Valid JSON, wrong schema.
+  EXPECT_FALSE(parse_bench_report(R"({"schema":"other/1","cases":[]})", &out,
+                                  &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(BenchReportTest, ParserToleratesUnknownFields) {
+  const std::string json = R"({
+    "schema": "tilespmspv-bench/1",
+    "bench_id": "B",
+    "tier": "quick",
+    "future_field": {"nested": [1, 2, 3]},
+    "manifest": {"git_sha": "abc", "build_type": "Debug",
+                 "simd_isa": "scalar", "threads": 1, "iters": 2,
+                 "machine": {"cpu_model": "x", "cores": 1,
+                             "mem_bw_gbs": 1.0, "scalar_gflops": 1.0,
+                             "simd_gflops": 1.0}},
+    "cases": [{"name": "g/case", "group": "g",
+               "ms": {"best": 1.0, "mean": 1.5, "p50": 1.4, "p95": 2.0},
+               "samples": 3, "extra": true}]
+  })";
+  ParsedBenchReport out;
+  std::string err;
+  ASSERT_TRUE(parse_bench_report(json, &out, &err)) << err;
+  ASSERT_EQ(out.cases.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.cases[0].ms_mean, 1.5);
+  EXPECT_EQ(out.cases[0].hist_count, 0u);  // histogram optional
+}

@@ -146,6 +146,32 @@ TEST(Stats, PercentileEdgeCases) {
   EXPECT_EQ(percentile({3.0, 1.0, 2.0}, 100.0), 3.0);
 }
 
+TEST(Stats, PercentileClampsOutOfRangeP) {
+  // p outside [0, 100] clamps to the nearest end — the documented
+  // contract for degenerate inputs, not UB.
+  EXPECT_EQ(percentile({3.0, 1.0, 2.0}, -10.0), 1.0);
+  EXPECT_EQ(percentile({3.0, 1.0, 2.0}, 250.0), 3.0);
+  EXPECT_EQ(percentile({7.0}, -1.0), 7.0);
+  EXPECT_EQ(percentile({7.0}, 101.0), 7.0);
+}
+
+TEST(Stats, MeanAndMinDegenerateInputs) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(mean({4.5}), 4.5);
+  EXPECT_EQ(min_of({}), 0.0);
+  EXPECT_EQ(min_of({4.5}), 4.5);
+  EXPECT_EQ(max_of({}), 0.0);
+}
+
+#ifdef NDEBUG
+TEST(Stats, GeomeanSkipsNonPositiveInRelease) {
+  // Non-positive samples assert in debug builds; in release they are
+  // skipped so one bad sample cannot poison a whole aggregate.
+  EXPECT_DOUBLE_EQ(geomean({4.0, 0.0, 1.0, -2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(geomean({0.0, -1.0}), 0.0);
+}
+#endif
+
 TEST(Stats, PercentileInterpolatesBetweenOrderStatistics) {
   // Unsorted on purpose: percentile() sorts its own copy.
   const std::vector<double> xs = {40.0, 10.0, 30.0, 20.0};

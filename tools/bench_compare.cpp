@@ -1,0 +1,167 @@
+// bench_compare — noise-aware diff of two BENCH_*.json reports (written
+// by tools/tilespmspv_bench). Verdict per case, exit 1 iff any case
+// regressed, so CI can gate on it:
+//
+//   bench_compare old.json new.json [--tol 0.30] [--p95-tol 0.60]
+//                 [--min-ms 0.05] [--strict-missing]
+//
+// Policy (see docs/OBSERVABILITY.md, "Benchmark trajectory"):
+//   - best-of is the primary metric: `regressed` iff new best exceeds
+//     old best by more than --tol (relative), and at least one side is
+//     above the --min-ms floor (sub-floor cases are timer noise).
+//   - p95 is the secondary metric: a p95 blow-up past --p95-tol with a
+//     healthy best is reported as `p95-regressed` — a warning, not a
+//     failure (tail noise on shared CI machines is common).
+//   - cases present on one side only are listed; with --strict-missing,
+//     a case that disappeared fails the comparison.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_report.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace tilespmspv;
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool load_report(const std::string& path, obs::ParsedBenchReport* report) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string err;
+  if (!obs::parse_bench_report(text, report, &err)) {
+    std::fprintf(stderr, "error: %s is not a bench report: %s\n",
+                 path.c_str(), err.c_str());
+    return false;
+  }
+  return true;
+}
+
+const obs::ParsedCase* find_case(const obs::ParsedBenchReport& r,
+                                 const std::string& name) {
+  for (const obs::ParsedCase& c : r.cases) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::string fmt_ms(double v) { return tilespmspv::fmt(v, 4); }
+
+std::string fmt_delta(double old_v, double new_v) {
+  if (old_v <= 0.0) return "-";
+  const double pct = 100.0 * (new_v - old_v) / old_v;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", pct);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const auto pos = args.positional();
+  if (pos.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare old.json new.json [--tol R] "
+                 "[--p95-tol R] [--min-ms MS] [--strict-missing]\n");
+    return 2;
+  }
+  const double tol = args.get_double("--tol", 0.30);
+  const double p95_tol = args.get_double("--p95-tol", 2.0 * tol);
+  const double min_ms = args.get_double("--min-ms", 0.05);
+  const bool strict_missing = args.has("--strict-missing");
+  if (tol < 0.0 || p95_tol < 0.0 || min_ms < 0.0) {
+    std::fprintf(stderr, "error: tolerances must be non-negative\n");
+    return 2;
+  }
+
+  obs::ParsedBenchReport old_r, new_r;
+  if (!load_report(pos[0], &old_r) || !load_report(pos[1], &new_r)) return 2;
+
+  std::cout << "old: " << pos[0] << " (" << old_r.git_sha << ", "
+            << old_r.build_type << ", " << old_r.simd_isa << ", "
+            << old_r.cases.size() << " cases)\n"
+            << "new: " << pos[1] << " (" << new_r.git_sha << ", "
+            << new_r.build_type << ", " << new_r.simd_isa << ", "
+            << new_r.cases.size() << " cases)\n"
+            << "policy: best +" << static_cast<int>(100.0 * tol)
+            << "% fails, p95 +" << static_cast<int>(100.0 * p95_tol)
+            << "% warns, noise floor " << min_ms << " ms\n\n";
+
+  Table table({"case", "old best", "new best", "delta", "old p95", "new p95",
+               "verdict"});
+  int regressed = 0, p95_regressed = 0, improved = 0, ok = 0, noise = 0;
+  std::vector<std::string> missing_in_new, new_only;
+
+  for (const obs::ParsedCase& oc : old_r.cases) {
+    const obs::ParsedCase* nc = find_case(new_r, oc.name);
+    if (nc == nullptr) {
+      missing_in_new.push_back(oc.name);
+      continue;
+    }
+    std::string verdict;
+    if (oc.ms_best < min_ms && nc->ms_best < min_ms) {
+      verdict = "noise-floor";
+      ++noise;
+    } else if (nc->ms_best > oc.ms_best * (1.0 + tol)) {
+      verdict = "REGRESSED";
+      ++regressed;
+    } else if (nc->ms_best < oc.ms_best * (1.0 - tol)) {
+      verdict = "improved";
+      ++improved;
+    } else if (oc.ms_p95 >= min_ms && nc->ms_p95 >= min_ms &&
+               nc->ms_p95 > oc.ms_p95 * (1.0 + p95_tol)) {
+      verdict = "p95-regressed";
+      ++p95_regressed;
+    } else {
+      verdict = "ok";
+      ++ok;
+    }
+    table.add_row({oc.name, fmt_ms(oc.ms_best), fmt_ms(nc->ms_best),
+                   fmt_delta(oc.ms_best, nc->ms_best), fmt_ms(oc.ms_p95),
+                   fmt_ms(nc->ms_p95), verdict});
+  }
+  for (const obs::ParsedCase& nc : new_r.cases) {
+    if (find_case(old_r, nc.name) == nullptr) new_only.push_back(nc.name);
+  }
+
+  table.print(std::cout);
+  std::cout << "\nsummary: " << regressed << " regressed, " << p95_regressed
+            << " p95-regressed (warn), " << improved << " improved, " << ok
+            << " ok, " << noise << " below noise floor\n";
+  for (const std::string& name : missing_in_new) {
+    std::cout << (strict_missing ? "MISSING" : "warning")
+              << ": case dropped from new report: " << name << "\n";
+  }
+  for (const std::string& name : new_only) {
+    std::cout << "note: new case (no baseline): " << name << "\n";
+  }
+
+  if (regressed > 0) {
+    std::cout << "FAIL: performance regression past the tolerance\n";
+    return 1;
+  }
+  if (strict_missing && !missing_in_new.empty()) {
+    std::cout << "FAIL: baseline cases missing from the new report\n";
+    return 1;
+  }
+  std::cout << "PASS\n";
+  return 0;
+}

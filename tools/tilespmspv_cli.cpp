@@ -17,7 +17,9 @@
 //                    PATH ends in .csv)
 //   --trace PATH     record trace spans, write Chrome trace-event JSON
 //                    (load in chrome://tracing or ui.perfetto.dev)
-//   --profile        print the merged kernel-counter table after the run
+//   --profile        print the merged kernel-counter table and the
+//                    per-phase span aggregation (count/total/mean/p95 per
+//                    span name) after the run
 #include <cstdio>
 #include <iostream>
 
@@ -33,6 +35,7 @@
 #include "formats/mm_io.hpp"
 #include "gen/suite.hpp"
 #include "gen/vector_gen.hpp"
+#include "obs/bench_report.hpp"
 #include "obs/counters.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -421,6 +424,20 @@ void print_profile(const obs::CounterSnapshot& snap) {
   if (!obs::counters_enabled()) {
     std::printf("(counters compiled out: TILESPMSPV_NO_COUNTERS build)\n");
   }
+
+  // Per-phase aggregation of the recorded trace spans: where the run's
+  // wall time went, phase by phase, without opening a Chrome trace.
+  const std::vector<obs::SpanStats> spans =
+      obs::aggregate_spans(obs::trace_samples());
+  if (!spans.empty()) {
+    std::printf("\nphase spans (aggregated by name, sorted by total time):\n");
+    Table st({"span", "count", "total ms", "mean ms", "p95 ms"});
+    for (const obs::SpanStats& s : spans) {
+      st.add_row({s.name, fmt_count(static_cast<long long>(s.count)),
+                  fmt(s.total_ms, 3), fmt(s.mean_ms, 4), fmt(s.p95_ms, 4)});
+    }
+    st.print(std::cout);
+  }
 }
 
 }  // namespace
@@ -439,7 +456,9 @@ int main(int argc, char** argv) {
   }
   obs::MetricsRegistry metrics;
   metrics.put_str("command", cmd);
-  if (!trace_path.empty()) obs::trace_enable();
+  // --profile needs span recording too: its table aggregates the same
+  // spans --trace would export.
+  if (!trace_path.empty() || args.has("--profile")) obs::trace_enable();
 
   int rc = 2;
   bool dispatched = true;
