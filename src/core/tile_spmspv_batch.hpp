@@ -1,185 +1,69 @@
 // Batched TileSpMSpV: Y = A X for a block of sparse vectors sharing one
-// traversal of the tiled matrix. The paper frames SpMSpV as the k = 1
-// corner of SpGEMM (§1); real workloads sit in between — multi-source BFS
-// fan-outs, batched inference — and there the tile metadata (tile-row
-// scan, x_ptr lookups) can be paid once per tile instead of once per
-// vector. Each tile that survives the per-vector x_ptr check multiplies
-// against every active vector before the next tile's metadata is touched,
-// so payload bytes are reused while resident.
+// traversal of the tiled matrix. This is now a thin front over the
+// block-of-k SpMSpM engine (core/tile_spmspm.hpp): vectors are packed into
+// TileVectorBlock SoA blocks of up to 64 lanes and each block rides one
+// broadcast-FMA traversal. k = 1 delegates to tile_spmspv, preserving its
+// exact (bitwise) output; larger batches are numerically equivalent per
+// lane with a lane-major summation order.
 #pragma once
 
 #include <algorithm>
 #include <vector>
 
+#include "core/tile_spmspm.hpp"
 #include "core/tile_spmspv.hpp"
 #include "formats/sparse_vector.hpp"
-#include "obs/counters.hpp"
-#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "tile/tile_matrix.hpp"
 #include "tile/tile_vector.hpp"
+#include "tile/tile_vector_block.hpp"
 #include "util/types.hpp"
 
 namespace tilespmspv {
 
-/// Y[k] = A * X[k] for every k. Results are identical to k independent
-/// tile_spmspv calls (same traversal order per vector).
+/// Y[v] = A * X[v] for every v. Equivalent to k independent tile_spmspv
+/// calls (bitwise for k == 1; same products per lane otherwise).
 template <typename T>
 std::vector<SparseVec<T>> tile_spmspv_batch(
     const TileMatrix<T>& a, const std::vector<TileVector<T>>& xs,
     ThreadPool* pool = nullptr) {
-  const index_t nt = a.nt;
   const auto k = static_cast<index_t>(xs.size());
-  std::vector<SparseVec<T>> ys(k);
+  std::vector<SparseVec<T>> ys(static_cast<std::size_t>(k));
   if (k == 0) return ys;
-  for ([[maybe_unused]] const auto& x : xs) {
-    assert(x.nt == nt);
-    assert(ceil_div(x.n, nt) >= a.tile_cols || x.n == a.cols);
+  if (k == 1) {
+    ys[0] = tile_spmspv(a, xs[0], pool);
+    return ys;
   }
-
-  // Dense accumulators: one rows-sized buffer per vector (the batch is
-  // expected to be small — e.g. 64-source BFS waves — so rows*k stays
-  // cache-friendly per tile row).
-  std::vector<std::vector<T>> yd(k, std::vector<T>(a.rows, T{}));
-  std::vector<std::vector<unsigned char>> flags(
-      k, std::vector<unsigned char>(a.tile_rows, 0));
-
-  obs::TraceSpan batch_span("spmspv/batch", "spmspv");
-  std::vector<index_t> fallback;
-  const std::vector<index_t>* cp = &a.row_chunk_ptr;
-  if (cp->size() < 2) {
-    fallback = uniform_row_chunks(a.tile_rows, 4);
-    cp = &fallback;
-  }
-  const auto nchunks = static_cast<index_t>(cp->size()) - 1;
-  const index_t* chunk_ptr = cp->data();
-  const bool have_runs =
-      a.run_ptr.size() == static_cast<std::size_t>(a.num_tiles()) + 1;
-  parallel_for(
-      nchunks,
-      [&](index_t c) {
-        // acc[k][nt] flattened; 256 is the nt cap from TileMatrix. Hoisted
-        // to chunk scope so the allocations amortize over the chunk's rows.
-        std::vector<T> acc(static_cast<std::size_t>(k) * nt, T{});
-        std::vector<unsigned char> any(k, 0);
-        T prod[detail::kProdScratch];
-        // Batched semantics: each tile's metadata is scanned once for the
-        // whole batch; computed/MAC counts are per surviving vector.
-        std::uint64_t scanned = 0, computed = 0, macs = 0;
-        for (index_t tr = chunk_ptr[c]; tr < chunk_ptr[c + 1]; ++tr) {
-          std::fill(any.begin(), any.end(), 0);
-          for (offset_t t = a.tile_row_ptr[tr]; t < a.tile_row_ptr[tr + 1];
-               ++t) {
-            ++scanned;
-            const index_t tile_colid = a.tile_col_id[t];
-            const std::uint16_t* p = &a.intra_row_ptr[t * (nt + 1)];
-            const offset_t base = a.tile_nnz_ptr[t];
-            const auto tile_nnz = static_cast<std::uint64_t>(
-                a.tile_nnz_ptr[t + 1] - a.tile_nnz_ptr[t]);
-            for (index_t v = 0; v < k; ++v) {
-              const index_t x_offset = xs[v].x_ptr[tile_colid];
-              if (x_offset == kEmptyTile) continue;
-              ++computed;
-              macs += tile_nnz;
-              const T* xt =
-                  &xs[v].x_tile[static_cast<std::size_t>(x_offset) * nt];
-              T* av = &acc[static_cast<std::size_t>(v) * nt];
-              if (!any[v]) {
-                for (index_t i = 0; i < nt; ++i) av[i] = T{};
-                any[v] = 1;
-              }
-              if (have_runs) {
-                detail::intra_tile_accumulate_runs(
-                    &a.vals[base], &a.local_col[base],
-                    a.row_runs.data() + 3 * a.run_ptr[t],
-                    static_cast<int>(a.run_ptr[t + 1] - a.run_ptr[t]),
-                    static_cast<int>(tile_nnz), a.tile_strategy[t], xt, av,
-                    prod);
-              } else {
-                detail::intra_tile_accumulate(&a.vals[base],
-                                              &a.local_col[base], p, nt, xt,
-                                              av, prod);
-              }
-            }
-          }
-          const index_t r_begin = tr * nt;
-          const index_t r_end = std::min<index_t>(r_begin + nt, a.rows);
-          for (index_t v = 0; v < k; ++v) {
-            if (!any[v]) continue;
-            for (index_t r = r_begin; r < r_end; ++r) {
-              yd[v][r] = acc[static_cast<std::size_t>(v) * nt + (r - r_begin)];
-            }
-            flags[v][tr] = 1;
-          }
-        }
-        obs::counter_add(obs::Counter::kTilesScanned, scanned);
-        obs::counter_add(obs::Counter::kTilesComputed, computed);
-        obs::counter_add(obs::Counter::kPayloadMacs, macs);
-      },
-      pool, /*chunk=*/1);
-
-  // Extracted side part, column-driven per vector (same as tile_spmspv).
-  if (a.extracted.nnz() > 0) {
-    parallel_for(
-        k,
-        [&](index_t v) {
-          const TileVector<T>& x = xs[v];
-          std::uint64_t side = 0;
-          for (index_t s = 0; s < x.num_tiles(); ++s) {
-            if (x.x_ptr[s] == kEmptyTile) continue;
-            const T* xt =
-                &x.x_tile[static_cast<std::size_t>(x.x_ptr[s]) * nt];
-            for (index_t lj = 0; lj < nt; ++lj) {
-              const index_t j = s * nt + lj;
-              if (j >= a.cols) break;
-              const T xv = xt[lj];
-              if (xv == T{}) continue;
-              side += static_cast<std::uint64_t>(a.side_col_ptr[j + 1] -
-                                                 a.side_col_ptr[j]);
-              for (offset_t i = a.side_col_ptr[j]; i < a.side_col_ptr[j + 1];
-                   ++i) {
-                const index_t r = a.side_row_idx[i];
-                yd[v][r] += a.side_vals[i] * xv;
-                flags[v][r / nt] = 1;
-              }
-            }
-          }
-          obs::counter_add(obs::Counter::kSideMacs, side);
-        },
-        pool, /*chunk=*/1);
-  }
-
-  obs::counter_add(obs::Counter::kGatherSlots,
-                   static_cast<std::uint64_t>(k) *
-                       static_cast<std::uint64_t>(a.tile_rows));
-  for (index_t v = 0; v < k; ++v) {
-    ys[v] = SparseVec<T>(a.rows);
-    index_t flagged = 0;
-    for (index_t tr = 0; tr < a.tile_rows; ++tr) {
-      flagged += flags[v][tr] ? 1 : 0;
-    }
-    ys[v].reserve(static_cast<std::size_t>(flagged) * nt);
-    for (index_t tr = 0; tr < a.tile_rows; ++tr) {
-      if (!flags[v][tr]) continue;
-      const index_t r_end = std::min<index_t>((tr + 1) * nt, a.rows);
-      for (index_t r = tr * nt; r < r_end; ++r) {
-        if (yd[v][r] != T{}) ys[v].push(r, yd[v][r]);
-      }
+  SpmspmWorkspace<T> ws;
+  for (index_t base = 0; base < k; base += TileVectorBlock<T>::kMaxLanes) {
+    const index_t kb =
+        std::min<index_t>(TileVectorBlock<T>::kMaxLanes, k - base);
+    const TileVectorBlock<T> xb = TileVectorBlock<T>::from_tiled(
+        xs.data() + static_cast<std::size_t>(base), kb, pool);
+    std::vector<SparseVec<T>> yb = tile_spmspm(a, xb, ws, pool);
+    for (index_t v = 0; v < kb; ++v) {
+      ys[static_cast<std::size_t>(base + v)] =
+          std::move(yb[static_cast<std::size_t>(v)]);
     }
   }
   return ys;
 }
 
-/// Convenience overload tiling plain sparse vectors first.
+/// Convenience overload tiling plain sparse vectors first; the independent
+/// per-vector conversions run in parallel.
 template <typename T>
 std::vector<SparseVec<T>> tile_spmspv_batch(
     const TileMatrix<T>& a, const std::vector<SparseVec<T>>& xs,
     ThreadPool* pool = nullptr) {
-  std::vector<TileVector<T>> tiled;
-  tiled.reserve(xs.size());
-  for (const auto& x : xs) {
-    tiled.push_back(TileVector<T>::from_sparse(x, a.nt));
-  }
+  const auto k = static_cast<index_t>(xs.size());
+  std::vector<TileVector<T>> tiled(static_cast<std::size_t>(k));
+  parallel_for(
+      k,
+      [&](index_t v) {
+        tiled[static_cast<std::size_t>(v)] =
+            TileVector<T>::from_sparse(xs[static_cast<std::size_t>(v)], a.nt);
+      },
+      pool, /*chunk=*/1);
   return tile_spmspv_batch(a, tiled, pool);
 }
 

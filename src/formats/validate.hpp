@@ -373,6 +373,85 @@ ValidationResult validate_tile_vector(const V& v) {
   return r;
 }
 
+/// Block of k tiled vectors (core/tile_spmspm.hpp operand): slot map over
+/// ceil(n/nt) tiles as in validate_tile_vector, one active lane-bitmask
+/// word per slot whose non-emptiness must agree with the slot map, no lane
+/// bits at or above k, and a lane-interleaved payload of exactly
+/// slots*nt*k values.
+template <typename B>
+ValidationResult validate_tile_vector_block(const B& b) {
+  ValidationResult r;
+  if (b.n < 0) {
+    r.add("dims/nonnegative", "n=" + std::to_string(b.n));
+    return r;
+  }
+  if (b.nt < 1 || b.nt > 256) {
+    r.add("nt/range", "nt=" + std::to_string(b.nt) + ", valid range [1, 256]");
+    return r;
+  }
+  if (b.k < 0 || b.k > 64) {
+    r.add("k/range", "k=" + std::to_string(b.k) + ", valid range [0, 64]");
+    return r;
+  }
+  const auto tiles =
+      b.k == 0 ? std::size_t{0} : static_cast<std::size_t>(ceil_div(b.n, b.nt));
+  if (b.x_ptr.size() != tiles || b.active.size() != tiles) {
+    r.add("slots/length",
+          "expected " + std::to_string(tiles) + " tile slots, got x_ptr=" +
+              std::to_string(b.x_ptr.size()) + " active=" +
+              std::to_string(b.active.size()));
+    return r;
+  }
+  const std::size_t stride =
+      static_cast<std::size_t>(b.nt) * static_cast<std::size_t>(b.k);
+  if (stride != 0 && b.x_tile.size() % stride != 0) {
+    r.add("x_tile/length",
+          "payload size " + std::to_string(b.x_tile.size()) +
+              " is not a multiple of nt*k=" + std::to_string(stride));
+    return r;
+  }
+  const auto slots =
+      static_cast<index_t>(stride == 0 ? 0 : b.x_tile.size() / stride);
+  std::vector<unsigned char> seen(static_cast<std::size_t>(slots), 0);
+  index_t used = 0;
+  for (std::size_t t = 0; t < b.x_ptr.size(); ++t) {
+    const index_t p = b.x_ptr[t];
+    const std::uint64_t word = b.active[t];
+    if (b.k < 64 && (word >> b.k) != 0) {
+      r.add("active/lane-range", "tile " + std::to_string(t) +
+                                     " has active bits at or above k=" +
+                                     std::to_string(b.k));
+      return r;
+    }
+    if ((p == kEmptyTile) != (word == 0)) {
+      r.add("active/slot-agreement",
+            "tile " + std::to_string(t) +
+                ": empty-slot sentinel and active word disagree");
+      return r;
+    }
+    if (p == kEmptyTile) continue;
+    if (p < 0 || p >= slots) {
+      r.add("x_ptr/range", "tile " + std::to_string(t) + " maps to slot " +
+                               std::to_string(p) + ", valid range [0, " +
+                               std::to_string(slots) + ")");
+      return r;
+    }
+    if (seen[static_cast<std::size_t>(p)]) {
+      r.add("x_ptr/unique-slots",
+            "slot " + std::to_string(p) + " referenced by multiple tiles");
+      return r;
+    }
+    seen[static_cast<std::size_t>(p)] = 1;
+    ++used;
+  }
+  if (used != slots) {
+    r.add("x_ptr/slot-coverage",
+          std::to_string(slots) + " stored tile blocks but only " +
+              std::to_string(used) + " referenced");
+  }
+  return r;
+}
+
 /// Numeric tiled matrix (paper §3.2.1). Gates: grid shape; tile-grid CSR;
 /// intra-tile payload (monotone local row pointers summing to each tile's
 /// range, local columns sorted, in range, and clipped to the matrix edge);

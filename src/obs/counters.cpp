@@ -19,6 +19,10 @@ const char* counter_name(Counter c) {
       return "side_macs";
     case Counter::kGatherSlots:
       return "gather_slots";
+    case Counter::kBatchTilesShared:
+      return "batch_tiles_shared";
+    case Counter::kBatchLaneMacs:
+      return "batch_lane_macs";
     case Counter::kBfsIterPushCsc:
       return "bfs_iter_push_csc";
     case Counter::kBfsIterPushCsr:

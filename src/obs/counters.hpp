@@ -32,6 +32,8 @@ enum class Counter : int {
   kPayloadMacs,         // multiply-adds inside computed tiles
   kSideMacs,            // multiply-adds in the extracted (side COO) pass
   kGatherSlots,         // output tile-row slots scanned by the gather phase
+  kBatchTilesShared,    // extra lanes reusing a computed tile's payload
+  kBatchLaneMacs,       // lane multiply-add slots driven by the block engine
   kBfsIterPushCsc,      // BFS iterations run with the Push-CSC kernel
   kBfsIterPushCsr,      // BFS iterations run with the Push-CSR kernel
   kBfsIterPullCsc,      // BFS iterations run with the Pull-CSC kernel

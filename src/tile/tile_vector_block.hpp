@@ -1,0 +1,160 @@
+// Block-of-k tiled sparse vectors — the SoA operand of the SpMSpM engine
+// (core/tile_spmspm.hpp). k <= 64 vectors of equal length share one tile
+// grid: `x_ptr` maps each tile slot to a compact payload position exactly
+// like TileVector, but a slot is kept if ANY lane has a nonzero there, and
+// `active` stores per-slot lane bitmasks (bit v, lsb-first, = lane v is
+// non-empty in this tile) — the nt×k bit-planes the multi-source apps'
+// 64-bit source words ride. The payload is lane-interleaved: element i of
+// lane v lives at x_tile[(x_ptr[i/nt]*nt + i%nt)*k + v], so one matrix
+// nonzero touches k consecutive doubles — the unit stride the engine's
+// broadcast-FMA (simd::axpy_lanes) needs.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "formats/sparse_vector.hpp"
+#include "formats/validate.hpp"
+#include "parallel/parallel_for.hpp"
+#include "tile/tile_vector.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+
+template <typename T = value_t>
+struct TileVectorBlock {
+  /// Lane capacity: one bit per lane in a 64-bit active word, matching the
+  /// bit-parallel MS-BFS convention (bit s = source s, lsb-first).
+  static constexpr index_t kMaxLanes = 64;
+
+  index_t n = 0;    // logical length of every lane
+  index_t nt = 16;  // tile size
+  index_t k = 0;    // lanes (vectors) in the block, <= kMaxLanes
+  std::vector<index_t> x_ptr;  // ceil(n/nt) slots: compact index or kEmptyTile
+  std::vector<std::uint64_t> active;  // per slot: lane bitmask (bit v = lane v)
+  std::vector<T> x_tile;  // non-empty tiles, nt*k lane-interleaved values each
+
+  index_t num_tiles() const { return static_cast<index_t>(x_ptr.size()); }
+  index_t num_nonempty_tiles() const {
+    return k == 0 ? 0
+                  : static_cast<index_t>(x_tile.size() /
+                                         (static_cast<std::size_t>(nt) *
+                                          static_cast<std::size_t>(k)));
+  }
+
+  /// O(1) random access to lane v (zero for elements in dropped tiles).
+  T at(index_t v, index_t i) const {
+    assert(v >= 0 && v < k && i >= 0 && i < n);
+    const index_t slot = x_ptr[i / nt];
+    if (slot == kEmptyTile) return T{};
+    return x_tile[(static_cast<std::size_t>(slot) * nt +
+                   static_cast<std::size_t>(i % nt)) *
+                      static_cast<std::size_t>(k) +
+                  static_cast<std::size_t>(v)];
+  }
+
+  /// Packs k already-tiled vectors (equal n and nt) into the SoA block.
+  /// The tile-order slot numbering matches TileVector::from_sparse.
+  static TileVectorBlock from_tiled(const TileVector<T>* xs, index_t k,
+                                    ThreadPool* pool = nullptr) {
+    assert(k >= 0 && k <= kMaxLanes);
+    TileVectorBlock b;
+    b.k = k;
+    if (k == 0) return b;
+    b.n = xs[0].n;
+    b.nt = xs[0].nt;
+    for (index_t v = 1; v < k; ++v) {
+      assert(xs[v].n == b.n && xs[v].nt == b.nt);
+    }
+    const index_t tiles = ceil_div(b.n, b.nt);
+    b.active.assign(static_cast<std::size_t>(tiles), 0);
+    b.x_ptr.assign(static_cast<std::size_t>(tiles), kEmptyTile);
+    // Bit-planes: each slot's word is owned by one loop iteration, so the
+    // lane OR needs no atomics.
+    parallel_for(
+        tiles,
+        [&](index_t t) {
+          std::uint64_t word = 0;
+          for (index_t v = 0; v < k; ++v) {
+            if (xs[v].x_ptr[t] != kEmptyTile) word |= std::uint64_t{1} << v;
+          }
+          b.active[static_cast<std::size_t>(t)] = word;
+        },
+        pool);
+    // Compact slot numbering over the union of the lanes' non-empty tiles.
+    index_t slots = 0;
+    for (index_t t = 0; t < tiles; ++t) {
+      if (b.active[static_cast<std::size_t>(t)] != 0) b.x_ptr[t] = slots++;
+    }
+    // Lane-interleaved payload fill; each non-empty slot owns a disjoint
+    // nt*k region, so slots transpose their lanes' tiles in parallel.
+    b.x_tile.assign(static_cast<std::size_t>(slots) * b.nt *
+                        static_cast<std::size_t>(k),
+                    T{});
+    parallel_for(
+        tiles,
+        [&](index_t t) {
+          const index_t slot = b.x_ptr[t];
+          if (slot == kEmptyTile) return;
+          T* dst = b.x_tile.data() + static_cast<std::size_t>(slot) * b.nt *
+                                         static_cast<std::size_t>(k);
+          std::uint64_t bits = b.active[static_cast<std::size_t>(t)];
+          while (bits != 0) {
+            const auto v = static_cast<index_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            const T* src =
+                xs[v].x_tile.data() +
+                static_cast<std::size_t>(xs[v].x_ptr[t]) * b.nt;
+            for (index_t i = 0; i < b.nt; ++i) {
+              dst[static_cast<std::size_t>(i) * k + v] = src[i];
+            }
+          }
+        },
+        pool);
+    TILESPMSPV_POSTCONDITION(validate_tile_vector_block(b),
+                             "TileVectorBlock::from_tiled");
+    return b;
+  }
+
+  static TileVectorBlock from_tiled(const std::vector<TileVector<T>>& xs,
+                                    ThreadPool* pool = nullptr) {
+    return from_tiled(xs.data(), static_cast<index_t>(xs.size()), pool);
+  }
+
+  /// Builds the block straight from plain sparse vectors; the per-lane
+  /// TileVector conversions run in parallel (they are independent).
+  static TileVectorBlock from_sparse(const std::vector<SparseVec<T>>& xs,
+                                     index_t nt, ThreadPool* pool = nullptr) {
+    const auto k = static_cast<index_t>(xs.size());
+    assert(k <= kMaxLanes);
+    std::vector<TileVector<T>> tiled(static_cast<std::size_t>(k));
+    parallel_for(
+        k,
+        [&](index_t v) {
+          tiled[static_cast<std::size_t>(v)] =
+              TileVector<T>::from_sparse(xs[static_cast<std::size_t>(v)], nt);
+        },
+        pool, /*chunk=*/1);
+    return from_tiled(tiled.data(), k, pool);
+  }
+
+  /// Extracts lane v back to plain sparse form (exact zeros dropped).
+  SparseVec<T> to_sparse(index_t v) const {
+    assert(v >= 0 && v < k);
+    SparseVec<T> x(n);
+    const std::uint64_t bit = std::uint64_t{1} << v;
+    for (index_t t = 0; t < num_tiles(); ++t) {
+      if ((active[static_cast<std::size_t>(t)] & bit) == 0) continue;
+      const index_t base = t * nt;
+      for (index_t j = 0; j < nt && base + j < n; ++j) {
+        const T val = at(v, base + j);
+        if (val != T{}) x.push(base + j, val);
+      }
+    }
+    return x;
+  }
+};
+
+}  // namespace tilespmspv

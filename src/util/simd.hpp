@@ -318,4 +318,225 @@ inline void packed_flat_scan(const double* vals, const std::uint8_t* packed,
 }
 #endif
 
+// ---------------------------------------------------------------------
+// axpy_lanes: acc[v] += a * x[v] for v in [0, k) — the block-of-k SpMSpM
+// engine's inner step. One matrix nonzero `a` is broadcast and FMA'd
+// across the k batch lanes of a lane-interleaved accumulator/payload row,
+// so the nonzero (and its metadata) is read once for the whole batch.
+// ---------------------------------------------------------------------
+inline void axpy_lanes_scalar(double a, const double* x, double* acc, int k) {
+  for (int v = 0; v < k; ++v) acc[v] += a * x[v];
+}
+
+#if defined(TILESPMSPV_SIMD_AVX2)
+inline void axpy_lanes(double a, const double* x, double* acc, int k) {
+  const __m256d av = _mm256_set1_pd(a);
+  int v = 0;
+  for (; v + 4 <= k; v += 4) {
+    const __m256d xv = _mm256_loadu_pd(x + v);
+    const __m256d cv = _mm256_loadu_pd(acc + v);
+#if defined(__FMA__)
+    _mm256_storeu_pd(acc + v, _mm256_fmadd_pd(av, xv, cv));
+#else
+    _mm256_storeu_pd(acc + v, _mm256_add_pd(cv, _mm256_mul_pd(av, xv)));
+#endif
+  }
+  for (; v < k; ++v) acc[v] += a * x[v];
+}
+#elif defined(TILESPMSPV_SIMD_SSE2)
+inline void axpy_lanes(double a, const double* x, double* acc, int k) {
+  const __m128d av = _mm_set1_pd(a);
+  int v = 0;
+  for (; v + 2 <= k; v += 2) {
+    const __m128d xv = _mm_loadu_pd(x + v);
+    const __m128d cv = _mm_loadu_pd(acc + v);
+    _mm_storeu_pd(acc + v, _mm_add_pd(cv, _mm_mul_pd(av, xv)));
+  }
+  for (; v < k; ++v) acc[v] += a * x[v];
+}
+#else
+inline void axpy_lanes(double a, const double* x, double* acc, int k) {
+  axpy_lanes_scalar(a, x, acc, k);
+}
+#endif
+
+// ---------------------------------------------------------------------
+// lane_panel_update: acc[v] += sum_i vals[i] * x[cols[i]*stride + v] for
+// v in [0, w), w <= 4 — one tile row × one 4-lane group of the SpMSpM
+// accumulator block. Keeping the panel in a register across the row's
+// entries turns the engine's per-entry accumulator load/store (2 × k
+// doubles of L1 traffic per nonzero) into one load/store per (row, group),
+// which is what makes the block path arithmetic-bound on dense tiles.
+// ---------------------------------------------------------------------
+inline void lane_panel_update_scalar(const double* vals,
+                                     const std::uint8_t* cols, int n,
+                                     int stride, int w, const double* x,
+                                     double* acc) {
+  for (int i = 0; i < n; ++i) {
+    const double a = vals[i];
+    const double* xr = x + static_cast<std::size_t>(cols[i]) *
+                               static_cast<std::size_t>(stride);
+    for (int v = 0; v < w; ++v) acc[v] += a * xr[v];
+  }
+}
+
+#if defined(TILESPMSPV_SIMD_AVX2)
+inline void lane_panel_update(const double* vals, const std::uint8_t* cols,
+                              int n, int stride, int w, const double* x,
+                              double* acc) {
+  if (w != 4) {
+    lane_panel_update_scalar(vals, cols, n, stride, w, x, acc);
+    return;
+  }
+#if defined(__FMA__)
+#define TILESPMSPV_PANEL_STEP(A, I)                                    \
+  A = _mm256_fmadd_pd(                                                 \
+      _mm256_set1_pd(vals[I]),                                         \
+      _mm256_loadu_pd(x + static_cast<std::size_t>(cols[I]) *          \
+                              static_cast<std::size_t>(stride)),       \
+      A)
+#else
+#define TILESPMSPV_PANEL_STEP(A, I)                                    \
+  A = _mm256_add_pd(                                                   \
+      A, _mm256_mul_pd(                                                \
+             _mm256_set1_pd(vals[I]),                                  \
+             _mm256_loadu_pd(x + static_cast<std::size_t>(cols[I]) *   \
+                                     static_cast<std::size_t>(stride))))
+#endif
+  // Four independent accumulator chains hide the FMA latency; they are
+  // summed once at the end (a different association than the scalar twin,
+  // same set of products — the layer's usual contract).
+  __m256d a0 = _mm256_loadu_pd(acc);
+  __m256d a1 = _mm256_setzero_pd();
+  __m256d a2 = _mm256_setzero_pd();
+  __m256d a3 = _mm256_setzero_pd();
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    TILESPMSPV_PANEL_STEP(a0, i);
+    TILESPMSPV_PANEL_STEP(a1, i + 1);
+    TILESPMSPV_PANEL_STEP(a2, i + 2);
+    TILESPMSPV_PANEL_STEP(a3, i + 3);
+  }
+  for (; i < n; ++i) TILESPMSPV_PANEL_STEP(a0, i);
+#undef TILESPMSPV_PANEL_STEP
+  _mm256_storeu_pd(acc, _mm256_add_pd(_mm256_add_pd(a0, a1),
+                                      _mm256_add_pd(a2, a3)));
+}
+#elif defined(TILESPMSPV_SIMD_SSE2)
+inline void lane_panel_update(const double* vals, const std::uint8_t* cols,
+                              int n, int stride, int w, const double* x,
+                              double* acc) {
+  if (w != 4) {
+    lane_panel_update_scalar(vals, cols, n, stride, w, x, acc);
+    return;
+  }
+  // Two entries per iteration -> four independent 2-wide chains.
+  __m128d a0 = _mm_loadu_pd(acc);
+  __m128d a1 = _mm_loadu_pd(acc + 2);
+  __m128d b0 = _mm_setzero_pd();
+  __m128d b1 = _mm_setzero_pd();
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d av = _mm_set1_pd(vals[i]);
+    const double* xr = x + static_cast<std::size_t>(cols[i]) *
+                               static_cast<std::size_t>(stride);
+    a0 = _mm_add_pd(a0, _mm_mul_pd(av, _mm_loadu_pd(xr)));
+    a1 = _mm_add_pd(a1, _mm_mul_pd(av, _mm_loadu_pd(xr + 2)));
+    const __m128d bv = _mm_set1_pd(vals[i + 1]);
+    const double* xs = x + static_cast<std::size_t>(cols[i + 1]) *
+                               static_cast<std::size_t>(stride);
+    b0 = _mm_add_pd(b0, _mm_mul_pd(bv, _mm_loadu_pd(xs)));
+    b1 = _mm_add_pd(b1, _mm_mul_pd(bv, _mm_loadu_pd(xs + 2)));
+  }
+  for (; i < n; ++i) {
+    const __m128d av = _mm_set1_pd(vals[i]);
+    const double* xr = x + static_cast<std::size_t>(cols[i]) *
+                               static_cast<std::size_t>(stride);
+    a0 = _mm_add_pd(a0, _mm_mul_pd(av, _mm_loadu_pd(xr)));
+    a1 = _mm_add_pd(a1, _mm_mul_pd(av, _mm_loadu_pd(xr + 2)));
+  }
+  _mm_storeu_pd(acc, _mm_add_pd(a0, b0));
+  _mm_storeu_pd(acc + 2, _mm_add_pd(a1, b1));
+}
+#else
+inline void lane_panel_update(const double* vals, const std::uint8_t* cols,
+                              int n, int stride, int w, const double* x,
+                              double* acc) {
+  lane_panel_update_scalar(vals, cols, n, stride, w, x, acc);
+}
+#endif
+
+// ---------------------------------------------------------------------
+// lane_panel16_update: the 16-lane-wide sibling of lane_panel_update —
+// acc[v] += sum_i vals[i] * x[cols[i]*stride + v] for v in [0, 16). Used
+// by the SpMSpM engine for fully (or nearly fully) active 16-lane groups:
+// four 4-wide accumulators cover the group, giving four independent FMA
+// chains per entry while still paying the accumulator load/store once per
+// (row, group) rather than once per nonzero.
+// ---------------------------------------------------------------------
+inline void lane_panel16_update_scalar(const double* vals,
+                                       const std::uint8_t* cols, int n,
+                                       int stride, const double* x,
+                                       double* acc) {
+  for (int i = 0; i < n; ++i) {
+    const double a = vals[i];
+    const double* xr = x + static_cast<std::size_t>(cols[i]) *
+                               static_cast<std::size_t>(stride);
+    for (int v = 0; v < 16; ++v) acc[v] += a * xr[v];
+  }
+}
+
+#if defined(TILESPMSPV_SIMD_AVX2)
+inline void lane_panel16_update(const double* vals, const std::uint8_t* cols,
+                                int n, int stride, const double* x,
+                                double* acc) {
+  __m256d a0 = _mm256_loadu_pd(acc);
+  __m256d a1 = _mm256_loadu_pd(acc + 4);
+  __m256d a2 = _mm256_loadu_pd(acc + 8);
+  __m256d a3 = _mm256_loadu_pd(acc + 12);
+  for (int i = 0; i < n; ++i) {
+    const __m256d av = _mm256_set1_pd(vals[i]);
+    const double* xr = x + static_cast<std::size_t>(cols[i]) *
+                               static_cast<std::size_t>(stride);
+#if defined(__FMA__)
+    a0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(xr), a0);
+    a1 = _mm256_fmadd_pd(av, _mm256_loadu_pd(xr + 4), a1);
+    a2 = _mm256_fmadd_pd(av, _mm256_loadu_pd(xr + 8), a2);
+    a3 = _mm256_fmadd_pd(av, _mm256_loadu_pd(xr + 12), a3);
+#else
+    a0 = _mm256_add_pd(a0, _mm256_mul_pd(av, _mm256_loadu_pd(xr)));
+    a1 = _mm256_add_pd(a1, _mm256_mul_pd(av, _mm256_loadu_pd(xr + 4)));
+    a2 = _mm256_add_pd(a2, _mm256_mul_pd(av, _mm256_loadu_pd(xr + 8)));
+    a3 = _mm256_add_pd(a3, _mm256_mul_pd(av, _mm256_loadu_pd(xr + 12)));
+#endif
+  }
+  _mm256_storeu_pd(acc, a0);
+  _mm256_storeu_pd(acc + 4, a1);
+  _mm256_storeu_pd(acc + 8, a2);
+  _mm256_storeu_pd(acc + 12, a3);
+}
+#elif defined(TILESPMSPV_SIMD_SSE2)
+inline void lane_panel16_update(const double* vals, const std::uint8_t* cols,
+                                int n, int stride, const double* x,
+                                double* acc) {
+  __m128d a[8];
+  for (int g = 0; g < 8; ++g) a[g] = _mm_loadu_pd(acc + 2 * g);
+  for (int i = 0; i < n; ++i) {
+    const __m128d av = _mm_set1_pd(vals[i]);
+    const double* xr = x + static_cast<std::size_t>(cols[i]) *
+                               static_cast<std::size_t>(stride);
+    for (int g = 0; g < 8; ++g) {
+      a[g] = _mm_add_pd(a[g], _mm_mul_pd(av, _mm_loadu_pd(xr + 2 * g)));
+    }
+  }
+  for (int g = 0; g < 8; ++g) _mm_storeu_pd(acc + 2 * g, a[g]);
+}
+#else
+inline void lane_panel16_update(const double* vals, const std::uint8_t* cols,
+                                int n, int stride, const double* x,
+                                double* acc) {
+  lane_panel16_update_scalar(vals, cols, n, stride, x, acc);
+}
+#endif
+
 }  // namespace tilespmspv::simd

@@ -123,6 +123,84 @@ TEST(FuzzDifferential, SimdMicroKernelsMatchScalarTwins) {
   }
 }
 
+// Block-engine broadcast-FMA: lane counts sweep 0..66 to hit the empty,
+// single-lane, full 4-wide AVX2 groups and the 1-3 lane tail. FMA fuses
+// the multiply-add rounding, so comparison is tolerance-based.
+TEST(FuzzDifferential, SimdAxpyLanesMatchesScalarTwin) {
+  Prng rng(0xA4B7);
+  for (int round = 0; round < 200; ++round) {
+    const int k = static_cast<int>(rng.next_below(67));
+    const double a = rng.next_double(-2.0, 2.0);
+    std::vector<double> x(k), acc_a(k), acc_b(k);
+    for (int v = 0; v < k; ++v) {
+      x[v] = rng.next_double(-2.0, 2.0);
+      acc_a[v] = acc_b[v] = rng.next_double(-1.0, 1.0);
+    }
+    simd::axpy_lanes(a, x.data(), acc_a.data(), k);
+    simd::axpy_lanes_scalar(a, x.data(), acc_b.data(), k);
+    for (int v = 0; v < k; ++v) {
+      ASSERT_NEAR(acc_a[v], acc_b[v], 1e-12 * (1.0 + std::abs(acc_b[v])))
+          << "v=" << v << " k=" << k;
+    }
+  }
+}
+
+// Row-panel kernel of the block engine: a 4-lane accumulator panel updated
+// across a row's entries. Sweeps entry counts, strides (block widths) and
+// panel widths 1..4 (the k % 4 tail).
+TEST(FuzzDifferential, SimdLanePanelUpdateMatchesScalarTwin) {
+  Prng rng(0x9A7E);
+  for (int round = 0; round < 200; ++round) {
+    const int n = static_cast<int>(rng.next_below(40));
+    const int stride = 4 + static_cast<int>(rng.next_below(61));
+    const int w = 1 + static_cast<int>(rng.next_below(4));
+    std::vector<double> vals(n), x(static_cast<std::size_t>(256 * stride));
+    std::vector<std::uint8_t> cols(n);
+    for (int i = 0; i < n; ++i) {
+      vals[i] = rng.next_double(-2.0, 2.0);
+      cols[i] = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    for (auto& v : x) v = rng.next_double(-2.0, 2.0);
+    double acc_a[4], acc_b[4];
+    for (int v = 0; v < w; ++v) acc_a[v] = acc_b[v] = rng.next_double(-1, 1);
+    simd::lane_panel_update(vals.data(), cols.data(), n, stride, w, x.data(),
+                            acc_a);
+    simd::lane_panel_update_scalar(vals.data(), cols.data(), n, stride, w,
+                                   x.data(), acc_b);
+    for (int v = 0; v < w; ++v) {
+      ASSERT_NEAR(acc_a[v], acc_b[v], 1e-10 * (1.0 + std::abs(acc_b[v])))
+          << "v=" << v << " n=" << n << " w=" << w;
+    }
+  }
+}
+
+TEST(FuzzDifferential, SimdLanePanel16UpdateMatchesScalarTwin) {
+  Prng rng(0x16A5);
+  for (int round = 0; round < 200; ++round) {
+    const int n = static_cast<int>(rng.next_below(40));
+    const int stride = 16 + static_cast<int>(rng.next_below(49));
+    std::vector<double> vals(n), x(static_cast<std::size_t>(256 * stride));
+    std::vector<std::uint8_t> cols(n);
+    for (int i = 0; i < n; ++i) {
+      vals[i] = rng.next_double(-2.0, 2.0);
+      cols[i] = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    for (auto& v : x) v = rng.next_double(-2.0, 2.0);
+    double acc_a[16], acc_b[16];
+    for (int v = 0; v < 16; ++v) {
+      acc_a[v] = acc_b[v] = rng.next_double(-1, 1);
+    }
+    simd::lane_panel16_update(vals.data(), cols.data(), n, stride, x.data(),
+                              acc_a);
+    simd::lane_panel16_update_scalar(vals.data(), cols.data(), n, stride,
+                                     x.data(), acc_b);
+    for (int v = 0; v < 16; ++v) {
+      ASSERT_NEAR(acc_a[v], acc_b[v], 1e-10 * (1.0 + std::abs(acc_b[v])))
+          << "v=" << v << " n=" << n;
+    }
+  }
+}
+
 TEST(FuzzDifferential, SimdPackedFlatScanMatchesScalarTwin) {
   Prng rng(0xBEEF);
   for (int round = 0; round < 200; ++round) {

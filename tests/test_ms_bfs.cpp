@@ -159,6 +159,61 @@ TEST(TileMsBfs, RejectsTooManySources) {
                std::invalid_argument);
 }
 
+class MsBfsTiledBatch : public ::testing::TestWithParam<int> {};
+
+TEST_P(MsBfsTiledBatch, MatchesPlainMsBfsExactly) {
+  const int k = GetParam();
+  Csr<value_t> g = undirected(800, 0.005, 831);
+  std::vector<index_t> sources;
+  for (int s = 0; s < k; ++s) {
+    sources.push_back(static_cast<index_t>((s * 113) % 800));
+  }
+  ThreadPool pool(4);
+  const MsBfsResult plain = ms_bfs(g, sources, &pool);
+  const MsBfsResult tiled = ms_bfs_tiled(g, sources, {}, &pool);
+  ASSERT_EQ(tiled.levels.size(), static_cast<std::size_t>(k));
+  EXPECT_EQ(tiled.rounds, plain.rounds);
+  for (int s = 0; s < k; ++s) {
+    EXPECT_EQ(tiled.levels[s], plain.levels[s]) << "slot " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, MsBfsTiledBatch,
+                         ::testing::Values(1, 3, 33, 64));
+
+TEST(MsBfsTiled, DirectedGraphAndConfigs) {
+  Coo<value_t> coo(180, 180);
+  Prng rng(832);
+  for (int e = 0; e < 700; ++e) {
+    const auto u = static_cast<index_t>(rng.next_below(180));
+    const auto v = static_cast<index_t>(rng.next_below(180));
+    if (u != v) coo.push(u, v, 1.0);
+  }
+  coo.sort_row_major();
+  coo.sum_duplicates();
+  Csr<value_t> g = Csr<value_t>::from_coo(coo);
+  const std::vector<index_t> sources{0, 42, 179};
+  const MsBfsResult plain = ms_bfs(g, sources);
+  for (index_t nt : {16, 64}) {
+    SpmspvConfig cfg;
+    cfg.nt = nt;
+    const MsBfsResult tiled = ms_bfs_tiled(g, sources, cfg);
+    EXPECT_EQ(tiled.rounds, plain.rounds) << "nt " << nt;
+    for (int s = 0; s < 3; ++s) {
+      EXPECT_EQ(tiled.levels[s], plain.levels[s]) << "nt " << nt;
+    }
+  }
+}
+
+TEST(MsBfsTiled, RejectsTooManySourcesAndHandlesEmpty) {
+  Csr<value_t> g = undirected(64, 0.1, 833);
+  EXPECT_THROW(ms_bfs_tiled(g, std::vector<index_t>(65, 0)),
+               std::invalid_argument);
+  const MsBfsResult r = ms_bfs_tiled(g, {});
+  EXPECT_TRUE(r.levels.empty());
+  EXPECT_EQ(r.rounds, 0);
+}
+
 TEST(MsBfs, SharedEdgeScansOnRmat) {
   RmatParams p;
   p.scale = 11;

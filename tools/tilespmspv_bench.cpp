@@ -6,9 +6,9 @@
 // manifest (git SHA, build type, SIMD ISA, threads, calibrated machine
 // profile), and writes one schema-versioned report.
 //
-//   tilespmspv_bench [--tier quick|full] [--filter fig6,fig7,fig11]
-//                    [--iters N] [--threads N] [--out BENCH_0006.json]
-//                    [--bench-id BENCH_0006] [--no-calibrate]
+//   tilespmspv_bench [--tier quick|full] [--filter fig6,fig6_batch,fig7]
+//                    [--iters N] [--threads N] [--out BENCH_0007.json]
+//                    [--bench-id BENCH_0007] [--no-calibrate]
 //
 // Tiers:
 //   quick  3 small matrices per group, 5 iters — the CI regression gate
@@ -17,7 +17,8 @@
 //   full   the complete fig6/fig7/fig11 sweeps — the trajectory point a
 //          PR records after a performance change.
 //
-// Groups: fig6 (SpMSpV over vector sparsities), fig7 (TileBFS), fig11
+// Groups: fig6 (SpMSpV over vector sparsities), fig6_batch (block-of-k
+// SpMSpM vs k single multiplies at k = 64), fig7 (TileBFS), fig11
 // (CSR -> tiled conversion). --filter selects a comma-separated subset.
 #include <cstdio>
 #include <iostream>
@@ -27,6 +28,8 @@
 #include "bench_common.hpp"
 #include "bfs/tile_bfs.hpp"
 #include "core/spmspv.hpp"
+#include "core/tile_spmspv.hpp"
+#include "core/tile_spmspv_batch.hpp"
 #include "core/work_model.hpp"
 #include "gen/vector_gen.hpp"
 #include "obs/bench_report.hpp"
@@ -140,6 +143,38 @@ void run_fig6(const Tier& tier, int iters, ThreadPool& pool,
   }
 }
 
+void run_fig6_batch(const Tier& tier, int iters, ThreadPool& pool,
+                    std::vector<obs::BenchCase>& out) {
+  // Block-of-k amortization at the full 64-lane width: the `.block` case
+  // runs the SpMSpM engine once per iteration, the `.loop` case runs the
+  // same 64 vectors through 64 single multiplies. Their ratio is the
+  // batching win the trajectory tracks. Vector sparsity 0.1 is the
+  // frontier-like regime of the multi-source apps (most lanes active in
+  // every touched tile), which is what the block engine is built for —
+  // bench_ablation_batch sweeps the scattered regimes too.
+  constexpr int kBatch = 64;
+  for (const std::string& name : tier.spmspv_matrices) {
+    const Csr<value_t> a = Csr<value_t>::from_coo(suite_matrix(name));
+    const TileMatrix<value_t> tiled =
+        TileMatrix<value_t>::from_csr(a, /*nt=*/16, /*extract_threshold=*/2);
+    std::vector<TileVector<value_t>> xts;
+    for (int v = 0; v < kBatch; ++v) {
+      xts.push_back(TileVector<value_t>::from_sparse(
+          gen_sparse_vector(a.cols, 0.1, /*seed=*/2000 + v), /*nt=*/16));
+    }
+    out.push_back(run_case(
+        "fig6_batch", "fig6_batch/" + name + ".block", iters,
+        [&] { (void)tile_spmspv_batch(tiled, xts, &pool); }));
+    SpmspvWorkspace<value_t> ws;
+    out.push_back(run_case("fig6_batch", "fig6_batch/" + name + ".loop",
+                           iters, [&] {
+                             for (const auto& xt : xts) {
+                               (void)tile_spmspv(tiled, xt, ws, &pool);
+                             }
+                           }));
+  }
+}
+
 void run_fig7(const Tier& tier, int iters, ThreadPool& pool,
               std::vector<obs::BenchCase>& out) {
   for (const std::string& name : tier.bfs_matrices) {
@@ -185,8 +220,8 @@ int main(int argc, char** argv) {
     const int iters = static_cast<int>(args.get_int("--iters", 5));
     const auto threads =
         static_cast<std::size_t>(args.get_int("--threads", 4));
-    const std::string out_path = args.get("--out", "BENCH_0006.json");
-    const std::string bench_id = args.get("--bench-id", "BENCH_0006");
+    const std::string out_path = args.get("--out", "BENCH_0007.json");
+    const std::string bench_id = args.get("--bench-id", "BENCH_0007");
     if (iters < 1) throw std::invalid_argument("--iters must be >= 1");
 
     const Tier tier = tier_spec(tier_name);
@@ -215,6 +250,10 @@ int main(int argc, char** argv) {
     if (group_selected(filter, "fig6")) {
       std::cout << "running fig6 (SpMSpV)...\n";
       run_fig6(tier, iters, pool, report.manifest.machine, report.cases);
+    }
+    if (group_selected(filter, "fig6_batch")) {
+      std::cout << "running fig6_batch (block-of-k SpMSpM)...\n";
+      run_fig6_batch(tier, iters, pool, report.cases);
     }
     if (group_selected(filter, "fig7")) {
       std::cout << "running fig7 (TileBFS)...\n";
