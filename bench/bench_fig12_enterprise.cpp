@@ -20,6 +20,12 @@ using namespace tilespmspv::bench;
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
+  if (const std::string bad = args.first_unknown_flag(
+          {"--iters", "--json", "--metrics"});
+      !bad.empty()) {
+    std::cerr << "unknown flag '" << bad << "'\n";
+    return 2;
+  }
   const auto pos = args.positional();
   int iters = static_cast<int>(args.get_int("--iters", 3));
   if (!pos.empty()) iters = std::atoi(pos[0].c_str());

@@ -100,33 +100,32 @@ MsBfsResult ms_bfs(const Csr<T>& out_edges,
   return out;
 }
 
-/// Tiled multi-source BFS: the same traversal as ms_bfs, but each level is
-/// one block SpMSpM over the tiled transpose pattern — y = Aᵀx expands
-/// every source's frontier along out-edges in a single matrix pass, and
-/// the per-slot active words of the frontier block are exactly the 64-bit
-/// source sets of the bit-parallel formulation. Levels and rounds match
-/// ms_bfs exactly. At most 64 sources.
+/// Tiled multi-source BFS over a prebuilt tiled transpose: `ta` must be
+/// the tiled form of transpose(out_edges) with nonzero (typically unit)
+/// values, and square — the serving layer keeps exactly this structure
+/// resident so repeated BFS batches skip the transpose + conversion cost.
+/// Each level is one block SpMSpM — y = Aᵀx expands every source's
+/// frontier along out-edges in a single matrix pass, and the per-slot
+/// active words of the frontier block are exactly the 64-bit source sets
+/// of the bit-parallel formulation. Levels and rounds match ms_bfs
+/// exactly. At most 64 sources.
 template <typename T>
-MsBfsResult ms_bfs_tiled(const Csr<T>& out_edges,
-                         const std::vector<index_t>& sources,
-                         SpmspvConfig cfg = {}, ThreadPool* pool = nullptr) {
-  const index_t n = out_edges.rows;
+MsBfsResult ms_bfs_tiled_on(const TileMatrix<T>& ta,
+                            const std::vector<index_t>& sources,
+                            ThreadPool* pool = nullptr) {
+  if (ta.rows != ta.cols) {
+    throw std::invalid_argument("ms_bfs_tiled_on: matrix must be square");
+  }
+  const index_t n = ta.cols;
   const auto k = static_cast<index_t>(sources.size());
   MsBfsResult out;
   out.levels.assign(static_cast<std::size_t>(k),
                     std::vector<index_t>(static_cast<std::size_t>(n), -1));
   if (k == 0) return out;
   if (k > TileVectorBlock<T>::kMaxLanes) {
-    throw std::invalid_argument("ms_bfs_tiled: at most 64 sources per batch");
+    throw std::invalid_argument(
+        "ms_bfs_tiled_on: at most 64 sources per batch");
   }
-
-  // The engine expands j -> i for A[i][j] != 0, so reaching out-neighbors
-  // needs A = transpose(out_edges); values become unit weights (the BFS
-  // only cares about the pattern — accumulated path counts stay > 0).
-  Csr<T> at = out_edges.transpose();
-  for (auto& v : at.vals) v = T{1};
-  const TileMatrix<T> ta =
-      TileMatrix<T>::from_csr(at, cfg.nt, cfg.extract_threshold);
 
   std::vector<std::uint64_t> seen(static_cast<std::size_t>(n), 0);
   std::vector<SparseVec<T>> x(static_cast<std::size_t>(k), SparseVec<T>(n));
@@ -169,6 +168,22 @@ MsBfsResult ms_bfs_tiled(const Csr<T>& out_edges,
     }
   }
   return out;
+}
+
+/// Builds the tiled transpose pattern (the engine expands j -> i for
+/// A[i][j] != 0, so reaching out-neighbors needs A = transpose(out_edges);
+/// values become unit weights — the BFS only cares about the pattern) and
+/// runs ms_bfs_tiled_on over it. One-shot convenience; callers with a
+/// resident matrix use ms_bfs_tiled_on directly.
+template <typename T>
+MsBfsResult ms_bfs_tiled(const Csr<T>& out_edges,
+                         const std::vector<index_t>& sources,
+                         SpmspvConfig cfg = {}, ThreadPool* pool = nullptr) {
+  Csr<T> at = out_edges.transpose();
+  for (auto& v : at.vals) v = T{1};
+  const TileMatrix<T> ta =
+      TileMatrix<T>::from_csr(at, cfg.nt, cfg.extract_threshold);
+  return ms_bfs_tiled_on(ta, sources, pool);
 }
 
 }  // namespace tilespmspv

@@ -103,7 +103,8 @@ void kernel_push_csc(const BitTileGraph<NT>& g, BfsScratch<NT>& ws,
   parallel_for(
       static_cast<index_t>(ws.k1_bounds.size()) - 1,
       [&](index_t c) {
-        std::vector<index_t>& out_slots = ws.produced[ThreadPool::current_slot()];
+        std::vector<index_t>& out_slots =
+            ws.produced[static_cast<std::size_t>(ThreadPool::scratch_slot())];
         std::uint64_t tiles_visited = 0;
         for (index_t si = ws.k1_bounds[c]; si < ws.k1_bounds[c + 1]; ++si) {
           const index_t s = slots[si];
@@ -171,7 +172,8 @@ void kernel_push_csr(const BitTileGraph<NT>& g, BfsScratch<NT>& ws,
   parallel_for(
       static_cast<index_t>(bounds.size()) - 1,
       [&](index_t c) {
-        std::vector<index_t>& out_slots = ws.produced[ThreadPool::current_slot()];
+        std::vector<index_t>& out_slots =
+            ws.produced[static_cast<std::size_t>(ThreadPool::scratch_slot())];
         std::uint64_t tiles_visited = 0;
         for (index_t tr = bounds[c]; tr < bounds[c + 1]; ++tr) {
           const Word unvisited =
@@ -228,7 +230,8 @@ void kernel_pull_csc(const BitTileGraph<NT>& g, BfsScratch<NT>& ws,
   parallel_for(
       static_cast<index_t>(bounds.size()) - 1,
       [&](index_t c) {
-        std::vector<index_t>& out_slots = ws.produced[ThreadPool::current_slot()];
+        std::vector<index_t>& out_slots =
+            ws.produced[static_cast<std::size_t>(ThreadPool::scratch_slot())];
         std::uint64_t tiles_visited = 0;
         for (index_t tr = bounds[c]; tr < bounds[c + 1]; ++tr) {
           Word remaining =
@@ -290,7 +293,8 @@ void side_edges_pass(const BitTileGraph<NT>& g, BfsScratch<NT>& ws,
   parallel_for(
       static_cast<index_t>(ws.side_bounds.size()) - 1,
       [&](index_t c) {
-        std::vector<index_t>& out_slots = ws.produced[ThreadPool::current_slot()];
+        std::vector<index_t>& out_slots =
+            ws.produced[static_cast<std::size_t>(ThreadPool::scratch_slot())];
         std::uint64_t relaxed = 0;
         for (index_t si = ws.side_bounds[c]; si < ws.side_bounds[c + 1];
              ++si) {

@@ -219,7 +219,7 @@ std::vector<SparseVec<T>> tile_spmspm(const TileMatrix<T>& a,
     parallel_for(
         nchunks,
         [&](index_t c) {
-          const int slot = ThreadPool::current_slot();
+          const int slot = ThreadPool::scratch_slot();
           T* acc = ws.acc.data() + static_cast<std::size_t>(slot) * nt *
                                        static_cast<std::size_t>(k);
           std::uint64_t scanned = 0, computed = 0, macs = 0, lane_macs = 0,

@@ -489,7 +489,7 @@ SparseVec<T> tile_spmspv_csc(const TileMatrix<T>& at, const TileVector<T>& x,
     parallel_for(
         static_cast<index_t>(active.size()),
         [&](index_t ai) {
-          const int slot = ThreadPool::current_slot();
+          const int slot = ThreadPool::scratch_slot();
           assert(slot < buckets);
           T* pv = ws.priv_vals.data() + static_cast<std::size_t>(slot) * stride;
           unsigned char* pt =
@@ -550,7 +550,7 @@ SparseVec<T> tile_spmspv_csc(const TileMatrix<T>& at, const TileVector<T>& x,
     parallel_for(
         static_cast<index_t>(x_active.size()),
         [&](index_t ai) {
-          const int slot = ThreadPool::current_slot();
+          const int slot = ThreadPool::scratch_slot();
           assert(slot < buckets);
           T* pv = ws.priv_vals.data() + static_cast<std::size_t>(slot) * stride;
           unsigned char* pt =

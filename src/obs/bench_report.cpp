@@ -116,41 +116,109 @@ MachineProfile measure_machine_profile() {
   return m;
 }
 
-std::string read_git_sha(const std::string& start_dir) {
+namespace {
+
+void rstrip(std::string* s) {
+  while (!s->empty() &&
+         (s->back() == '\r' || s->back() == '\n' || s->back() == ' ' ||
+          s->back() == '\t')) {
+    s->pop_back();
+  }
+}
+
+bool looks_like_sha(const std::string& s) {
+  if (s.size() < 40) return false;
+  for (int i = 0; i < 40; ++i) {
+    const char c = s[i];
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+                     (c >= 'A' && c <= 'F');
+    if (!hex) return false;
+  }
+  return true;
+}
+
+/// Resolves HEAD inside one concrete git dir; never walks further up, so a
+/// partially-exported tree cannot mis-resolve via an unrelated parent
+/// repository. Every failure mode degrades to "unknown".
+std::string sha_from_git_dir(const std::filesystem::path& git_dir) {
+  namespace fs = std::filesystem;
+  std::ifstream head(git_dir / "HEAD");
+  std::string line;
+  if (!head || !std::getline(head, line)) return "unknown";
+  rstrip(&line);
+  if (line.rfind("ref: ", 0) != 0) {
+    // Detached HEAD: the line must itself be a commit id.
+    return looks_like_sha(line) ? line.substr(0, 40) : "unknown";
+  }
+  const std::string ref = line.substr(5);
+  // Worktree git dirs keep their shared refs under the commondir.
+  std::vector<fs::path> roots = {git_dir};
+  std::ifstream common(git_dir / "commondir");
+  std::string cd;
+  if (common && std::getline(common, cd)) {
+    rstrip(&cd);
+    if (!cd.empty()) {
+      const fs::path p(cd);
+      roots.push_back(p.is_relative() ? git_dir / p : p);
+    }
+  }
+  for (const fs::path& root : roots) {
+    std::ifstream ref_file(root / ref);
+    std::string sha;
+    if (ref_file && std::getline(ref_file, sha)) {
+      rstrip(&sha);
+      if (looks_like_sha(sha)) return sha.substr(0, 40);
+    }
+    // packed-refs lines are "<40-hex> <refname>"; '#' comments and '^'
+    // peeled-tag lines are skipped.
+    std::ifstream packed(root / "packed-refs");
+    std::string pl;
+    while (packed && std::getline(packed, pl)) {
+      rstrip(&pl);
+      if (pl.size() >= 42 && pl[0] != '#' && pl[0] != '^' &&
+          pl[40] == ' ' && pl.compare(41, std::string::npos, ref) == 0 &&
+          looks_like_sha(pl)) {
+        return pl.substr(0, 40);
+      }
+    }
+  }
+  // HEAD points at a ref missing from both loose refs and packed-refs
+  // (fresh repo with no commits, or a trimmed export).
+  return "unknown";
+}
+
+}  // namespace
+
+std::string read_git_sha(const std::string& start_dir) try {
   namespace fs = std::filesystem;
   std::error_code ec;
   fs::path dir = fs::absolute(start_dir, ec);
   if (ec) return "unknown";
   for (int up = 0; up < 8; ++up) {
-    const fs::path head_path = dir / ".git" / "HEAD";
-    std::ifstream head(head_path);
-    if (head) {
+    const fs::path dot_git = dir / ".git";
+    if (fs::is_directory(dot_git, ec)) {
+      return sha_from_git_dir(dot_git);
+    }
+    if (fs::is_regular_file(dot_git, ec)) {
+      // Worktree/submodule pointer file: "gitdir: PATH". Resolve it here
+      // instead of walking up into whatever repository happens to contain
+      // this tree.
+      std::ifstream f(dot_git);
       std::string line;
-      std::getline(head, line);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.rfind("ref: ", 0) == 0) {
-        const std::string ref = line.substr(5);
-        std::ifstream ref_file(dir / ".git" / ref);
-        std::string sha;
-        if (ref_file && std::getline(ref_file, sha) && sha.size() >= 40) {
-          return sha.substr(0, 40);
-        }
-        std::ifstream packed(dir / ".git" / "packed-refs");
-        std::string pl;
-        while (packed && std::getline(packed, pl)) {
-          if (!pl.empty() && pl.back() == '\r') pl.pop_back();
-          if (pl.size() > 41 && pl[0] != '#' && pl.substr(41) == ref) {
-            return pl.substr(0, 40);
-          }
-        }
-        return "unknown";
-      }
-      if (line.size() >= 40) return line.substr(0, 40);  // detached HEAD
-      return "unknown";
+      if (!f || !std::getline(f, line)) return "unknown";
+      rstrip(&line);
+      if (line.rfind("gitdir: ", 0) != 0) return "unknown";
+      fs::path git_dir(line.substr(8));
+      if (git_dir.is_relative()) git_dir = dir / git_dir;
+      return sha_from_git_dir(git_dir);
     }
     if (!dir.has_parent_path() || dir.parent_path() == dir) break;
     dir = dir.parent_path();
   }
+  return "unknown";
+} catch (...) {
+  // Manifest stamping must never take the bench runner or the serving
+  // daemon down: any filesystem surprise degrades to "unknown".
   return "unknown";
 }
 

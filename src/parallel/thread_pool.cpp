@@ -8,11 +8,28 @@
 namespace tilespmspv {
 
 namespace {
-// Slot of the current thread within the pool that spawned it (0 for
-// non-worker threads). Worker slots are assigned once at spawn; a pool only
-// ever executes bodies on its own workers plus the calling thread, so slots
-// seen inside a parallel_ranges body are dense in [0, size()).
-thread_local int t_slot = 0;
+// Slot of the current thread within the pool that spawned it. Worker slots
+// are assigned once at spawn (1..workers); every other thread carries the
+// -1 off-pool sentinel until a run_task binds it. The sentinel matters:
+// the old default of 0 made a worker of pool A look like a valid slot of a
+// smaller pool B, so kernels invoked across pools (or from plain threads,
+// as the serving daemon's request threads do) indexed per-slot workspaces
+// out of bounds.
+thread_local int t_slot = -1;
+
+// RAII binding of the calling thread to the caller slot (0) of the pool
+// currently dispatching it. Saving and restoring the previous value keeps
+// nested dispatch correct: a worker of pool A that enters pool B's
+// parallel_ranges runs B's body as B's slot 0 and reverts to its A slot
+// afterwards, so slots seen inside a body are always dense in [0, size())
+// of the dispatching pool.
+struct CallerSlotBinding {
+  int saved;
+  CallerSlotBinding() : saved(t_slot) { t_slot = 0; }
+  ~CallerSlotBinding() { t_slot = saved; }
+  CallerSlotBinding(const CallerSlotBinding&) = delete;
+  CallerSlotBinding& operator=(const CallerSlotBinding&) = delete;
+};
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -42,6 +59,11 @@ ThreadPool::~ThreadPool() {
 }
 
 int ThreadPool::current_slot() { return t_slot; }
+
+int ThreadPool::scratch_slot() {
+  const int s = t_slot;
+  return s < 0 ? 0 : s;
+}
 
 void ThreadPool::drain(Task& task) {
   std::uint64_t chunks = 0;
@@ -85,6 +107,7 @@ void ThreadPool::run_task(Task& task) {
   if (workers_.empty() || task.n <= task.chunk) {
     // Serial fast path: no coordination cost for small loops.
     obs::TraceSpan span("pool/parallel_ranges", "pool", "serial");
+    CallerSlotBinding bind;
     task.invoke(task.ctx, 0, task.n);
     return;
   }
@@ -97,7 +120,10 @@ void ThreadPool::run_task(Task& task) {
     ++epoch_;
   }
   cv_.notify_all();
-  drain(task);  // caller thread participates
+  {
+    CallerSlotBinding bind;
+    drain(task);  // caller thread participates as slot 0
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [&] {

@@ -59,12 +59,20 @@ class ThreadPool {
   /// points take an optional pool pointer and fall back to this.
   static ThreadPool& shared();
 
-  /// Dense per-pool slot of the calling thread: 0 for any thread that is
-  /// not a pool worker (in particular the caller of parallel_ranges),
-  /// 1..workers for this pool's workers. Always < size() while executing a
-  /// body dispatched by this pool, which is what the privatized (per-slot)
-  /// scatter buffers in the SpMSpV kernels rely on.
+  /// Dense per-pool slot of the calling thread: 0 for the thread currently
+  /// driving a parallel_ranges dispatch, 1..workers for the dispatching
+  /// pool's workers, and -1 for a thread outside any dispatch (a plain
+  /// application thread, or a worker of some *other* pool). Always < size()
+  /// while executing a body dispatched by this pool, which is what the
+  /// privatized (per-slot) scatter buffers in the SpMSpV kernels rely on.
   static int current_slot();
+
+  /// current_slot() with the off-pool sentinel folded into the caller
+  /// bucket: returns 0 instead of -1. Kernels index per-slot scratch with
+  /// this so serial sections run off-pool (e.g. on a serving daemon's
+  /// request threads) land in the always-present slot-0 bucket instead of
+  /// reading a stale foreign slot out of bounds.
+  static int scratch_slot();
 
  private:
   struct Task {

@@ -1,0 +1,101 @@
+// Minimal blocking client for the serve daemon's NDJSON unix-socket
+// protocol (serve/server.hpp). Header-only; used by the tilespmspv_cli
+// `client`/`loadgen` subcommands and the serve tests. One request line
+// out, one response line back, in order — the protocol has no framing
+// beyond newlines, so a connection is single-conversation at a time.
+#pragma once
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace tilespmspv::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connect(const std::string& socket_path, std::string* err) {
+    close();
+    if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      if (err != nullptr) *err = "socket path too long";
+      return false;
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      if (err != nullptr) *err = std::strerror(errno);
+      return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      if (err != nullptr) *err = std::strerror(errno);
+      close();
+      return false;
+    }
+    return true;
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends `line` (newline appended) and blocks for the response line.
+  bool request(const std::string& line, std::string* response,
+               std::string* err) {
+    if (fd_ < 0) {
+      if (err != nullptr) *err = "not connected";
+      return false;
+    }
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t wr =
+          ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+      if (wr <= 0) {
+        if (err != nullptr) *err = "send failed";
+        return false;
+      }
+      sent += static_cast<std::size_t>(wr);
+    }
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        *response = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (r <= 0) {
+        if (err != nullptr) *err = "connection closed by server";
+        return false;
+      }
+      buf_.append(chunk, static_cast<std::size_t>(r));
+    }
+  }
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    buf_.clear();
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  // bytes past the last consumed response line
+};
+
+}  // namespace tilespmspv::serve

@@ -1,0 +1,225 @@
+#include "serve/matrix_store.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "formats/mm_io.hpp"
+#include "formats/serialize.hpp"
+#include "formats/validate.hpp"
+#include "gen/suite.hpp"
+#include "parallel/atomics.hpp"
+
+namespace tilespmspv::serve {
+
+std::uint64_t fnv1a64(const char* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string content_key(const std::string& serialized_bytes) {
+  std::uint64_t h = fnv1a64(serialized_bytes.data(), serialized_bytes.size());
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = "0123456789abcdef"[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+namespace {
+
+/// Approximate resident footprint of a tiled matrix: the payload vectors
+/// (values, indices, pointers, side COO, run list, strategy bytes).
+std::size_t tile_matrix_bytes(const TileMatrix<value_t>& m) {
+  auto vec_bytes = [](const auto& v) {
+    return v.size() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  std::size_t b = 0;
+  b += vec_bytes(m.tile_row_ptr) + vec_bytes(m.tile_col_id);
+  b += vec_bytes(m.tile_nnz_ptr) + vec_bytes(m.intra_row_ptr);
+  b += vec_bytes(m.local_col) + vec_bytes(m.vals);
+  b += vec_bytes(m.extracted.row_idx) + vec_bytes(m.extracted.col_idx) +
+       vec_bytes(m.extracted.vals);
+  b += vec_bytes(m.side_col_ptr) + vec_bytes(m.side_row_idx) +
+       vec_bytes(m.side_vals) + vec_bytes(m.side_row_ptr);
+  b += vec_bytes(m.row_chunk_ptr) + vec_bytes(m.run_ptr) +
+       vec_bytes(m.row_runs) + vec_bytes(m.tile_strategy);
+  return b;
+}
+
+}  // namespace
+
+SnapshotPtr build_snapshot(const Csr<value_t>& a, std::string key,
+                           std::string alias, std::string source,
+                           const SpmspvConfig& cfg) {
+  // Trust boundary: the matrix may come from an arbitrary client upload.
+  const ValidationResult vr = validate_csr(a);
+  if (!vr.ok()) {
+    throw std::invalid_argument("matrix failed validation: " + vr.message());
+  }
+  auto snap = std::make_shared<MatrixSnapshot>();
+  snap->key = std::move(key);
+  snap->alias = std::move(alias);
+  snap->source = std::move(source);
+  snap->rows = a.rows;
+  snap->cols = a.cols;
+  snap->nnz = a.nnz();
+  snap->tiled = TileMatrix<value_t>::from_csr(a, cfg.nt, cfg.extract_threshold);
+  if (a.rows == a.cols) {
+    // BFS expand operand: unit-weight tiled transpose (see apps/ms_bfs.hpp).
+    Csr<value_t> at = a.transpose();
+    for (auto& v : at.vals) v = value_t{1};
+    snap->tiled_t =
+        TileMatrix<value_t>::from_csr(at, cfg.nt, cfg.extract_threshold);
+    snap->has_transpose = true;
+  }
+  snap->bytes = sizeof(MatrixSnapshot) + tile_matrix_bytes(snap->tiled) +
+                tile_matrix_bytes(snap->tiled_t);
+  return snap;
+}
+
+SnapshotPtr load_snapshot_file(const std::string& path, std::string alias,
+                               const SpmspvConfig& cfg) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open matrix file: " + path);
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  const std::string bytes = raw.str();
+  std::string key = content_key(bytes);
+
+  std::istringstream stream(bytes);
+  const SerializedKind kind = probe_serialized_kind(stream);
+  Csr<value_t> a;
+  if (kind == SerializedKind::kCsr) {
+    a = read_csr(stream);  // validating reader
+  } else if (kind == SerializedKind::kTileMatrix) {
+    throw std::runtime_error(
+        "tiled-matrix files are not servable directly; serve the CSR or "
+        "MatrixMarket source instead: " +
+        path);
+  } else {
+    a = Csr<value_t>::from_coo(read_matrix_market(stream));
+  }
+  return build_snapshot(a, std::move(key), std::move(alias), "file:" + path,
+                        cfg);
+}
+
+SnapshotPtr load_snapshot_suite(const std::string& name, std::string alias,
+                                const SpmspvConfig& cfg) {
+  const Csr<value_t> a = Csr<value_t>::from_coo(suite_matrix(name));
+  // Canonical bytes for the content key: the serialized CSR form, so the
+  // same suite matrix loaded under two aliases shares one cache entry.
+  std::ostringstream bytes;
+  write_csr(bytes, a);
+  return build_snapshot(a, content_key(bytes.str()), std::move(alias),
+                        "suite:" + name, cfg);
+}
+
+SnapshotPtr MatrixStore::get(const std::string& key_or_alias) {
+  std::lock_guard<std::mutex> g(mu_);
+  Entry* e = find_locked(key_or_alias);
+  if (e == nullptr) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  e->tick = ++tick_;
+  spin_lock(&e->lock);
+  SnapshotPtr snap = e->snap;  // refcount bump: query owns this snapshot
+  spin_unlock(&e->lock);
+  return snap;
+}
+
+std::string MatrixStore::put(SnapshotPtr snap,
+                             std::vector<std::string>* evicted) {
+  std::string key = snap->key;
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& [k, e] : entries_) {
+    if (k != key) continue;
+    // Same content already resident: epoch-style swap. Readers that copied
+    // the old pointer finish on the old snapshot; the swap itself sits
+    // behind the entry spin lock so a concurrent get() never observes a
+    // half-written pointer.
+    auto next = std::make_shared<MatrixSnapshot>(*snap);
+    spin_lock(&e->lock);
+    next->epoch = e->snap->epoch + 1;
+    resident_bytes_ -= e->snap->bytes;
+    resident_bytes_ += next->bytes;
+    e->snap = std::move(next);
+    spin_unlock(&e->lock);
+    e->tick = ++tick_;
+    ++swaps_;
+    return key;
+  }
+  auto e = std::make_unique<Entry>();
+  resident_bytes_ += snap->bytes;
+  e->snap = std::move(snap);
+  e->tick = ++tick_;
+  entries_.emplace_back(key, std::move(e));
+  evict_locked(key, evicted);
+  return key;
+}
+
+bool MatrixStore::erase(const std::string& key_or_alias) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first != key_or_alias && it->second->snap->alias != key_or_alias) {
+      continue;
+    }
+    resident_bytes_ -= it->second->snap->bytes;
+    entries_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+std::vector<MatrixStore::Info> MatrixStore::list() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<Info> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, e] : entries_) {
+    const MatrixSnapshot& s = *e->snap;
+    out.push_back(
+        {k, s.alias, s.source, s.rows, s.cols, s.nnz, s.bytes, s.epoch});
+  }
+  return out;
+}
+
+MatrixStore::Stats MatrixStore::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return {hits_, misses_,          evictions_,
+          swaps_, resident_bytes_, entries_.size()};
+}
+
+MatrixStore::Entry* MatrixStore::find_locked(const std::string& key_or_alias) {
+  for (auto& [k, e] : entries_) {
+    if (k == key_or_alias || e->snap->alias == key_or_alias) return e.get();
+  }
+  return nullptr;
+}
+
+void MatrixStore::evict_locked(const std::string& keep_key,
+                               std::vector<std::string>* evicted) {
+  while (resident_bytes_ > capacity_bytes_ && entries_.size() > 1) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == keep_key) continue;
+      if (victim == entries_.end() || it->second->tick < victim->second->tick) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) break;
+    resident_bytes_ -= victim->second->snap->bytes;
+    if (evicted != nullptr) evicted->push_back(victim->first);
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
+}  // namespace tilespmspv::serve

@@ -1,0 +1,110 @@
+// The tilespmspv_serve request layer: a newline-delimited JSON protocol
+// over a unix-domain socket. Each request is one line, each response one
+// line; `handle_line` is the whole protocol, so tests and the serve_smoke
+// bench drive the daemon in-process while tools/tilespmspv_serve.cpp adds
+// the socket transport around the same function.
+//
+// Ops: ping, load (path|suite [+alias]), unload, reload, list, spmspv
+// (indices/values), bfs (source), stats, shutdown. Every response carries
+// "ok"; failures add "error" and never tear down the connection.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/spmspv.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/json_value.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/batcher.hpp"
+#include "serve/matrix_store.hpp"
+
+namespace tilespmspv::serve {
+
+struct ServeConfig {
+  std::string socket_path = "/tmp/tilespmspv.sock";
+  std::size_t cache_bytes = 256ull << 20;  // matrix residency budget
+  int batch_k = 16;                        // admission flush threshold
+  double deadline_ms = 2.0;                // admission flush deadline
+  std::size_t threads = 0;                 // kernel pool; 0 = hardware
+  SpmspvConfig spmspv;                     // conversion parameters
+};
+
+/// Per-op serving statistics, exported by the `stats` op. Guarded by one
+/// mutex (request rates are far below kernel work; contention is nil).
+class ServerStats {
+ public:
+  void record(const std::string& op, double ms, bool ok);
+  void fill(obs::MetricsRegistry* reg) const;
+
+ private:
+  struct OpStats {
+    std::string op;
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    obs::LatencyHistogram latency;
+  };
+  mutable std::mutex mu_;
+  std::vector<OpStats> ops_;
+};
+
+/// The daemon core. Construction builds the kernel pool, store, and
+/// batcher; start()/stop() manage the socket transport. handle_line is
+/// safe to call from any thread, with or without the transport running.
+class Server {
+ public:
+  explicit Server(const ServeConfig& cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// One protocol round: request line in (no trailing newline needed),
+  /// response line out (single line, no newline). Never throws.
+  std::string handle_line(const std::string& line);
+
+  /// Binds + listens on cfg.socket_path and starts the accept loop.
+  bool start(std::string* err);
+
+  /// Stops the transport: closes the listener and live connections, joins
+  /// every thread. Idempotent; also run by the destructor.
+  void stop();
+
+  /// True once a `shutdown` request has been handled.
+  bool shutdown_requested() const;
+
+  const ServeConfig& config() const { return cfg_; }
+
+ private:
+  std::string handle_request(const std::string& line);
+  std::string do_load(const obs::JsonValue& req);
+  std::string do_unload(const obs::JsonValue& req);
+  std::string do_list();
+  std::string do_spmspv(const obs::JsonValue& req);
+  std::string do_bfs(const obs::JsonValue& req);
+  std::string do_stats();
+
+  void accept_loop();
+  void connection_loop(int fd);
+
+  ServeConfig cfg_;
+  ThreadPool pool_;
+  MatrixStore store_;
+  Batcher batcher_;
+  ServerStats stats_;
+
+  mutable std::mutex mu_;  // transport + shutdown state
+  bool shutdown_requested_ = false;
+  bool transport_running_ = false;
+  int listen_fd_ = -1;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  std::thread accept_thread_;
+};
+
+}  // namespace tilespmspv::serve

@@ -56,28 +56,42 @@ struct TileVector {
     return slot == kEmptyTile ? T{} : x_tile[slot * nt + i % nt];
   }
 
-  /// Builds the tiled form from a plain sparse vector.
+  /// Builds the tiled form from a plain sparse vector. Tolerates input
+  /// that falls short of SparseVec's invariant — unsorted indices,
+  /// duplicates (later entries win) and explicit zero values: slot
+  /// numbering is derived in tile order regardless of input order, and
+  /// nnz counts the nonzeros actually stored, so the result always meets
+  /// the tiled validator's invariants.
   static TileVector from_sparse(const SparseVec<T>& x, index_t nt) {
     TileVector v;
     v.n = x.n;
     v.nt = nt;
-    v.nnz = x.nnz();
     const index_t tiles = ceil_div(x.n, nt);
     v.x_ptr.assign(tiles, kEmptyTile);
-    // Pass 1: mark which tiles are non-empty and assign compact slots in
-    // tile order (matching the paper's 0,1,2,... numbering).
-    index_t slots = 0;
+    // Pass 1: mark the touched tiles, then number the compact slots in a
+    // separate tile-order scan (the paper's 0,1,2,... numbering) — a
+    // single first-appearance pass would scramble the order for unsorted
+    // input.
     for (index_t i : x.idx) {
-      index_t& p = v.x_ptr[i / nt];
-      if (p == kEmptyTile) p = slots++;
+      assert(i >= 0 && i < x.n);
+      v.x_ptr[i / nt] = 0;
+    }
+    index_t slots = 0;
+    for (index_t t = 0; t < tiles; ++t) {
+      if (v.x_ptr[t] != kEmptyTile) v.x_ptr[t] = slots++;
     }
     // A nonzero in the last partial tile must not read past n, so tiles are
     // zero-padded to a full nt.
     v.x_tile.assign(static_cast<std::size_t>(slots) * nt, T{});
+    index_t stored = 0;
     for (std::size_t k = 0; k < x.idx.size(); ++k) {
       const index_t i = x.idx[k];
-      v.x_tile[v.x_ptr[i / nt] * nt + i % nt] = x.vals[k];
+      T& cell = v.x_tile[v.x_ptr[i / nt] * nt + i % nt];
+      if (cell != T{}) --stored;  // duplicate overwrite: retract old count
+      cell = x.vals[k];
+      if (cell != T{}) ++stored;
     }
+    v.nnz = stored;
     TILESPMSPV_POSTCONDITION(validate_tile_vector(v),
                              "TileVector::from_sparse");
     return v;

@@ -49,6 +49,41 @@ class Args {
     return v.empty() ? def : std::strtod(v.c_str(), nullptr);
   }
 
+  /// First `--flag` token not in `known`, or "" when every flag is known.
+  /// Flag values and positional words are never checked.
+  std::string first_unknown_flag(
+      const std::vector<std::string>& known) const {
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (tokens_[i].rfind("--", 0) != 0) continue;
+      bool found = false;
+      for (const auto& k : known) {
+        if (tokens_[i] == k) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return tokens_[i];
+      // A known switch consumes its value token unless the next token is
+      // also a flag, mirroring positional(); the value is not a flag even
+      // when it happens to contain dashes.
+      if (i + 1 < tokens_.size() && tokens_[i + 1].rfind("--", 0) != 0) {
+        ++i;
+      }
+    }
+    return "";
+  }
+
+  /// Rejects typo'd flags with a usage error: throws std::invalid_argument
+  /// naming the offender when any `--flag` is not in `known`. Silent
+  /// acceptance is worse than an error — a misspelled `--metrics` used to
+  /// drop the requested output on the floor.
+  void reject_unknown(const std::vector<std::string>& known) const {
+    const std::string bad = first_unknown_flag(known);
+    if (!bad.empty()) {
+      throw std::invalid_argument("unknown flag '" + bad + "'");
+    }
+  }
+
   /// Positional arguments (tokens that are not flags or flag values).
   std::vector<std::string> positional() const {
     std::vector<std::string> out;

@@ -123,6 +123,37 @@ TEST(BenchCompare, MissingCasePolicy) {
   EXPECT_EQ(run(newp + " " + oldp + " --strict-missing"), 0);
 }
 
+TEST(BenchCompare, ZeroBaselineIsNoDataNotRegression) {
+  // A dead measurement serialized as zeros used to make any healthy new
+  // value look infinitely regressed (division against an old best of 0).
+  // Either direction must be binned as no-data, never a failure.
+  const std::string deadp =
+      write_report(make_report({{"fig6/a", 0.0, 0.0}}), "dead");
+  const std::string livep =
+      write_report(make_report({{"fig6/a", 5.0, 6.0}}), "live");
+  EXPECT_EQ(run(deadp + " " + livep), 0);
+  EXPECT_EQ(run(livep + " " + deadp), 0);
+  EXPECT_EQ(run(deadp + " " + deadp), 0);
+}
+
+TEST(BenchCompare, NoSamplesEmptyHistogramIsNoData) {
+  // samples == 0 with an empty histogram carries no information even when
+  // a stale ms_best rides along: the pair must not fail the gate.
+  BenchReport old_r = make_report({{"fig6/a", 1.0, 1.2}});
+  old_r.cases[0].samples = 0;
+  const std::string oldp = write_report(old_r, "nosamp_old");
+  const std::string newp =
+      write_report(make_report({{"fig6/a", 10.0, 12.0}}), "nosamp_new");
+  EXPECT_EQ(run(oldp + " " + newp), 0);
+}
+
+TEST(BenchCompare, UnknownFlagExitsTwo) {
+  const std::string p =
+      write_report(make_report({{"fig6/a", 1.0, 1.2}}), "flag");
+  EXPECT_EQ(run(p + " " + p + " --tol 0.5"), 0);
+  EXPECT_EQ(run(p + " " + p + " --tool 0.5"), 2);
+}
+
 TEST(BenchCompare, BadInputsExitTwo) {
   const std::string good =
       write_report(make_report({{"fig6/a", 1.0, 1.2}}), "good");

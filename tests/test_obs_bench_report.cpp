@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
@@ -137,6 +139,97 @@ TEST(GitShaTest, ResolvesInsideARepoOrReportsUnknown) {
       EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << sha;
     }
   }
+}
+
+namespace {
+
+/// Fresh scratch tree for one synthetic .git layout.
+class GitShaFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::path(testing::TempDir()) /
+            ("gitsha_" + std::string(::testing::UnitTest::GetInstance()
+                                         ->current_test_info()
+                                         ->name()));
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  void write(const std::string& rel, const std::string& content) {
+    const std::filesystem::path p = root_ / rel;
+    std::filesystem::create_directories(p.parent_path());
+    std::ofstream out(p, std::ios::binary);
+    out << content;
+  }
+
+  std::filesystem::path root_;
+};
+
+constexpr const char* kSha = "0123456789abcdef0123456789abcdef01234567";
+
+}  // namespace
+
+TEST_F(GitShaFixture, RefMissingEverywhereIsUnknown) {
+  // The daemon and bench runner must start from an exported tarball: HEAD
+  // naming a ref that exists neither loose nor packed degrades cleanly.
+  write(".git/HEAD", "ref: refs/heads/main\n");
+  EXPECT_EQ(read_git_sha(root_.string()), "unknown");
+}
+
+TEST_F(GitShaFixture, MissingHeadIsUnknown) {
+  std::filesystem::create_directories(root_ / ".git");
+  EXPECT_EQ(read_git_sha(root_.string()), "unknown");
+}
+
+TEST_F(GitShaFixture, EmptyAndGarbageHeadAreUnknown) {
+  write(".git/HEAD", "");
+  EXPECT_EQ(read_git_sha(root_.string()), "unknown");
+  write(".git/HEAD", "this is not a commit id, forty+ characters long\n");
+  EXPECT_EQ(read_git_sha(root_.string()), "unknown");
+}
+
+TEST_F(GitShaFixture, LooseRefResolves) {
+  write(".git/HEAD", "ref: refs/heads/main\r\n");  // CRLF tolerated
+  write(".git/refs/heads/main", std::string(kSha) + "\n");
+  EXPECT_EQ(read_git_sha(root_.string()), kSha);
+}
+
+TEST_F(GitShaFixture, PackedRefResolvesPastCommentsAndPeeledLines) {
+  write(".git/HEAD", "ref: refs/heads/main\n");
+  write(".git/packed-refs",
+        "# pack-refs with: peeled fully-peeled sorted\n" +
+            std::string("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa "
+                        "refs/tags/v1\n") +
+            "^bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb\n" + kSha +
+            " refs/heads/main\n");
+  EXPECT_EQ(read_git_sha(root_.string()), kSha);
+}
+
+TEST_F(GitShaFixture, DetachedHeadResolves) {
+  write(".git/HEAD", std::string(kSha) + "\n");
+  EXPECT_EQ(read_git_sha(root_.string()), kSha);
+}
+
+TEST_F(GitShaFixture, GitdirPointerFileResolvesWithoutWalkingUp) {
+  // Worktree layout: .git is a file pointing at the real git dir. The
+  // resolver must follow the pointer instead of climbing into whatever
+  // repository contains the scratch tree.
+  write("wt/.git", "gitdir: ../gd\n");
+  write("gd/HEAD", "ref: refs/heads/task\n");
+  write("gd/refs/heads/task", std::string(kSha) + "\n");
+  EXPECT_EQ(read_git_sha((root_ / "wt").string()), kSha);
+}
+
+TEST_F(GitShaFixture, WorktreeCommondirRefsResolve) {
+  // Real worktrees keep shared refs under the commondir; the worktree's
+  // own git dir holds only HEAD and a commondir pointer.
+  write("wt/.git", "gitdir: " + (root_ / "main/.git/worktrees/wt").string() +
+                       "\n");
+  write("main/.git/worktrees/wt/HEAD", "ref: refs/heads/task\n");
+  write("main/.git/worktrees/wt/commondir", "../..\n");
+  write("main/.git/refs/heads/task", std::string(kSha) + "\n");
+  EXPECT_EQ(read_git_sha((root_ / "wt").string()), kSha);
 }
 
 namespace {

@@ -122,6 +122,62 @@ TEST(ThreadPool, TwoPoolsOperateIndependently) {
   EXPECT_EQ(cb.load(), 500);
 }
 
+TEST(ThreadPool, OffPoolThreadSeesSentinelSlot) {
+  // Threads that are not inside any dispatch carry the -1 sentinel;
+  // scratch_slot() folds it into the always-present caller bucket so
+  // per-slot workspaces stay in bounds when kernels run off-pool (the
+  // serving daemon's request threads are exactly this case).
+  int slot = -2, scratch = -2;
+  std::thread t([&] {
+    slot = ThreadPool::current_slot();
+    scratch = ThreadPool::scratch_slot();
+  });
+  t.join();
+  EXPECT_EQ(slot, -1);
+  EXPECT_EQ(scratch, 0);
+}
+
+TEST(ThreadPool, SlotsAreDenseWithinDispatch) {
+  ThreadPool pool(4);
+  std::atomic<int> out_of_range{0};
+  parallel_for(
+      4096,
+      [&](index_t) {
+        const int s = ThreadPool::current_slot();
+        if (s < 0 || s >= static_cast<int>(pool.size())) {
+          out_of_range.fetch_add(1);
+        }
+      },
+      &pool, /*chunk=*/1);
+  EXPECT_EQ(out_of_range.load(), 0);
+}
+
+TEST(ThreadPool, NestedDispatchOntoSmallerPoolRebindsSlot) {
+  // Regression: a worker of a 4-thread pool used to keep its own slot
+  // (1..3) while executing a body dispatched through a 1-thread pool,
+  // indexing that pool's per-slot buffers out of bounds. The dispatch must
+  // bind the thread to the small pool's caller slot and restore the worker
+  // slot afterwards.
+  ThreadPool big(4);
+  ThreadPool small(1);
+  std::atomic<int> bad_inner{0}, bad_restore{0};
+  parallel_for(
+      64,
+      [&](index_t) {
+        const int before = ThreadPool::current_slot();
+        small.parallel_ranges(8, /*chunk=*/64, [&](index_t, index_t) {
+          const int s = ThreadPool::current_slot();
+          if (s < 0 || s >= static_cast<int>(small.size())) {
+            bad_inner.fetch_add(1);
+          }
+        });
+        if (ThreadPool::current_slot() != before) bad_restore.fetch_add(1);
+      },
+      &big, /*chunk=*/1);
+  EXPECT_EQ(bad_inner.load(), 0);
+  EXPECT_EQ(bad_restore.load(), 0);
+}
+
 TEST(ThreadPool, LargeChunkRunsSerially) {
   ThreadPool pool(4);
   // n <= chunk takes the serial fast path; verify order is sequential.

@@ -145,5 +145,126 @@ TEST(SpmspmBlock, EmptyBlock) {
   EXPECT_TRUE(tile_spmspm(tiled, xb).empty());
 }
 
+TEST(SpmspmBlock, AllEmptyLanes) {
+  // k > 0 but every lane is empty: the block has zero kept tiles and the
+  // engine must return k empty outputs without touching any phase scratch.
+  Csr<value_t> a =
+      Csr<value_t>::from_coo(gen_erdos_renyi(200, 200, 0.02, 4900));
+  TileMatrix<value_t> tiled = TileMatrix<value_t>::from_csr(a, 16, 2);
+  ThreadPool pool(4);
+  std::vector<SparseVec<value_t>> xs(7, SparseVec<value_t>(200));
+  const auto xb = TileVectorBlock<value_t>::from_sparse(xs, 16, &pool);
+  EXPECT_TRUE(validate_tile_vector_block(xb).ok());
+  EXPECT_EQ(xb.num_nonempty_tiles(), 0);
+  const auto ys = tile_spmspm(tiled, xb, &pool);
+  ASSERT_EQ(ys.size(), 7u);
+  for (const auto& y : ys) {
+    EXPECT_EQ(y.n, 200);
+    EXPECT_EQ(y.nnz(), 0);
+  }
+}
+
+TEST(SpmspmBlock, DuplicateUnsortedFromSparseMatchesSanitizedLane) {
+  // from_sparse must tolerate input below SparseVec's invariant: unsorted
+  // indices, duplicates (later entries win, including a zero overwrite
+  // that kills the nonzero), and still produce a validator-clean tiled
+  // vector whose slot numbering is in tile order. The engine's output over
+  // the dirty lane must match the per-vector kernel over the sanitized
+  // equivalent.
+  Csr<value_t> a =
+      Csr<value_t>::from_coo(gen_erdos_renyi(120, 96, 0.05, 5000));
+  TileMatrix<value_t> tiled = TileMatrix<value_t>::from_csr(a, 16, 2);
+
+  SparseVec<value_t> dirty(96);
+  dirty.push(80, 7.0);   // tile 5 first: unsorted input
+  dirty.push(3, 1.0);
+  dirty.push(17, 2.0);
+  dirty.push(3, 4.0);    // duplicate of 3: last write wins
+  dirty.push(40, 5.0);
+  dirty.push(40, 0.0);   // duplicate zero overwrite: nonzero disappears
+  SparseVec<value_t> clean(96);
+  clean.push(3, 4.0);
+  clean.push(17, 2.0);
+  clean.push(80, 7.0);
+
+  const auto xt = TileVector<value_t>::from_sparse(dirty, 16);
+  EXPECT_TRUE(validate_tile_vector(xt).ok());
+  EXPECT_EQ(xt.nnz, 3);
+  // Tile-order slot numbering despite the out-of-order input.
+  EXPECT_EQ(xt.x_ptr[0], 0);
+  EXPECT_EQ(xt.x_ptr[1], 1);
+  EXPECT_EQ(xt.x_ptr[2], 2);
+  EXPECT_EQ(xt.x_ptr[5], 3);
+  const SparseVec<value_t> back = xt.to_sparse();
+  EXPECT_EQ(back.idx, clean.idx);
+  EXPECT_EQ(back.vals, clean.vals);
+
+  ThreadPool pool(3);
+  const auto xb =
+      TileVectorBlock<value_t>::from_sparse({dirty, clean}, 16, &pool);
+  EXPECT_TRUE(validate_tile_vector_block(xb).ok());
+  const auto ys = tile_spmspm(tiled, xb, &pool);
+  ASSERT_EQ(ys.size(), 2u);
+  const SparseVec<value_t> ref = tile_spmspv(
+      tiled, TileVector<value_t>::from_sparse(clean, 16), &pool);
+  EXPECT_TRUE(approx_equal(ys[0], ref)) << "dirty lane";
+  EXPECT_TRUE(approx_equal(ys[1], ref)) << "clean lane";
+}
+
+TEST(SpmspmBlock, ZeroDimensionMatrix) {
+  // n == 0 on both sides: zero tile grid, zero lanes' worth of payload.
+  const Csr<value_t> a = Csr<value_t>::from_coo(Coo<value_t>(0, 0));
+  TileMatrix<value_t> tiled = TileMatrix<value_t>::from_csr(a, 16, 2);
+  std::vector<SparseVec<value_t>> xs(3, SparseVec<value_t>(0));
+  const auto xb = TileVectorBlock<value_t>::from_sparse(xs, 16, nullptr);
+  EXPECT_TRUE(validate_tile_vector_block(xb).ok());
+  const auto ys = tile_spmspm(tiled, xb);
+  ASSERT_EQ(ys.size(), 3u);
+  for (const auto& y : ys) {
+    EXPECT_EQ(y.n, 0);
+    EXPECT_EQ(y.nnz(), 0);
+  }
+}
+
+TEST(SpmspmBlock, ForeignPoolWorkerInvocationStaysInBounds) {
+  // Regression for the off-pool slot bug: a worker of a larger pool
+  // invoking the engine with a 1-thread pool used to index the workspace's
+  // per-slot accumulators with its foreign slot (out of bounds for the
+  // small pool). The dispatch now rebinds slots, so the call must both
+  // stay in bounds (assertion-backed in debug builds) and produce the same
+  // answer as a plain top-level call.
+  Csr<value_t> a =
+      Csr<value_t>::from_coo(gen_erdos_renyi(400, 400, 0.02, 5100));
+  TileMatrix<value_t> tiled = TileMatrix<value_t>::from_csr(a, 16, 2);
+  std::vector<TileVector<value_t>> xs;
+  for (int v = 0; v < 8; ++v) {
+    xs.push_back(TileVector<value_t>::from_sparse(
+        gen_sparse_vector(400, 0.05, 5200 + v), 16));
+  }
+  const auto xb = TileVectorBlock<value_t>::from_tiled(xs, nullptr);
+  const auto expect = tile_spmspm(tiled, xb);
+
+  ThreadPool outer(4);
+  ThreadPool inner(1);
+  std::vector<std::vector<SparseVec<value_t>>> got(
+      static_cast<std::size_t>(outer.size()));
+  parallel_for(
+      static_cast<index_t>(outer.size()),
+      [&](index_t i) {
+        // Every outer slot (workers and caller) runs the engine through the
+        // foreign 1-thread pool.
+        got[static_cast<std::size_t>(i)] = tile_spmspm(tiled, xb, &inner);
+      },
+      &outer, /*chunk=*/1);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].size(), 8u) << "outer slot " << i;
+    for (int v = 0; v < 8; ++v) {
+      EXPECT_TRUE(approx_equal(got[i][static_cast<std::size_t>(v)],
+                               expect[static_cast<std::size_t>(v)]))
+          << "outer slot " << i << " lane " << v;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace tilespmspv

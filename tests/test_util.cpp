@@ -229,6 +229,38 @@ TEST(Args, MissingValueThrows) {
   EXPECT_THROW(args.get("--matrix"), std::invalid_argument);
 }
 
+TEST(Args, UnknownFlagIsDetected) {
+  // A typo'd switch (--metircs) must surface as a usage error, not be
+  // silently ignored.
+  const char* argv[] = {"prog", "spmspv", "--metircs", "out.json"};
+  Args args(4, const_cast<char**>(argv));
+  EXPECT_EQ(args.first_unknown_flag({"--metrics", "--json"}), "--metircs");
+  EXPECT_THROW(args.reject_unknown({"--metrics", "--json"}),
+               std::invalid_argument);
+}
+
+TEST(Args, KnownFlagsPassTheGuard) {
+  const char* argv[] = {"prog",      "bfs",  "--matrix", "a.mtx",
+                        "--verbose", "positional"};
+  Args args(6, const_cast<char**>(argv));
+  EXPECT_EQ(args.first_unknown_flag({"--matrix", "--verbose"}), "");
+  EXPECT_NO_THROW(args.reject_unknown({"--matrix", "--verbose"}));
+}
+
+TEST(Args, FlagValueIsNeverTreatedAsFlag) {
+  // A known flag consumes its value token, so a value that merely looks
+  // odd (a file named like a word) cannot trip the guard; only genuine
+  // `--` tokens are checked.
+  const char* argv[] = {"prog", "--out", "report.json", "--tier", "quick"};
+  Args args(5, const_cast<char**>(argv));
+  EXPECT_EQ(args.first_unknown_flag({"--out", "--tier"}), "");
+  // But an unknown flag in value position of a boolean switch is caught.
+  const char* argv2[] = {"prog", "--verbose", "--metircs"};
+  Args args2(3, const_cast<char**>(argv2));
+  EXPECT_EQ(args2.first_unknown_flag({"--verbose", "--metrics"}),
+            "--metircs");
+}
+
 TEST(Table, FmtHelpers) {
   EXPECT_EQ(fmt(3.14159, 2), "3.14");
   EXPECT_EQ(fmt(2.0, 0), "2");

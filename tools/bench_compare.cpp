@@ -64,6 +64,14 @@ const obs::ParsedCase* find_case(const obs::ParsedBenchReport& r,
 
 std::string fmt_ms(double v) { return tilespmspv::fmt(v, 4); }
 
+/// A case that carries no timing information: nonpositive best-of, or no
+/// samples and an empty histogram (a crashed or skipped run serialized as
+/// zeros). Relative-regression math against it is meaningless — division
+/// by an old best of zero flagged every such pair as REGRESSED.
+bool no_data(const obs::ParsedCase& c) {
+  return c.ms_best <= 0.0 || (c.samples == 0 && c.hist_count == 0);
+}
+
 std::string fmt_delta(double old_v, double new_v) {
   if (old_v <= 0.0) return "-";
   const double pct = 100.0 * (new_v - old_v) / old_v;
@@ -81,6 +89,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: bench_compare old.json new.json [--tol R] "
                  "[--p95-tol R] [--min-ms MS] [--strict-missing]\n");
+    return 2;
+  }
+  const std::string bad = args.first_unknown_flag(
+      {"--tol", "--p95-tol", "--min-ms", "--strict-missing"});
+  if (!bad.empty()) {
+    std::fprintf(stderr, "error: unknown flag '%s'\n", bad.c_str());
     return 2;
   }
   const double tol = args.get_double("--tol", 0.30);
@@ -117,7 +131,12 @@ int main(int argc, char** argv) {
       continue;
     }
     std::string verdict;
-    if (oc.ms_best < min_ms && nc->ms_best < min_ms) {
+    if (no_data(oc) || no_data(*nc)) {
+      // Either side is a dead measurement: treat the pair as sub-floor
+      // noise rather than letting a zero baseline fail the gate.
+      verdict = "no-data";
+      ++noise;
+    } else if (oc.ms_best < min_ms && nc->ms_best < min_ms) {
       verdict = "noise-floor";
       ++noise;
     } else if (nc->ms_best > oc.ms_best * (1.0 + tol)) {

@@ -7,8 +7,8 @@
 // profile), and writes one schema-versioned report.
 //
 //   tilespmspv_bench [--tier quick|full] [--filter fig6,fig6_batch,fig7]
-//                    [--iters N] [--threads N] [--out BENCH_0007.json]
-//                    [--bench-id BENCH_0007] [--no-calibrate]
+//                    [--iters N] [--threads N] [--out BENCH_0008.json]
+//                    [--bench-id BENCH_0008] [--no-calibrate]
 //
 // Tiers:
 //   quick  3 small matrices per group, 5 iters — the CI regression gate
@@ -19,10 +19,13 @@
 //
 // Groups: fig6 (SpMSpV over vector sparsities), fig6_batch (block-of-k
 // SpMSpM vs k single multiplies at k = 64), fig7 (TileBFS), fig11
-// (CSR -> tiled conversion). --filter selects a comma-separated subset.
+// (CSR -> tiled conversion), serve_smoke (serving-daemon request latency,
+// single and 8-way burst). --filter selects a comma-separated subset.
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -33,6 +36,8 @@
 #include "core/work_model.hpp"
 #include "gen/vector_gen.hpp"
 #include "obs/bench_report.hpp"
+#include "obs/json.hpp"
+#include "serve/server.hpp"
 #include "util/args.hpp"
 #include "util/simd.hpp"
 
@@ -210,18 +215,77 @@ void run_fig11(const Tier& tier, int iters, ThreadPool& pool,
   }
 }
 
+void run_serve_smoke(const Tier& tier, int iters,
+                     std::vector<obs::BenchCase>& out) {
+  // In-process serving daemon (handle_line is the whole protocol minus
+  // socket I/O): `.single` samples one request per timed run — its
+  // p50/p95 are the unloaded request latency the trajectory tracks —
+  // and `.burst8` times 8 concurrent requests landing in one admission
+  // window, the batched-flush path.
+  serve::ServeConfig cfg;
+  cfg.batch_k = 8;
+  cfg.deadline_ms = 1.0;
+  cfg.threads = 4;
+  for (const std::string& name : tier.spmspv_matrices) {
+    serve::Server server(cfg);
+    const std::string loaded = server.handle_line(
+        "{\"op\":\"load\",\"suite\":\"" + name + "\",\"alias\":\"m\"}");
+    if (loaded.rfind("{\"ok\":true", 0) != 0) {
+      throw std::runtime_error("serve_smoke: load failed: " + loaded);
+    }
+    const Csr<value_t> a = Csr<value_t>::from_coo(suite_matrix(name));
+    std::vector<std::string> reqs;
+    for (unsigned seed = 1; seed <= 32; ++seed) {
+      const SparseVec<value_t> x = gen_sparse_vector(a.cols, 0.01, seed);
+      std::ostringstream os;
+      obs::JsonWriter w(os);
+      w.begin_object();
+      w.key("op").value("spmspv");
+      w.key("matrix").value("m");
+      w.key("indices").begin_array();
+      for (const index_t i : x.idx) w.value(static_cast<std::int64_t>(i));
+      w.end_array();
+      w.key("values").begin_array();
+      for (const value_t v : x.vals) w.value(static_cast<double>(v));
+      w.end_array();
+      w.end_object();
+      reqs.push_back(os.str());
+    }
+    std::size_t next = 0;
+    out.push_back(run_case(
+        "serve_smoke", "serve_smoke/" + name + ".single", iters * 8, [&] {
+          (void)server.handle_line(reqs[next % reqs.size()]);
+          ++next;
+        }));
+    out.push_back(run_case(
+        "serve_smoke", "serve_smoke/" + name + ".burst8", iters, [&] {
+          std::vector<std::thread> burst;
+          for (int t = 0; t < 8; ++t) {
+            burst.emplace_back([&, t] {
+              (void)server.handle_line(
+                  reqs[(next + static_cast<std::size_t>(t)) % reqs.size()]);
+            });
+          }
+          for (auto& th : burst) th.join();
+          next += 8;
+        }));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
   try {
+    args.reject_unknown({"--tier", "--filter", "--iters", "--threads",
+                         "--out", "--bench-id", "--no-calibrate"});
     const std::string tier_name = args.get("--tier", "quick");
     const std::string filter = args.get("--filter");
     const int iters = static_cast<int>(args.get_int("--iters", 5));
     const auto threads =
         static_cast<std::size_t>(args.get_int("--threads", 4));
-    const std::string out_path = args.get("--out", "BENCH_0007.json");
-    const std::string bench_id = args.get("--bench-id", "BENCH_0007");
+    const std::string out_path = args.get("--out", "BENCH_0008.json");
+    const std::string bench_id = args.get("--bench-id", "BENCH_0008");
     if (iters < 1) throw std::invalid_argument("--iters must be >= 1");
 
     const Tier tier = tier_spec(tier_name);
@@ -262,6 +326,10 @@ int main(int argc, char** argv) {
     if (group_selected(filter, "fig11")) {
       std::cout << "running fig11 (conversion)...\n";
       run_fig11(tier, iters, pool, report.cases);
+    }
+    if (group_selected(filter, "serve_smoke")) {
+      std::cout << "running serve_smoke (daemon request latency)...\n";
+      run_serve_smoke(tier, iters, report.cases);
     }
     if (report.cases.empty()) {
       std::fprintf(stderr, "no cases selected (filter '%s')\n",

@@ -20,8 +20,13 @@
 //   --profile        print the merged kernel-counter table and the
 //                    per-phase span aggregation (count/total/mean/p95 per
 //                    span name) after the run
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <mutex>
+#include <sstream>
+#include <thread>
 
 #include "apps/connected_components.hpp"
 #include "apps/ppr.hpp"
@@ -38,8 +43,10 @@
 #include "obs/bench_report.hpp"
 #include "obs/counters.hpp"
 #include "obs/json.hpp"
+#include "obs/json_value.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/client.hpp"
 #include "util/args.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -440,12 +447,236 @@ void print_profile(const obs::CounterSnapshot& snap) {
   }
 }
 
+/// Builds the request line for one serve-protocol op from CLI flags. For
+/// spmspv a random vector is generated client-side (same generator the
+/// bench uses) so the daemon sees realistic sparse payloads.
+std::string build_request(const std::string& op, const Args& args,
+                          index_t cols, unsigned seed) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.key("op").value(op);
+  const std::string alias = args.get("--alias");
+  if (op == "load") {
+    const std::string file = args.get("--matrix");
+    const std::string suite = args.get("--suite");
+    if (file.empty() == suite.empty()) {
+      throw std::invalid_argument(
+          "client load needs exactly one of --matrix/--suite");
+    }
+    if (file.empty()) {
+      w.key("suite").value(suite);
+    } else {
+      w.key("path").value(file);
+    }
+    if (!alias.empty()) w.key("alias").value(alias);
+  } else if (op == "unload" || op == "spmspv" || op == "bfs") {
+    if (alias.empty()) throw std::invalid_argument("pass --alias NAME");
+    w.key("matrix").value(alias);
+    if (op == "spmspv") {
+      const double sp = args.get_double("--sparsity", 0.01);
+      const SparseVec<value_t> x = gen_sparse_vector(cols, sp, seed);
+      w.key("indices").begin_array();
+      for (const index_t i : x.idx) w.value(static_cast<std::int64_t>(i));
+      w.end_array();
+      w.key("values").begin_array();
+      for (const value_t v : x.vals) w.value(static_cast<double>(v));
+      w.end_array();
+    } else if (op == "bfs") {
+      w.key("source").value(
+          static_cast<std::int64_t>(args.get_int("--source", 0)));
+    }
+  }
+  w.end_object();
+  return os.str();
+}
+
+/// Column count of the resident matrix named `alias` (via a list request);
+/// needed to generate spmspv payload vectors of the right length.
+index_t remote_cols(serve::Client& c, const std::string& alias) {
+  std::string resp, err;
+  if (!c.request("{\"op\":\"list\"}", &resp, &err)) {
+    throw std::runtime_error("list failed: " + err);
+  }
+  obs::JsonValue v;
+  if (!obs::json_parse_value(resp, &v)) {
+    throw std::runtime_error("list returned malformed JSON");
+  }
+  const obs::JsonValue* ms = v.find("matrices");
+  if (ms != nullptr && ms->is_array()) {
+    for (const auto& m : ms->arr) {
+      if (m.string_or("alias", "") == alias ||
+          m.string_or("key", "") == alias) {
+        return static_cast<index_t>(m.number_or("cols", 0.0));
+      }
+    }
+  }
+  throw std::runtime_error("matrix '" + alias + "' is not resident");
+}
+
+/// `client`: one request against a running daemon, response to stdout.
+int cmd_client(const Args& args) {
+  const std::string socket = args.get("--socket", "/tmp/tilespmspv.sock");
+  const std::string op = args.get("--op", "ping");
+  serve::Client c;
+  std::string err;
+  if (!c.connect(socket, &err)) {
+    std::fprintf(stderr, "cannot connect to %s: %s\n", socket.c_str(),
+                 err.c_str());
+    return 1;
+  }
+  index_t cols = 0;
+  if (op == "spmspv") cols = remote_cols(c, args.get("--alias"));
+  const std::string req = build_request(
+      op, args, cols, static_cast<unsigned>(args.get_int("--seed", 1)));
+  std::string resp;
+  if (!c.request(req, &resp, &err)) {
+    std::fprintf(stderr, "request failed: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("%s\n", resp.c_str());
+  return resp.rfind("{\"ok\":true", 0) == 0 ? 0 : 1;
+}
+
+/// `loadgen`: closed- or open-loop load generator against a running
+/// daemon. Closed loop: each of C connections issues its share of
+/// --count requests back to back. Open loop: requests start on a global
+/// schedule at --rate per second regardless of completions (the
+/// latency-under-load number serving papers quote).
+int cmd_loadgen(const Args& args, obs::MetricsRegistry& metrics) {
+  const std::string socket = args.get("--socket", "/tmp/tilespmspv.sock");
+  const std::string op = args.get("--op", "spmspv");
+  const std::string mode = args.get("--mode", "closed");
+  const std::string alias = args.get("--alias");
+  const long count = args.get_int("--count", 100);
+  const long conc = std::max(1L, args.get_int("--concurrency", 4));
+  const double rate = args.get_double("--rate", 100.0);
+  if (op != "spmspv" && op != "bfs" && op != "mixed") {
+    throw std::invalid_argument("loadgen --op must be spmspv|bfs|mixed");
+  }
+  if (mode != "closed" && mode != "open") {
+    throw std::invalid_argument("loadgen --mode must be closed|open");
+  }
+  if (alias.empty()) throw std::invalid_argument("pass --alias NAME");
+
+  index_t cols = 0;
+  {
+    serve::Client probe;
+    std::string err;
+    if (!probe.connect(socket, &err)) {
+      std::fprintf(stderr, "cannot connect to %s: %s\n", socket.c_str(),
+                   err.c_str());
+      return 1;
+    }
+    cols = remote_cols(probe, alias);
+  }
+
+  std::mutex agg_mu;
+  obs::LatencyHistogram hist;
+  long errors = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (long wi = 0; wi < conc; ++wi) {
+    workers.emplace_back([&, wi] {
+      serve::Client c;
+      std::string err;
+      if (!c.connect(socket, &err)) {
+        std::lock_guard<std::mutex> g(agg_mu);
+        errors += (count / conc) + 1;
+        return;
+      }
+      obs::LatencyHistogram local;
+      long local_errors = 0;
+      for (long i = wi; i < count; i += conc) {
+        const std::string one =
+            (op == "mixed") ? ((i % 2 == 0) ? "spmspv" : "bfs") : op;
+        std::string req;
+        try {
+          req = build_request(one, args, cols,
+                              static_cast<unsigned>(i + 1));
+        } catch (const std::exception&) {
+          ++local_errors;
+          continue;
+        }
+        if (mode == "open") {
+          // Global schedule: request i fires at t0 + i/rate seconds.
+          const auto due =
+              t0 + std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(
+                           static_cast<double>(i) / rate));
+          std::this_thread::sleep_until(due);
+        }
+        const auto rt0 = std::chrono::steady_clock::now();
+        std::string resp;
+        const bool ok = c.request(req, &resp, &err) &&
+                        resp.rfind("{\"ok\":true", 0) == 0;
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - rt0)
+                              .count();
+        local.add(ms);
+        if (!ok) ++local_errors;
+      }
+      std::lock_guard<std::mutex> g(agg_mu);
+      for (const auto& b : local.nonzero_bins()) {
+        for (std::uint64_t k = 0; k < b.count; ++k) hist.add(b.lo_ms);
+      }
+      errors += local_errors;
+    });
+  }
+  for (auto& t : workers) t.join();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+  const double thru =
+      wall_s > 0.0 ? static_cast<double>(count) / wall_s : 0.0;
+  std::printf("loadgen: op=%s mode=%s count=%ld concurrency=%ld\n",
+              op.c_str(), mode.c_str(), count, conc);
+  std::printf("  wall %.3f s, %.1f req/s, errors %ld\n", wall_s, thru,
+              errors);
+  std::printf("  latency p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n",
+              hist.percentile(50.0), hist.percentile(95.0),
+              hist.percentile(99.0));
+  metrics.put_str("loadgen.op", op);
+  metrics.put_str("loadgen.mode", mode);
+  metrics.put_int("loadgen.count", count);
+  metrics.put_int("loadgen.concurrency", conc);
+  metrics.put_int("loadgen.errors", errors);
+  metrics.put_double("loadgen.wall_s", wall_s);
+  metrics.put_double("loadgen.req_per_s", thru);
+  metrics.put_double("loadgen.p50_ms", hist.percentile(50.0));
+  metrics.put_double("loadgen.p95_ms", hist.percentile(95.0));
+  metrics.put_double("loadgen.p99_ms", hist.percentile(99.0));
+  return errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
   const auto pos = args.positional();
   const std::string cmd = pos.empty() ? "" : pos[0];
+  // One union list across subcommands: the guard exists to catch typos
+  // (a misspelled --metrics silently dropped its output before), not to
+  // police which subcommand a valid flag belongs to.
+  const std::string bad_flag = args.first_unknown_flag(
+      {"--matrix", "--suite", "--nt", "--sparsity", "--seed", "--iters",
+       "--source", "--seed-vertex", "--alpha", "--epsilon", "--top",
+       "--compare", "--verbose", "--json", "--metrics", "--trace",
+       "--profile", "--socket", "--alias", "--op", "--count", "--mode",
+       "--rate", "--concurrency", "--batch-k", "--deadline-ms", "--cache-mb",
+       "--threads", "--timeout-ms"});
+  if (!bad_flag.empty()) {
+    std::fprintf(stderr,
+                 "error: unknown flag '%s' (see usage below)\n",
+                 bad_flag.c_str());
+    std::fprintf(stderr,
+                 "usage: tilespmspv_cli "
+                 "{list|tiles|stats|advise|spmspv|bfs|sssp|cc|ppr|client|"
+                 "loadgen} (--matrix F.mtx | --suite NAME) [options]\n");
+    return 2;
+  }
   std::string metrics_path, trace_path;
   try {
     metrics_path = args.get("--metrics");
@@ -481,6 +712,10 @@ int main(int argc, char** argv) {
       rc = cmd_cc(args);
     } else if (cmd == "ppr") {
       rc = cmd_ppr(args);
+    } else if (cmd == "client") {
+      rc = cmd_client(args);
+    } else if (cmd == "loadgen") {
+      rc = cmd_loadgen(args, metrics);
     } else {
       dispatched = false;
     }

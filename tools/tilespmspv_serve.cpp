@@ -1,0 +1,95 @@
+// tilespmspv_serve: the serving daemon. Listens on a unix-domain socket
+// for newline-delimited JSON requests (serve/server.hpp documents the
+// protocol), keeps converted matrices resident, and batches SpMSpV/BFS
+// queries into the block-of-k engine. Stop with SIGINT/SIGTERM or a
+// `{"op":"shutdown"}` request.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+#include "util/args.hpp"
+
+using namespace tilespmspv;
+using namespace tilespmspv::serve;
+
+namespace {
+
+// Written by the signal handler, polled by the wait loop. sig_atomic_t by
+// the signal-safety rules; the 100 ms poll makes propagation prompt.
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int) { g_signal = 1; }
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: tilespmspv_serve [--socket PATH] [--cache-mb N] [--batch-k K]\n"
+      "                        [--deadline-ms MS] [--threads N] [--nt N]\n"
+      "                        [--preload SUITE[,SUITE...]]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Args args(argc, argv);
+    args.reject_unknown({"--socket", "--cache-mb", "--batch-k",
+                         "--deadline-ms", "--threads", "--nt", "--preload"});
+    ServeConfig cfg;
+    cfg.socket_path = args.get("--socket", cfg.socket_path);
+    cfg.cache_bytes = static_cast<std::size_t>(
+                          args.get_int("--cache-mb", /*def=*/256))
+                      << 20;
+    cfg.batch_k = static_cast<int>(args.get_int("--batch-k", cfg.batch_k));
+    cfg.deadline_ms = args.get_double("--deadline-ms", cfg.deadline_ms);
+    cfg.threads =
+        static_cast<std::size_t>(args.get_int("--threads", /*def=*/0));
+    cfg.spmspv.nt = static_cast<index_t>(args.get_int("--nt", cfg.spmspv.nt));
+
+    Server server(cfg);
+
+    // Preload suite matrices (comma-separated) before accepting traffic.
+    std::string preload = args.get("--preload");
+    while (!preload.empty()) {
+      const std::size_t comma = preload.find(',');
+      const std::string name = preload.substr(0, comma);
+      preload = (comma == std::string::npos) ? "" : preload.substr(comma + 1);
+      if (name.empty()) continue;
+      const std::string resp = server.handle_line(
+          "{\"op\":\"load\",\"suite\":\"" + name + "\",\"alias\":\"" + name +
+          "\"}");
+      if (resp.rfind("{\"ok\":true", 0) != 0) {
+        std::cerr << "preload failed: " << resp << "\n";
+        return 1;
+      }
+      std::cerr << "preloaded " << name << "\n";
+    }
+
+    std::string err;
+    if (!server.start(&err)) {
+      std::cerr << "cannot listen on " << cfg.socket_path << ": " << err
+                << "\n";
+      return 1;
+    }
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    std::cerr << "tilespmspv_serve listening on " << cfg.socket_path << "\n";
+
+    // Wake every 100 ms: either a `shutdown` request or a signal ends the
+    // daemon; both paths run the same orderly stop.
+    while (!server.shutdown_requested() && g_signal == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    server.stop();
+    std::cerr << "tilespmspv_serve: shut down cleanly\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    usage();
+    return 2;
+  }
+}

@@ -137,6 +137,7 @@ int run_suite(const std::string& name, index_t nt, index_t extract) {
 int main(int argc, char** argv) {
   try {
     Args args(argc, argv);
+    args.reject_unknown({"--help", "--suite", "--nt", "--extract"});
     if (args.has("--help") || args.has("-h")) return usage();
     if (args.has("--suite")) {
       const std::string name = args.get("--suite");
