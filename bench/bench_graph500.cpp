@@ -3,14 +3,31 @@
 // (bfs/bfs_validate.hpp). This extends the paper's evaluation with the
 // standard community methodology and exercises TileBFS, the
 // direction-optimizing baseline and the multi-source batch side by side.
+//
+//   bench_graph500 [max_scale] [--scale N] [--min-scale N] [--shards S]
+//                  [--ooc] [--metrics out.json|out.csv]
+//
+// --ooc runs the out-of-core path: each graph is converted once to a v2
+// tile file (formats/tile_file.hpp) and the traversal engine is rebuilt by
+// mmapping that file — the conversion-vs-map times quantify the O(mmap)
+// startup win, and scales that no longer fit comfortably as a second
+// in-memory copy only pay for the mapped pages actually touched.
+// --shards configures NUMA-sharded dispatch; per-shard balance (max/mean
+// shard bytes and ms, from obs/shard_stats.hpp) lands in --metrics along
+// with the TEPS series.
+#include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "apps/ms_bfs.hpp"
 #include "baselines/dobfs.hpp"
 #include "bench_common.hpp"
 #include "bfs/bfs_validate.hpp"
 #include "bfs/tile_bfs.hpp"
+#include "formats/tile_file.hpp"
 #include "gen/rmat.hpp"
+#include "obs/shard_stats.hpp"
+#include "util/args.hpp"
 #include "util/prng.hpp"
 
 using namespace tilespmspv;
@@ -24,22 +41,84 @@ double harmonic_mean(const std::vector<double>& xs) {
   return xs.empty() ? 0.0 : static_cast<double>(xs.size()) / inv;
 }
 
+/// Converts `g` to a v2 tile-file at the tile size TileBfs would pick for
+/// this order, so the mapped rebuild agrees with the in-memory one.
+double convert_to_file(const Csr<value_t>& g, const std::string& path) {
+  Timer t;
+  if (g.rows > 10000) {
+    write_bit_tile_graph_file<64>(path, BitTileGraph<64>::from_csr(g, 2));
+  } else {
+    write_bit_tile_graph_file<32>(path, BitTileGraph<32>::from_csr(g, 2));
+  }
+  return t.elapsed_ms();
+}
+
+struct ShardBalance {
+  std::uint64_t bytes_max = 0;
+  double bytes_mean = 0.0;
+  double ms_max = 0.0;
+  double ms_mean = 0.0;
+  double imbalance = 1.0;
+  int shards = 0;
+};
+
+ShardBalance shard_balance(const obs::ShardSnapshot& s) {
+  ShardBalance b;
+  b.shards = s.shards;
+  if (s.shards == 0) return b;
+  std::uint64_t total_bytes = 0;
+  double total_ms = 0.0;
+  for (int i = 0; i < s.shards; ++i) {
+    total_bytes += s.bytes[i];
+    total_ms += s.ms[i];
+    if (s.bytes[i] > b.bytes_max) b.bytes_max = s.bytes[i];
+    if (s.ms[i] > b.ms_max) b.ms_max = s.ms[i];
+  }
+  b.bytes_mean = static_cast<double>(total_bytes) / s.shards;
+  b.ms_mean = total_ms / s.shards;
+  b.imbalance = s.bytes_imbalance();
+  return b;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int max_scale = argc > 1 ? std::atoi(argv[1]) : 15;
+  Args args(argc, argv);
+  if (const std::string bad = args.first_unknown_flag(
+          {"--scale", "--min-scale", "--shards", "--ooc", "--metrics"});
+      !bad.empty()) {
+    std::cerr << "unknown flag '" << bad << "'\n";
+    return 2;
+  }
+  int max_scale = static_cast<int>(args.get_int("--scale", 15));
+  const auto pos = args.positional();
+  if (!pos.empty()) max_scale = std::atoi(pos[0].c_str());
+  const int min_scale = static_cast<int>(args.get_int("--min-scale", 12));
+  const int shards = static_cast<int>(args.get_int("--shards", 4));
+  const bool ooc = args.has("--ooc");
+  const std::string metrics_path = args.get("--metrics");
   const int num_sources = 16;
+
   ThreadPool pool(4);
+  if (shards > 1) pool.configure_shards(shards);
+  obs::MetricsRegistry metrics;
+  metrics.put_str("bench", "graph500");
+  metrics.put_int("shards", shards);
+  metrics.put_int("ooc", ooc ? 1 : 0);
+
   std::cout << "Graph500-style BFS benchmark (R-MAT, " << num_sources
-            << " sources per scale, validated)\n\n";
+            << " sources per scale, validated"
+            << (ooc ? ", out-of-core tile files" : "") << ")\n\n";
 
   Table table({"scale", "n", "edges", "TileBFS hmean MTEPS",
-               "Gunrock hmean MTEPS", "MS-BFS batch MTEPS", "validated"});
-  for (int scale = 12; scale <= max_scale; ++scale) {
+               "Gunrock hmean MTEPS", "MS-BFS batch MTEPS", "bytes imb",
+               "validated"});
+  for (int scale = min_scale; scale <= max_scale; ++scale) {
     RmatParams prm;
     prm.scale = scale;
     prm.edge_factor = 16;
     const Csr<value_t> g = Csr<value_t>::from_coo(gen_rmat(prm, 42));
+    const std::string mkey = "g500.s" + std::to_string(scale);
 
     // Sources: random vertices with at least one edge (Graph500 rule).
     Prng rng(scale);
@@ -49,7 +128,20 @@ int main(int argc, char** argv) {
       if (g.row_nnz(v) > 0) sources.push_back(v);
     }
 
-    TileBfs tile_bfs(g, {}, &pool);
+    obs::shard_reset();
+    // Out-of-core: convert once, then rebuild the engine by mmap — the
+    // preprocess time of the mapped build is the O(mmap) startup cost.
+    std::string graph_file;
+    if (ooc) {
+      graph_file = "/tmp/tilespmspv_g500_s" + std::to_string(scale) + ".ttlf";
+      const double convert_ms = convert_to_file(g, graph_file);
+      metrics.put_double(mkey + ".convert_ms", convert_ms);
+    }
+    TileBfs tile_bfs = ooc ? TileBfs(graph_file, {}, &pool)
+                           : TileBfs(g, {}, &pool);
+    metrics.put_double(mkey + (ooc ? ".map_ms" : ".build_ms"),
+                       tile_bfs.preprocess_ms());
+
     std::vector<double> tile_teps, gunrock_teps;
     int validated = 0;
     for (index_t src : sources) {
@@ -71,6 +163,9 @@ int main(int argc, char** argv) {
       gunrock_teps.push_back(static_cast<double>(traversed_edges(g, base)) /
                              (t.elapsed_ms() * 1e3));
     }
+    // Balance over the sharded traversals (bytes are the engine's shard
+    // plan; ms accumulate across all sources at this scale).
+    const ShardBalance bal = shard_balance(obs::shard_snapshot());
 
     // MS-BFS: all sources in one 16-wide batch.
     Timer t;
@@ -85,11 +180,36 @@ int main(int argc, char** argv) {
     table.add_row({std::to_string(scale), fmt_count(g.rows),
                    fmt_count(g.nnz()), fmt(harmonic_mean(tile_teps), 2),
                    fmt(harmonic_mean(gunrock_teps), 2), fmt(ms_teps, 2),
+                   fmt(bal.imbalance, 3),
                    std::to_string(validated) + "/" +
                        std::to_string(num_sources)});
+
+    metrics.put_double(mkey + ".tile_hmean_mteps", harmonic_mean(tile_teps));
+    metrics.put_double(mkey + ".gunrock_hmean_mteps",
+                       harmonic_mean(gunrock_teps));
+    metrics.put_double(mkey + ".msbfs_mteps", ms_teps);
+    metrics.put_int(mkey + ".validated", validated);
+    metrics.put_int(mkey + ".shards", bal.shards);
+    metrics.put_int(mkey + ".shard_bytes_max",
+                    static_cast<std::int64_t>(bal.bytes_max));
+    metrics.put_double(mkey + ".shard_bytes_mean", bal.bytes_mean);
+    metrics.put_double(mkey + ".shard_ms_max", bal.ms_max);
+    metrics.put_double(mkey + ".shard_ms_mean", bal.ms_mean);
+    metrics.put_double(mkey + ".bytes_imbalance", bal.imbalance);
+
+    if (!graph_file.empty()) std::remove(graph_file.c_str());
   }
   table.print(std::cout);
   std::cout << "\nMS-BFS amortizes edge scans across the batch, so its "
                "aggregate MTEPS\nexceeds any single-source traversal.\n";
+  if (!metrics_path.empty()) {
+    counters_to_metrics(metrics);
+    if (metrics.write_file(metrics_path)) {
+      std::cout << "metrics written to " << metrics_path << "\n";
+    } else {
+      std::cerr << "failed to write metrics to " << metrics_path << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -4,10 +4,14 @@
 #include <cassert>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "formats/tile_file.hpp"
 #include "obs/counters.hpp"
+#include "obs/shard_stats.hpp"
 #include "obs/trace.hpp"
+#include "parallel/arena.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "tile/bit_tile_graph.hpp"
@@ -58,6 +62,13 @@ struct BfsScratch {
   // Reused weighted-chunk boundaries (Push-CSC frontier slots, side pass).
   std::vector<index_t> k1_bounds;
   std::vector<index_t> side_bounds;
+
+  // Cached shard partition of the matrix-driven chunk list (NUMA-sharded
+  // pools): rebuilt when the chunk list identity or shard count changes.
+  std::vector<index_t> shard_bounds;
+  std::vector<std::uint64_t> shard_bytes;
+  const index_t* shard_key = nullptr;
+  int shard_ns = 0;
 
   void ensure(index_t n, std::size_t pool_slots) {
     if (x.n != n) {
@@ -157,6 +168,57 @@ const std::vector<index_t>& csr_bounds(const BitTileGraph<NT>& g,
   return fallback;
 }
 
+/// Shard partition of the matrix-driven chunk list for a NUMA-sharded
+/// pool, weighted by mask payload bytes per chunk (see the SpMSpV
+/// equivalent in core/tile_spmspv.hpp). Cached in the scratch; publishes
+/// per-shard byte totals to the shard counters.
+template <int NT>
+const std::vector<index_t>& csr_shard_bounds(
+    const BitTileGraph<NT>& g, BfsScratch<NT>& ws,
+    const std::vector<index_t>& bounds, int ns) {
+  using Word = bitword_t<NT>;
+  const auto nchunks = static_cast<index_t>(bounds.size()) - 1;
+  const index_t* key = bounds.data();
+  if (ws.shard_key != key || ws.shard_ns != ns || ws.shard_bounds.empty() ||
+      ws.shard_bounds.back() != nchunks) {
+    ShardPlan plan = make_shard_plan(nchunks, ns, [&](index_t c) {
+      const offset_t t0 = g.csr_tile_ptr[bounds[c]];
+      const offset_t t1 = g.csr_tile_ptr[bounds[c + 1]];
+      return std::uint64_t{1} +
+             static_cast<std::uint64_t>(t1 - t0) *
+                 (static_cast<std::size_t>(NT) * sizeof(Word) +
+                  sizeof(index_t) + sizeof(Word));
+    });
+    ws.shard_bounds = std::move(plan.chunk_bounds);
+    ws.shard_bytes = std::move(plan.bytes);
+    ws.shard_key = key;
+    ws.shard_ns = ns;
+  }
+  for (int s = 0; s < ns; ++s) {
+    obs::shard_set_bytes(s, ws.shard_bytes[static_cast<std::size_t>(s)]);
+  }
+  return ws.shard_bounds;
+}
+
+/// Dispatches chunk_body over [0, nchunks): shard-aware when the pool is
+/// NUMA-sharded, the plain claim loop otherwise.
+template <int NT, typename Body>
+void dispatch_csr_chunks(const BitTileGraph<NT>& g, BfsScratch<NT>& ws,
+                         const std::vector<index_t>& bounds, ThreadPool* pool,
+                         Body&& chunk_body) {
+  const auto nchunks = static_cast<index_t>(bounds.size()) - 1;
+  ThreadPool& p = pool ? *pool : ThreadPool::shared();
+  if (p.num_shards() > 1 && nchunks > 1) {
+    const std::vector<index_t>& sb =
+        csr_shard_bounds(g, ws, bounds, p.num_shards());
+    p.parallel_shard_ranges(sb, 1, [&](index_t begin, index_t end) {
+      for (index_t c = begin; c < end; ++c) chunk_body(c);
+    });
+  } else {
+    parallel_for(nchunks, chunk_body, pool, /*chunk=*/1);
+  }
+}
+
 // ---------------------------------------------------------------------
 // K2: Push-CSR (paper Alg. 6). Matrix-driven: one task per tile row; every
 // tile whose frontier word is non-empty tests each still-unvisited local
@@ -169,8 +231,8 @@ void kernel_push_csr(const BitTileGraph<NT>& g, BfsScratch<NT>& ws,
   using Word = bitword_t<NT>;
   std::vector<index_t> fallback;
   const std::vector<index_t>& bounds = csr_bounds(g, fallback);
-  parallel_for(
-      static_cast<index_t>(bounds.size()) - 1,
+  dispatch_csr_chunks(
+      g, ws, bounds, pool,
       [&](index_t c) {
         std::vector<index_t>& out_slots =
             ws.produced[static_cast<std::size_t>(ThreadPool::scratch_slot())];
@@ -210,8 +272,8 @@ void kernel_push_csr(const BitTileGraph<NT>& g, BfsScratch<NT>& ws,
           }
         }
         obs::counter_add(obs::Counter::kBfsTilesVisited, tiles_visited);
-      },
-      pool, /*chunk=*/1);
+        obs::shard_add_tiles(ThreadPool::current_shard(), tiles_visited);
+      });
 }
 
 // ---------------------------------------------------------------------
@@ -227,8 +289,8 @@ void kernel_pull_csc(const BitTileGraph<NT>& g, BfsScratch<NT>& ws,
   using Word = bitword_t<NT>;
   std::vector<index_t> fallback;
   const std::vector<index_t>& bounds = csr_bounds(g, fallback);
-  parallel_for(
-      static_cast<index_t>(bounds.size()) - 1,
+  dispatch_csr_chunks(
+      g, ws, bounds, pool,
       [&](index_t c) {
         std::vector<index_t>& out_slots =
             ws.produced[static_cast<std::size_t>(ThreadPool::scratch_slot())];
@@ -266,8 +328,8 @@ void kernel_pull_csc(const BitTileGraph<NT>& g, BfsScratch<NT>& ws,
           }
         }
         obs::counter_add(obs::Counter::kBfsTilesVisited, tiles_visited);
-      },
-      pool, /*chunk=*/1);
+        obs::shard_add_tiles(ThreadPool::current_shard(), tiles_visited);
+      });
 }
 
 // ---------------------------------------------------------------------
@@ -540,6 +602,42 @@ TileBfs::TileBfs(const Csr<value_t>& a, TileBfsConfig cfg, ThreadPool* pool)
       impl_->g64 = std::make_unique<BitTileGraph<64>>(
           BitTileGraph<64>::from_csr(a, cfg.extract_threshold, true, pool));
       break;
+  }
+  preprocess_ms_ = t.elapsed_ms();
+}
+
+TileBfs::TileBfs(const std::string& graph_path, TileBfsConfig cfg,
+                 ThreadPool* pool)
+    : impl_(std::make_unique<Impl>()) {
+  if ((cfg.kernel_mask & 7u) == 0) {
+    throw std::invalid_argument("TileBfsConfig.kernel_mask must enable a kernel");
+  }
+  const TileFileHeader header = read_tile_file_header(graph_path);
+  if (header.kind != static_cast<std::uint32_t>(TileFileKind::kBitTileGraph)) {
+    throw std::invalid_argument("TileBfs: " + graph_path +
+                                " is not a graph tile file");
+  }
+  impl_->cfg = cfg;
+  impl_->pool = pool;
+  impl_->nt = static_cast<int>(header.nt);
+  Timer t;
+  obs::TraceSpan span("bfs/map_graph", "convert");
+  switch (header.nt) {
+    case 16:
+      impl_->g16 = std::make_unique<BitTileGraph<16>>(
+          map_bit_tile_graph_file<16>(graph_path));
+      break;
+    case 32:
+      impl_->g32 = std::make_unique<BitTileGraph<32>>(
+          map_bit_tile_graph_file<32>(graph_path));
+      break;
+    case 64:
+      impl_->g64 = std::make_unique<BitTileGraph<64>>(
+          map_bit_tile_graph_file<64>(graph_path));
+      break;
+    default:
+      throw std::invalid_argument("TileBfs: unsupported graph tile size " +
+                                  std::to_string(header.nt));
   }
   preprocess_ms_ = t.elapsed_ms();
 }

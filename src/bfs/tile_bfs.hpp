@@ -22,6 +22,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "formats/csr.hpp"
@@ -127,6 +128,18 @@ class TileBfs {
  public:
   TileBfs(const Csr<value_t>& a, TileBfsConfig cfg = {},
           ThreadPool* pool = nullptr);
+
+  /// Zero-copy load of a pre-converted graph tile file (see
+  /// formats/tile_file.hpp and `tilespmspv_cli convert --graph`): the mask
+  /// arrays stay mmapped, the tile size comes from the file header (must
+  /// be 16, 32 or 64), and cfg's tiling knobs (extract_threshold,
+  /// forced_tile_size, order_threshold) are ignored — they were baked in
+  /// at conversion time. preprocess_ms() then measures the map + validate
+  /// cost, which is what the ≥10x load-speedup claim compares against
+  /// from_csr conversion.
+  explicit TileBfs(const std::string& graph_path, TileBfsConfig cfg = {},
+                   ThreadPool* pool = nullptr);
+
   ~TileBfs();
   TileBfs(TileBfs&&) noexcept;
   TileBfs& operator=(TileBfs&&) noexcept;

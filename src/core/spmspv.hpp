@@ -12,6 +12,8 @@
 // mirrors the 0.01 sparsity constant of the BFS selector.
 #pragma once
 
+#include <utility>
+
 #include "baselines/tile_spmv.hpp"
 #include "core/tile_spmspv.hpp"
 #include "formats/csr.hpp"
@@ -62,6 +64,23 @@ class SpmspvOperator {
         tiled_t_(TileMatrix<T>::from_csr(a.transpose(), cfg.nt,
                                          cfg.extract_threshold)),
         pool_(pool) {}
+
+  /// Adopts pre-built tiled forms (e.g. mmapped from a v2 tile file — the
+  /// zero-copy serving path). `tiled_t` must be the tiling of Aᵀ with the
+  /// same nt; cfg.nt / cfg.extract_threshold are ignored (baked in at
+  /// conversion). Without a transpose part the CSC kernel is unavailable,
+  /// so kAuto degrades to the CSR form for very sparse vectors.
+  SpmspvOperator(TileMatrix<T> tiled, TileMatrix<T> tiled_t,
+                 SpmspvConfig cfg = {}, ThreadPool* pool = nullptr)
+      : cfg_(cfg),
+        n_(tiled.cols),
+        tiled_(std::move(tiled)),
+        tiled_t_(std::move(tiled_t)),
+        pool_(pool) {
+    cfg_.nt = tiled_.nt;
+    has_transpose_ = tiled_t_.rows == tiled_.cols &&
+                     tiled_t_.cols == tiled_.rows && tiled_t_.nt == tiled_.nt;
+  }
 
   /// y = A x. The sparse input is tiled on the fly (O(nnz(x) + n/nt)).
   SparseVec<T> multiply(const SparseVec<T>& x) {
@@ -116,7 +135,9 @@ class SpmspvOperator {
   SpmspvKernel select(const TileVector<T>& x) const {
     if (cfg_.kernel != SpmspvKernel::kAuto) return cfg_.kernel;
     const double sparsity = x.sparsity();
-    if (sparsity < cfg_.csc_sparsity_threshold) return SpmspvKernel::kCsc;
+    if (sparsity < cfg_.csc_sparsity_threshold) {
+      return has_transpose_ ? SpmspvKernel::kCsc : SpmspvKernel::kCsr;
+    }
     if (sparsity >= cfg_.spmv_density_threshold) {
       return SpmspvKernel::kDenseSpmv;
     }
@@ -131,6 +152,7 @@ class SpmspvOperator {
   index_t n_;
   TileMatrix<T> tiled_;    // A, CSR-of-tiles
   TileMatrix<T> tiled_t_;  // Aᵀ, CSR-of-tiles == CSC-of-tiles view of A
+  bool has_transpose_ = true;  // false on mapped files without a Aᵀ part
   SpmspvWorkspace<T> ws_;
   ThreadPool* pool_;
 };

@@ -29,6 +29,7 @@
 
 #include "formats/sparse_vector.hpp"
 #include "obs/counters.hpp"
+#include "obs/shard_stats.hpp"
 #include "obs/trace.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/parallel_for.hpp"
@@ -186,6 +187,15 @@ struct SpmspvWorkspace {
 
   GatherScratch<T> gather;
 
+  // Cached shard partition of the phase-1 chunk list (NUMA-sharded pools
+  // only): chunk boundaries plus the payload bytes each shard covers.
+  // Rebuilt when the chunk list identity or the shard count changes, so
+  // steady-state multiplies pay nothing for it.
+  std::vector<index_t> shard_bounds;
+  std::vector<std::uint64_t> shard_bytes;
+  const index_t* shard_key = nullptr;
+  int shard_ns = 0;
+
   void ensure(index_t rows, index_t tile_rows) {
     if (static_cast<index_t>(y_dense.size()) < rows) {
       y_dense.assign(rows, T{});
@@ -311,6 +321,41 @@ SparseVec<T> gather_flagged_tiles(index_t n, index_t tiles, index_t nt, T* yd,
   return y;
 }
 
+/// Shard partition of the phase-1 chunk list for a NUMA-sharded pool,
+/// weighted by the payload bytes each chunk's tile rows cover (tile
+/// metadata + intra-tile entries) so the per-node byte footprint — not the
+/// chunk count — is what balances. Cached in the workspace keyed on the
+/// chunk-list identity and the shard count; also publishes the per-shard
+/// byte totals to the shard observability counters.
+template <typename T>
+const std::vector<index_t>& phase1_shard_bounds(SpmspvWorkspace<T>& ws,
+                                                const TileMatrix<T>& a,
+                                                const index_t* chunk_ptr,
+                                                index_t nchunks, int ns) {
+  if (ws.shard_key != chunk_ptr || ws.shard_ns != ns ||
+      ws.shard_bounds.empty() || ws.shard_bounds.back() != nchunks) {
+    ShardPlan plan = make_shard_plan(nchunks, ns, [&](index_t c) {
+      const index_t tr0 = chunk_ptr[c];
+      const index_t tr1 = chunk_ptr[c + 1];
+      const offset_t t0 = a.tile_row_ptr[tr0];
+      const offset_t t1 = a.tile_row_ptr[tr1];
+      const offset_t nnz = a.tile_nnz_ptr[t1] - a.tile_nnz_ptr[t0];
+      return static_cast<std::uint64_t>(t1 - t0) *
+                 (sizeof(index_t) + sizeof(offset_t) +
+                  static_cast<std::size_t>(a.nt + 1) * sizeof(std::uint16_t)) +
+             static_cast<std::uint64_t>(nnz) * (sizeof(T) + 1);
+    });
+    ws.shard_bounds = std::move(plan.chunk_bounds);
+    ws.shard_bytes = std::move(plan.bytes);
+    ws.shard_key = chunk_ptr;
+    ws.shard_ns = ns;
+  }
+  for (int s = 0; s < ns; ++s) {
+    obs::shard_set_bytes(s, ws.shard_bytes[static_cast<std::size_t>(s)]);
+  }
+  return ws.shard_bounds;
+}
+
 }  // namespace detail
 
 /// y = A x with A in tiled form and x in tiled vector form.
@@ -338,9 +383,7 @@ SparseVec<T> tile_spmspv(const TileMatrix<T>& a, const TileVector<T>& x,
     const index_t* chunk_ptr = cp->data();
     const bool have_runs =
         a.run_ptr.size() == static_cast<std::size_t>(a.num_tiles()) + 1;
-    parallel_for(
-        nchunks,
-        [&](index_t c) {
+    const auto chunk_body = [&](index_t c) {
           T acc[256];  // nt <= 256 by TileMatrix invariant
           T prod[detail::kProdScratch];
           std::uint64_t scanned = 0, computed = 0, macs = 0;
@@ -389,8 +432,21 @@ SparseVec<T> tile_spmspv(const TileMatrix<T>& a, const TileVector<T>& x,
                            scanned - computed);
           obs::counter_add(obs::Counter::kTilesComputed, computed);
           obs::counter_add(obs::Counter::kPayloadMacs, macs);
-        },
-        pool, /*chunk=*/1);
+          obs::shard_add_tiles(ThreadPool::current_shard(), scanned);
+    };
+    ThreadPool& p1 = pool ? *pool : ThreadPool::shared();
+    if (p1.num_shards() > 1 && nchunks > 1) {
+      // NUMA-sharded dispatch: each shard's workers drain the chunks whose
+      // tile rows live (first-touch) on their node, stealing cross-node
+      // only once their shard is dry.
+      const std::vector<index_t>& sb = detail::phase1_shard_bounds(
+          ws, a, chunk_ptr, nchunks, p1.num_shards());
+      p1.parallel_shard_ranges(sb, 1, [&](index_t begin, index_t end) {
+        for (index_t c = begin; c < end; ++c) chunk_body(c);
+      });
+    } else {
+      parallel_for(nchunks, chunk_body, pool, /*chunk=*/1);
+    }
   }
 
   // Phase 2: extracted very-sparse part, driven by the active columns so
@@ -713,9 +769,7 @@ SparseVec<T> tile_spmspv_masked(const TileMatrix<T>& a,
     const index_t* chunk_ptr = cp->data();
     const bool have_runs =
         a.run_ptr.size() == static_cast<std::size_t>(a.num_tiles()) + 1;
-    parallel_for(
-        nchunks,
-        [&](index_t c) {
+    const auto chunk_body = [&](index_t c) {
           T acc[256];
           T prod[detail::kProdScratch];
           std::uint64_t scanned = 0, computed = 0, macs = 0;
@@ -762,8 +816,18 @@ SparseVec<T> tile_spmspv_masked(const TileMatrix<T>& a,
                            scanned - computed);
           obs::counter_add(obs::Counter::kTilesComputed, computed);
           obs::counter_add(obs::Counter::kPayloadMacs, macs);
-        },
-        pool, /*chunk=*/1);
+          obs::shard_add_tiles(ThreadPool::current_shard(), scanned);
+    };
+    ThreadPool& p1 = pool ? *pool : ThreadPool::shared();
+    if (p1.num_shards() > 1 && nchunks > 1) {
+      const std::vector<index_t>& sb = detail::phase1_shard_bounds(
+          ws, a, chunk_ptr, nchunks, p1.num_shards());
+      p1.parallel_shard_ranges(sb, 1, [&](index_t begin, index_t end) {
+        for (index_t c = begin; c < end; ++c) chunk_body(c);
+      });
+    } else {
+      parallel_for(nchunks, chunk_body, pool, /*chunk=*/1);
+    }
   }
 
   if (a.extracted.nnz() > 0) {

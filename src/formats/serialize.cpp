@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "formats/io_util.hpp"
+#include "formats/tile_file.hpp"
 #include "formats/validate.hpp"
 
 namespace tilespmspv {
@@ -51,8 +52,11 @@ index_t read_index(std::istream& in, const char* what) {
   return static_cast<index_t>(v);
 }
 
-template <typename T>
-void write_vec(std::ostream& out, const std::vector<T>& v) {
+// Templated on the container so owned std::vector fields and ArrayBuf
+// (owned or mapped view) serialize through the same path.
+template <typename Array>
+void write_vec(std::ostream& out, const Array& v) {
+  using T = typename Array::value_type;
   write_i64(out, static_cast<std::int64_t>(v.size()));
   out.write(reinterpret_cast<const char*>(v.data()),
             static_cast<std::streamsize>(v.size() * sizeof(T)));
@@ -100,6 +104,7 @@ SerializedKind probe_serialized_kind(std::istream& in) {
   if (!in) return SerializedKind::kUnknown;
   if (magic == kCsrMagic) return SerializedKind::kCsr;
   if (magic == kTileMagic) return SerializedKind::kTileMatrix;
+  if (magic == kTileFileMagic) return SerializedKind::kTileFile;
   return SerializedKind::kUnknown;
 }
 

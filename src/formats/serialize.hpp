@@ -19,7 +19,9 @@
 namespace tilespmspv {
 
 /// What a serialized stream claims to contain, judged from its magic.
-enum class SerializedKind { kUnknown, kCsr, kTileMatrix };
+/// kTileFile is the v2 mmap container (formats/tile_file.hpp), which has
+/// its own header/section validation path rather than the v1 readers.
+enum class SerializedKind { kUnknown, kCsr, kTileMatrix, kTileFile };
 
 /// Reads the leading magic word and classifies the stream (consumes the
 /// four bytes; reopen or rewind before loading). Used by the validate CLI

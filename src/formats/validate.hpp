@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "parallel/arena.hpp"
 #include "util/bitops.hpp"
 #include "util/types.hpp"
 
@@ -116,9 +117,11 @@ inline std::string idx_str(std::int64_t i) { return std::to_string(i); }
 
 /// Prefix-sum ("pointer") array check: exact length, starts at zero,
 /// nondecreasing, terminal equals `total`. Returns false when any check
-/// failed (callers must then stop indexing through the array).
-template <typename P>
-bool check_ptr_array(ValidationResult& r, const std::vector<P>& ptr,
+/// failed (callers must then stop indexing through the array). Templated
+/// on the container so both std::vector and ArrayBuf (owned or mapped
+/// views) validate through the same code.
+template <typename PtrArray>
+bool check_ptr_array(ValidationResult& r, const PtrArray& ptr,
                      std::size_t expect_len, std::int64_t total,
                      const char* name) {
   if (ptr.size() != expect_len) {
@@ -153,8 +156,8 @@ bool check_ptr_array(ValidationResult& r, const std::vector<P>& ptr,
 }
 
 /// All entries in [0, bound). Reports only the first offender.
-template <typename I>
-bool check_index_range(ValidationResult& r, const std::vector<I>& idx,
+template <typename IdxArray>
+bool check_index_range(ValidationResult& r, const IdxArray& idx,
                        std::int64_t bound, const char* name) {
   for (std::size_t i = 0; i < idx.size(); ++i) {
     const auto v = static_cast<std::int64_t>(idx[i]);
@@ -172,8 +175,8 @@ bool check_index_range(ValidationResult& r, const std::vector<I>& idx,
 /// chunks when absent), but when present they must start at 0, strictly
 /// increase, and — when they describe more than one boundary — cover
 /// [0, tile_rows) exactly.
-template <typename I>
-void check_row_chunks(ValidationResult& r, const std::vector<I>& chunks,
+template <typename ChunkArray>
+void check_row_chunks(ValidationResult& r, const ChunkArray& chunks,
                       std::int64_t tile_rows, const char* name) {
   if (chunks.empty()) return;
   if (chunks.front() != 0) {
@@ -463,6 +466,14 @@ template <typename TM>
 ValidationResult validate_tile_matrix(const TM& m) {
   using std::to_string;
   ValidationResult r;
+  // Gate 0: placement bookkeeping. A matrix whose arrays are views (arena
+  // or mapped file) must hold the owner keeping them alive.
+  if (m.placed != Placement::kHeap && m.storage == nullptr) {
+    r.add("placement/storage-owner",
+          std::string(placement_name(m.placed)) +
+              " placement with no storage owner");
+    return r;
+  }
   // Gate 1: shape scalars.
   if (m.rows < 0 || m.cols < 0) {
     r.add("dims/nonnegative",
@@ -819,6 +830,14 @@ ValidationResult validate_bit_tile_graph(const G& g) {
   using Word = typename G::Word;
   constexpr index_t NT = static_cast<index_t>(sizeof(Word)) * 8;
   ValidationResult r;
+  // Placement bookkeeping first (see validate_tile_matrix): view-backed
+  // arrays need their storage owner alive.
+  if (g.placed != Placement::kHeap && g.storage == nullptr) {
+    r.add("placement/storage-owner",
+          std::string(placement_name(g.placed)) +
+              " placement with no storage owner");
+    return r;
+  }
   if (g.n < 0) {
     r.add("dims/nonnegative", "n=" + to_string(g.n));
     return r;

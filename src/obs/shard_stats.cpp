@@ -1,0 +1,86 @@
+#include "obs/shard_stats.hpp"
+
+#include <atomic>  // lint:allow(raw-atomic)
+
+namespace tilespmspv::obs {
+
+namespace {
+
+// The shard accumulators are the synchronization primitive itself (workers
+// on different shards update concurrently); plain relaxed adds, read by
+// snapshot() after the dispatch barrier. lint:allow(raw-atomic)
+struct ShardCell {
+  std::atomic<std::uint64_t> bytes{0};     // lint:allow(raw-atomic)
+  std::atomic<std::uint64_t> tiles{0};     // lint:allow(raw-atomic)
+  std::atomic<std::uint64_t> ns{0};        // lint:allow(raw-atomic)
+  std::atomic<std::uint64_t> touched{0};   // lint:allow(raw-atomic)
+};
+
+ShardCell g_cells[kShardStatsMax];
+
+ShardCell* cell(int shard) {
+  if (shard < 0 || shard >= kShardStatsMax) return nullptr;
+  ShardCell* c = &g_cells[shard];
+  c->touched.store(1, std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace
+
+double ShardSnapshot::imbalance_of(const std::uint64_t* vals, int n) {
+  if (n <= 0) return 1.0;
+  std::uint64_t max = 0, total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += vals[i];
+    if (vals[i] > max) max = vals[i];
+  }
+  if (total == 0) return 1.0;
+  const double mean = static_cast<double>(total) / static_cast<double>(n);
+  return static_cast<double>(max) / mean;
+}
+
+void shard_set_bytes(int shard, std::uint64_t bytes) {
+  if (ShardCell* c = cell(shard)) {
+    c->bytes.store(bytes, std::memory_order_relaxed);
+  }
+}
+
+void shard_add_tiles(int shard, std::uint64_t tiles) {
+  if (ShardCell* c = cell(shard)) {
+    c->tiles.fetch_add(tiles, std::memory_order_relaxed);
+  }
+}
+
+void shard_add_ms(int shard, double ms) {
+  if (ms < 0) return;
+  if (ShardCell* c = cell(shard)) {
+    c->ns.fetch_add(static_cast<std::uint64_t>(ms * 1e6),
+                    std::memory_order_relaxed);
+  }
+}
+
+ShardSnapshot shard_snapshot() {
+  ShardSnapshot s;
+  for (int i = 0; i < kShardStatsMax; ++i) {
+    if (g_cells[i].touched.load(std::memory_order_relaxed) != 0) {
+      s.shards = i + 1;
+    }
+    s.bytes[i] = g_cells[i].bytes.load(std::memory_order_relaxed);
+    s.tiles[i] = g_cells[i].tiles.load(std::memory_order_relaxed);
+    s.ms[i] =
+        static_cast<double>(g_cells[i].ns.load(std::memory_order_relaxed)) /
+        1e6;
+  }
+  return s;
+}
+
+void shard_reset() {
+  for (ShardCell& c : g_cells) {
+    c.bytes.store(0, std::memory_order_relaxed);
+    c.tiles.store(0, std::memory_order_relaxed);
+    c.ns.store(0, std::memory_order_relaxed);
+    c.touched.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace tilespmspv::obs

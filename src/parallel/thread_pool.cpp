@@ -1,9 +1,17 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "obs/counters.hpp"
+#include "obs/shard_stats.hpp"
 #include "obs/trace.hpp"
+#include "parallel/arena.hpp"
 
 namespace tilespmspv {
 
@@ -16,6 +24,12 @@ namespace {
 // as the serving daemon's request threads do) indexed per-slot workspaces
 // out of bounds.
 thread_local int t_slot = -1;
+
+// Data shard whose range the thread is currently draining (sharded
+// dispatches only); -1 outside. Set around each body invocation — to the
+// *chunk's* shard, not the thread's home shard — so stolen chunks still
+// attribute their counters to the shard that owns the data.
+thread_local int t_shard = -1;
 
 // RAII binding of the calling thread to the caller slot (0) of the pool
 // currently dispatching it. Saving and restoring the previous value keeps
@@ -65,7 +79,48 @@ int ThreadPool::scratch_slot() {
   return s < 0 ? 0 : s;
 }
 
+int ThreadPool::current_shard() {
+  const int s = t_shard;
+  return s < 0 ? 0 : s;
+}
+
+void ThreadPool::configure_shards(int nshards, bool pin_threads) {
+  nshards = std::max(1, std::min(nshards, kMaxShards));
+  nshards_ = nshards;
+  const std::size_t slots = size();
+  slot_shard_.assign(slots, 0);
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    slot_shard_[slot] =
+        static_cast<int>(slot * static_cast<std::size_t>(nshards) / slots);
+  }
+#if defined(__linux__)
+  const NumaTopology topo = NumaTopology::detect();
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (nshards == 1 || !pin_threads) {
+      // Unpin: the union of every node's CPUs.
+      for (const NumaNode& node : topo.nodes) {
+        for (int c : node.cpus) CPU_SET(static_cast<std::size_t>(c), &set);
+      }
+    } else {
+      const int shard = slot_shard_[i + 1];  // worker i occupies slot i + 1
+      const NumaNode& node =
+          topo.nodes[static_cast<std::size_t>(shard % topo.num_nodes())];
+      for (int c : node.cpus) CPU_SET(static_cast<std::size_t>(c), &set);
+    }
+    pthread_setaffinity_np(workers_[i].native_handle(), sizeof(set), &set);
+  }
+#else
+  (void)pin_threads;
+#endif
+}
+
 void ThreadPool::drain(Task& task) {
+  if (task.nshards > 1) {
+    drain_sharded(task);
+    return;
+  }
   std::uint64_t chunks = 0;
   for (;;) {
     const index_t begin = task.next.fetch_add(task.chunk,
@@ -74,6 +129,38 @@ void ThreadPool::drain(Task& task) {
     const index_t end = std::min<index_t>(begin + task.chunk, task.n);
     ++chunks;
     task.invoke(task.ctx, begin, end);
+  }
+  obs::counter_add(obs::Counter::kPoolChunks, chunks);
+}
+
+void ThreadPool::drain_sharded(Task& task) {
+  const int slot = t_slot < 0 ? 0 : t_slot;
+  const int home =
+      task.slot_shard == nullptr ? slot % task.nshards : task.slot_shard[slot];
+  std::uint64_t chunks = 0;
+  for (int k = 0; k < task.nshards; ++k) {
+    // Home shard first; steal from the others round-robin once it's dry.
+    const int s = (home + k) % task.nshards;
+    const index_t s_end = task.shard_bounds[s + 1];
+    bool worked = false;
+    const auto t0 = std::chrono::steady_clock::now();
+    const int saved = t_shard;
+    t_shard = s;
+    for (;;) {
+      const index_t begin =
+          task.shard_next[s].fetch_add(task.chunk, std::memory_order_relaxed);
+      if (begin >= s_end) break;
+      const index_t end = std::min<index_t>(begin + task.chunk, s_end);
+      ++chunks;
+      worked = true;
+      task.invoke(task.ctx, begin, end);
+    }
+    t_shard = saved;
+    if (worked) {
+      const std::chrono::duration<double, std::milli> dt =
+          std::chrono::steady_clock::now() - t0;
+      obs::shard_add_ms(s, dt.count());
+    }
   }
   obs::counter_add(obs::Counter::kPoolChunks, chunks);
 }
@@ -105,10 +192,17 @@ void ThreadPool::worker_loop() {
 void ThreadPool::run_task(Task& task) {
   obs::counter_add(obs::Counter::kPoolLoops, 1);
   if (workers_.empty() || task.n <= task.chunk) {
-    // Serial fast path: no coordination cost for small loops.
+    // Serial fast path: no coordination cost for small loops. Sharded
+    // tasks still go through the sharded drain so each range runs with
+    // current_shard() bound to its data shard and per-shard wall time is
+    // recorded — single-core runs keep the same attribution semantics.
     obs::TraceSpan span("pool/parallel_ranges", "pool", "serial");
     CallerSlotBinding bind;
-    task.invoke(task.ctx, 0, task.n);
+    if (task.nshards > 1) {
+      drain_sharded(task);
+    } else {
+      task.invoke(task.ctx, 0, task.n);
+    }
     return;
   }
   obs::TraceSpan span("pool/parallel_ranges", "pool");

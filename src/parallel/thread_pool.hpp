@@ -39,6 +39,27 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size() + 1; }  // + caller thread
 
+  /// Upper bound on data shards per pool (per-shard claim cursors are a
+  /// fixed array in the task frame). Matches obs::kShardStatsMax.
+  static constexpr int kMaxShards = 8;
+
+  /// Splits future sharded dispatches (parallel_shard_ranges) into
+  /// `nshards` data shards: each pool slot gets a home shard whose range
+  /// it drains first, stealing from the other shards round-robin only once
+  /// its own is empty. With `pin_threads`, workers are additionally pinned
+  /// to the CPUs of their shard's NUMA node (shard s -> node s mod nodes),
+  /// so first-touch pages copied by a worker land on the node that will
+  /// traverse them. nshards = 1 restores the default behaviour and unpins.
+  /// Not thread-safe against concurrent dispatches; configure at setup.
+  void configure_shards(int nshards, bool pin_threads = true);
+  int num_shards() const { return nshards_; }
+
+  /// Shard whose data the calling thread is currently draining (set by the
+  /// sharded drain around each body invocation, including stolen chunks,
+  /// so per-shard counters attribute work to the *data's* shard). 0 when
+  /// outside a sharded dispatch.
+  static int current_shard();
+
   /// Runs fn(begin, end) over disjoint chunks covering [0, n). Blocks until
   /// every chunk has completed. The calling thread participates.
   template <typename F>
@@ -52,6 +73,40 @@ class ThreadPool {
     };
     task.n = n;
     task.chunk = chunk < 1 ? 1 : chunk;
+    run_task(task);
+  }
+
+  /// Sharded variant: `shard_bounds` (length nshards + 1, starting at 0)
+  /// partitions [0, n) into per-shard ranges; chunks never cross a shard
+  /// boundary and every body invocation runs with current_shard() equal to
+  /// the shard owning its range. Falls back to parallel_ranges when the
+  /// bounds describe a single shard (or exceed kMaxShards).
+  template <typename F>
+  void parallel_shard_ranges(const std::vector<index_t>& shard_bounds,
+                             index_t chunk, F&& fn) {
+    const int ns = static_cast<int>(shard_bounds.size()) - 1;
+    if (ns <= 0) return;
+    const index_t n = shard_bounds.back();
+    if (n <= 0) return;
+    if (ns == 1 || ns > kMaxShards) {
+      parallel_ranges(n, chunk, fn);
+      return;
+    }
+    using Fn = std::remove_reference_t<F>;
+    Task task;
+    task.ctx = const_cast<void*>(static_cast<const void*>(&fn));
+    task.invoke = [](void* ctx, index_t begin, index_t end) {
+      (*static_cast<Fn*>(ctx))(begin, end);
+    };
+    task.n = n;
+    task.chunk = chunk < 1 ? 1 : chunk;
+    task.nshards = ns;
+    task.shard_bounds = shard_bounds.data();
+    task.slot_shard = slot_shard_.empty() ? nullptr : slot_shard_.data();
+    for (int s = 0; s < ns; ++s) {
+      task.shard_next[s].store(shard_bounds[static_cast<std::size_t>(s)],
+                               std::memory_order_relaxed);
+    }
     run_task(task);
   }
 
@@ -86,12 +141,21 @@ class ThreadPool {
     // expose. lint:allow(raw-atomic)
     std::atomic<index_t> next{0};
     std::atomic<int> remaining{0};  // lint:allow(raw-atomic)
+    // Sharded dispatch state: per-shard claim cursors over the ranges in
+    // shard_bounds, plus the dispatching pool's slot->home-shard map.
+    int nshards = 1;
+    const index_t* shard_bounds = nullptr;
+    const int* slot_shard = nullptr;
+    std::atomic<index_t> shard_next[kMaxShards];  // lint:allow(raw-atomic)
   };
 
   void run_task(Task& task);
   void worker_loop();
   static void drain(Task& task);
+  static void drain_sharded(Task& task);
 
+  int nshards_ = 1;
+  std::vector<int> slot_shard_;  // home shard per pool slot (size() entries)
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -1,35 +1,61 @@
 #include "serve/matrix_store.hpp"
 
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "formats/mm_io.hpp"
 #include "formats/serialize.hpp"
+#include "formats/tile_file.hpp"
 #include "formats/validate.hpp"
 #include "gen/suite.hpp"
+#include "obs/counters.hpp"
 #include "parallel/atomics.hpp"
 
 namespace tilespmspv::serve {
 
 std::uint64_t fnv1a64(const char* data, std::size_t size) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (std::size_t i = 0; i < size; ++i) {
-    h ^= static_cast<unsigned char>(data[i]);
-    h *= 0x100000001b3ull;
-  }
-  return h;
+  // Same primitive the v2 tile-file format uses for its payload hash
+  // (formats/tile_file.hpp), so the two key spaces agree on the function.
+  return tilespmspv::fnv1a64(data, size);
 }
 
-std::string content_key(const std::string& serialized_bytes) {
-  std::uint64_t h = fnv1a64(serialized_bytes.data(), serialized_bytes.size());
+namespace {
+
+/// 16 lowercase hex chars of a 64-bit hash — the content-key rendering.
+std::string key_of_hash(std::uint64_t h) {
   std::string out(16, '0');
   for (int i = 15; i >= 0; --i) {
     out[static_cast<std::size_t>(i)] = "0123456789abcdef"[h & 0xf];
     h >>= 4;
   }
   return out;
+}
+
+/// Chunked FNV-1a over a whole stream (from its current position), charged
+/// to the hash_bytes counter. Never materializes the stream: 64 KiB at a
+/// time, so hashing a multi-GB matrix file costs one buffer.
+std::uint64_t hash_stream(std::istream& in) {
+  char buf[64 * 1024];
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  std::uint64_t total = 0;
+  while (in) {
+    in.read(buf, sizeof(buf));
+    const std::size_t got = static_cast<std::size_t>(in.gcount());
+    if (got == 0) break;
+    h = tilespmspv::fnv1a64(buf, got, h);
+    total += got;
+  }
+  obs::counter_add(obs::Counter::kHashBytes, total);
+  return h;
+}
+
+}  // namespace
+
+std::string content_key(const std::string& serialized_bytes) {
+  obs::counter_add(obs::Counter::kHashBytes, serialized_bytes.size());
+  return key_of_hash(
+      fnv1a64(serialized_bytes.data(), serialized_bytes.size()));
 }
 
 namespace {
@@ -84,27 +110,64 @@ SnapshotPtr build_snapshot(const Csr<value_t>& a, std::string key,
   return snap;
 }
 
+namespace {
+
+/// Zero-copy admission of a pre-converted v2 tile file: one mmap, cheap
+/// structural gates plus a full deep validation of the mapped view (the
+/// file is an arbitrary client upload), and the content key read straight
+/// from the header's payload hash — no bytes are hashed at load time.
+SnapshotPtr load_snapshot_tile_file(const std::string& path,
+                                    std::string alias) {
+  MappedTileMatrix m =
+      map_tile_matrix_file(path, /*verify_hash=*/false, /*deep_validate=*/true);
+  auto snap = std::make_shared<MatrixSnapshot>();
+  snap->key = key_of_hash(m.header.payload_hash);
+  snap->alias = std::move(alias);
+  snap->source = "file:" + path;
+  snap->rows = m.tiled.rows;
+  snap->cols = m.tiled.cols;
+  snap->nnz = static_cast<offset_t>(m.header.edges);
+  // Footprint = the mapped pages; both orientations are views into the
+  // same mapping, so the file size is counted once.
+  snap->bytes = sizeof(MatrixSnapshot) +
+                static_cast<std::size_t>(m.header.file_bytes);
+  snap->tiled = std::move(m.tiled);
+  snap->tiled_t = std::move(m.tiled_t);
+  snap->has_transpose = m.has_transpose;
+  snap->mapped = true;
+  return snap;
+}
+
+}  // namespace
+
 SnapshotPtr load_snapshot_file(const std::string& path, std::string alias,
                                const SpmspvConfig& cfg) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open matrix file: " + path);
-  std::ostringstream raw;
-  raw << in.rdbuf();
-  const std::string bytes = raw.str();
-  std::string key = content_key(bytes);
-
-  std::istringstream stream(bytes);
-  const SerializedKind kind = probe_serialized_kind(stream);
-  Csr<value_t> a;
-  if (kind == SerializedKind::kCsr) {
-    a = read_csr(stream);  // validating reader
-  } else if (kind == SerializedKind::kTileMatrix) {
+  const SerializedKind kind = probe_serialized_kind(in);
+  if (kind == SerializedKind::kTileFile) {
+    in.close();
+    return load_snapshot_tile_file(path, std::move(alias));
+  }
+  if (kind == SerializedKind::kTileMatrix) {
     throw std::runtime_error(
-        "tiled-matrix files are not servable directly; serve the CSR or "
+        "v1 tiled-matrix files are not servable directly; convert to the v2 "
+        "tile format (tilespmspv_cli convert) or serve the CSR / "
         "MatrixMarket source instead: " +
         path);
+  }
+  // Content key: chunked stream-hash of the raw bytes (never materializes
+  // the file), then rewind and parse straight from the stream.
+  in.clear();
+  in.seekg(0);
+  std::string key = key_of_hash(hash_stream(in));
+  in.clear();
+  in.seekg(0);
+  Csr<value_t> a;
+  if (kind == SerializedKind::kCsr) {
+    a = read_csr(in);  // validating reader (consumes its own header)
   } else {
-    a = Csr<value_t>::from_coo(read_matrix_market(stream));
+    a = Csr<value_t>::from_coo(read_matrix_market(in));
   }
   return build_snapshot(a, std::move(key), std::move(alias), "file:" + path,
                         cfg);
@@ -113,12 +176,23 @@ SnapshotPtr load_snapshot_file(const std::string& path, std::string alias,
 SnapshotPtr load_snapshot_suite(const std::string& name, std::string alias,
                                 const SpmspvConfig& cfg) {
   const Csr<value_t> a = Csr<value_t>::from_coo(suite_matrix(name));
-  // Canonical bytes for the content key: the serialized CSR form, so the
-  // same suite matrix loaded under two aliases shares one cache entry.
-  std::ostringstream bytes;
-  write_csr(bytes, a);
-  return build_snapshot(a, content_key(bytes.str()), std::move(alias),
-                        "suite:" + name, cfg);
+  // Content key: chained hash over the CSR header fields and arrays — the
+  // identity the serialized form pins down, without materializing the
+  // serialized bytes. The same suite matrix loaded under two aliases still
+  // shares one cache entry.
+  const std::int64_t dims[2] = {a.rows, a.cols};
+  std::uint64_t h = tilespmspv::fnv1a64(dims, sizeof(dims));
+  h = tilespmspv::fnv1a64(a.row_ptr.data(),
+                          a.row_ptr.size() * sizeof(offset_t), h);
+  h = tilespmspv::fnv1a64(a.col_idx.data(),
+                          a.col_idx.size() * sizeof(index_t), h);
+  h = tilespmspv::fnv1a64(a.vals.data(), a.vals.size() * sizeof(value_t), h);
+  obs::counter_add(obs::Counter::kHashBytes,
+                   sizeof(dims) + a.row_ptr.size() * sizeof(offset_t) +
+                       a.col_idx.size() * sizeof(index_t) +
+                       a.vals.size() * sizeof(value_t));
+  return build_snapshot(a, key_of_hash(h), std::move(alias), "suite:" + name,
+                        cfg);
 }
 
 SnapshotPtr MatrixStore::get(const std::string& key_or_alias) {

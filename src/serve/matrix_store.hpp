@@ -41,6 +41,10 @@ struct MatrixSnapshot {
   TileMatrix<value_t> tiled;    // A, the SpMSpV/SpMSpM operand
   TileMatrix<value_t> tiled_t;  // unit-weight tiled transpose (BFS expand)
   bool has_transpose = false;   // square matrices only
+  // True when the tiled forms are zero-copy views into an mmapped v2 tile
+  // file (the TileMatrix `storage` member keeps the mapping alive for as
+  // long as any query holds the snapshot).
+  bool mapped = false;
 };
 
 using SnapshotPtr = std::shared_ptr<const MatrixSnapshot>;
@@ -60,9 +64,18 @@ SnapshotPtr build_snapshot(const Csr<value_t>& a, std::string key,
                            std::string alias, std::string source,
                            const SpmspvConfig& cfg);
 
-/// Loads + validates a serialized matrix file (TCSR / TTLM / MatrixMarket,
-/// classified by magic) and builds its snapshot; the content key is the
-/// hash of the raw file bytes. Throws on I/O or validation failure.
+/// Loads + validates a serialized matrix file, classified by magic.
+///
+///  - v2 tile files (TTLF, formats/tile_file.hpp): mmapped zero-copy; the
+///    content key is the payload hash already stored in the 128-byte
+///    header, so admission hashes nothing (the fast path the offline
+///    `tilespmspv_cli convert` step buys).
+///  - TCSR / MatrixMarket: parsed and tiled; the content key is a chunked
+///    stream-hash of the raw file bytes — the file is never materialized
+///    twice in memory. Bytes hashed are charged to the `hash_bytes`
+///    counter on both paths.
+///
+/// Throws on I/O or validation failure.
 SnapshotPtr load_snapshot_file(const std::string& path, std::string alias,
                                const SpmspvConfig& cfg);
 

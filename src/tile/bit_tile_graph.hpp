@@ -18,11 +18,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "formats/csr.hpp"
 #include "formats/validate.hpp"
+#include "parallel/arena.hpp"
 #include "parallel/parallel_for.hpp"
 #include "tile/tile_chunks.hpp"
 #include "util/bitops.hpp"
@@ -49,16 +51,18 @@ struct BitTileGraph {
   // CSR over the tile grid ("A2"): tile (tr, tc) stores, for each local row
   // lr, the word csr_masks[t*NT + lr] whose bit lc is set iff
   // A[tr*NT+lr][tc*NT+lc] != 0.
-  std::vector<offset_t> csr_tile_ptr;  // length tile_n + 1
-  std::vector<index_t> csr_tile_col;
-  std::vector<Word> csr_masks;
+  // Heavy arrays are ArrayBuf (parallel/arena.hpp): owned by default,
+  // views when the graph is arena-placed or mmapped from a tile file.
+  ArrayBuf<offset_t> csr_tile_ptr;  // length tile_n + 1
+  ArrayBuf<index_t> csr_tile_col;
+  ArrayBuf<Word> csr_masks;
 
   // Per-tile occupancy summary: bit lr of csr_row_summary[t] is set iff
   // local row lr of tile t holds any nonzero. The kernels AND the frontier
   // or unvisited word against this before touching the NT-word payload, so
   // near-empty tiles (scattered matrices) cost O(popcount) instead of
   // O(NT) per visit.
-  std::vector<Word> csr_row_summary;
+  ArrayBuf<Word> csr_row_summary;
 
   // CSC over the tile grid ("A1"): tile (tr, tc) stores, for each local
   // column lc, the word csc_masks[t*NT + lc] whose bit lr is set iff the
@@ -71,14 +75,14 @@ struct BitTileGraph {
   // holds the CSR-order index of the mirror tile instead — halving the
   // mask storage exactly as the paper describes. csc_mask(t) hides the
   // difference from the kernels.
-  std::vector<offset_t> csc_tile_ptr;  // length tile_n + 1
-  std::vector<index_t> csc_tile_row;
-  std::vector<Word> csc_masks;          // empty when masks are shared
-  std::vector<offset_t> csc_mirror;     // empty unless masks are shared
+  ArrayBuf<offset_t> csc_tile_ptr;  // length tile_n + 1
+  ArrayBuf<index_t> csc_tile_row;
+  ArrayBuf<Word> csc_masks;       // empty when masks are shared
+  ArrayBuf<offset_t> csc_mirror;  // empty unless masks are shared
   bool shared_masks = false;
 
   // Column-occupancy summary of the CSC form (same role as above).
-  std::vector<Word> csc_col_summary;
+  ArrayBuf<Word> csc_col_summary;
 
   /// Column-mask block of CSC-order tile t (NT words).
   const Word* csc_mask(offset_t t) const {
@@ -97,8 +101,8 @@ struct BitTileGraph {
   // pass can expand only the frontier's edges: side_dst[side_ptr[u] ..
   // side_ptr[u+1]) are the out-neighbors of u among extracted edges
   // (A[dst][u] entries).
-  std::vector<offset_t> side_ptr;  // length n + 1
-  std::vector<index_t> side_dst;
+  ArrayBuf<offset_t> side_ptr;  // length n + 1
+  ArrayBuf<index_t> side_dst;
 
   offset_t side_edge_count() const {
     return static_cast<offset_t>(side_dst.size());
@@ -118,7 +122,11 @@ struct BitTileGraph {
   // per-level frontier-slot chunking of Push-CSC and kept as a length
   // tile_n array because the frontier is a sparse subset of columns — a
   // prefix sum over all columns would not compose over the slot list.
-  std::vector<offset_t> csc_col_weight;
+  ArrayBuf<offset_t> csc_col_weight;
+
+  // View-backed storage owner + placement tag (see TileMatrix::storage).
+  Placement placed = Placement::kHeap;
+  std::shared_ptr<const void> storage;
 
   index_t num_tiles() const {
     return static_cast<index_t>(csr_tile_col.size());
@@ -198,7 +206,7 @@ struct BitTileGraph {
     }
     g.csr_tile_col.clear();
     for (const auto& kept : range_kept) {
-      g.csr_tile_col.insert(g.csr_tile_col.end(), kept.begin(), kept.end());
+      g.csr_tile_col.append(kept.begin(), kept.end());
     }
     const index_t ntiles = static_cast<index_t>(g.csr_tile_col.size());
     g.csr_masks.assign(static_cast<std::size_t>(ntiles) * NT, Word{0});
@@ -279,6 +287,37 @@ struct BitTileGraph {
     if (a.rows != a.cols) return false;
     const Csr<value_t> t = a.transpose();
     return t.row_ptr == a.row_ptr && t.col_idx == a.col_idx;
+  }
+
+  /// Total bytes of the heavy arrays.
+  std::size_t payload_bytes() const {
+    auto vb = [](const auto& v) {
+      return v.size() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+    };
+    return vb(csr_tile_ptr) + vb(csr_tile_col) + vb(csr_masks) +
+           vb(csr_row_summary) + vb(csc_tile_ptr) + vb(csc_tile_row) +
+           vb(csc_masks) + vb(csc_mirror) + vb(csc_col_summary) +
+           vb(side_ptr) + vb(side_dst) + vb(csr_chunk_ptr) +
+           vb(csc_col_weight);
+  }
+
+  /// Moves the heavy arrays into `arena` (see TileMatrix::place).
+  void place(std::shared_ptr<Arena> arena, ThreadPool* pool = nullptr) {
+    assert(arena != nullptr);
+    arena_place_buf(*arena, csr_tile_ptr, pool);
+    arena_place_buf(*arena, csr_tile_col, pool);
+    arena_place_buf(*arena, csr_masks, pool);
+    arena_place_buf(*arena, csr_row_summary, pool);
+    arena_place_buf(*arena, csc_tile_ptr, pool);
+    arena_place_buf(*arena, csc_tile_row, pool);
+    arena_place_buf(*arena, csc_masks, pool);
+    arena_place_buf(*arena, csc_mirror, pool);
+    arena_place_buf(*arena, csc_col_summary, pool);
+    arena_place_buf(*arena, side_ptr, pool);
+    arena_place_buf(*arena, side_dst, pool);
+    arena_place_buf(*arena, csc_col_weight, pool);
+    placed = arena->placement();
+    storage = std::shared_ptr<const void>(arena, arena.get());
   }
 
  private:

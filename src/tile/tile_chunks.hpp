@@ -28,11 +28,14 @@ inline constexpr offset_t kChunkTargetWork = 4096;
 /// Cuts [0, tile_rows) into work-balanced chunks. `tile_row_ptr` is the
 /// CSR-over-tiles row pointer (length tile_rows + 1) and `tile_nnz_ptr`
 /// the per-tile entry ranges; both the TileMatrix and PackedTileMatrix
-/// layouts provide them. Returns boundaries: chunk c covers tile rows
-/// [out[c], out[c+1]). Always at least one chunk when tile_rows > 0.
-inline std::vector<index_t> build_row_chunks(
-    index_t tile_rows, const std::vector<offset_t>& tile_row_ptr,
-    const std::vector<offset_t>& tile_nnz_ptr) {
+/// layouts provide them (templated on the array type so owned vectors and
+/// mapped ArrayBuf views both work). Returns boundaries: chunk c covers
+/// tile rows [out[c], out[c+1]). Always at least one chunk when
+/// tile_rows > 0.
+template <typename PtrArray, typename NnzArray>
+inline std::vector<index_t> build_row_chunks(index_t tile_rows,
+                                             const PtrArray& tile_row_ptr,
+                                             const NnzArray& tile_nnz_ptr) {
   std::vector<index_t> bounds;
   bounds.push_back(0);
   if (tile_rows <= 0) return bounds;

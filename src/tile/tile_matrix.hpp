@@ -11,12 +11,15 @@
 #include <cassert>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "formats/coo.hpp"
 #include "formats/csr.hpp"
 #include "formats/validate.hpp"
 #include "obs/trace.hpp"
+#include "parallel/arena.hpp"
+#include "parallel/parallel_for.hpp"
 #include "tile/tile_chunks.hpp"
 #include "util/types.hpp"
 
@@ -36,17 +39,22 @@ struct TileMatrix {
   index_t tile_rows = 0;  // ceil(rows/nt)
   index_t tile_cols = 0;  // ceil(cols/nt)
 
+  // Every heavy array is an ArrayBuf (parallel/arena.hpp): owned heap
+  // vectors by default, rebindable as views into an arena or an mmapped
+  // tile file with the kernels none the wiser (they read through the same
+  // data()/operator[] surface).
+
   // CSR over the tile grid.
-  std::vector<offset_t> tile_row_ptr;  // length tile_rows + 1
-  std::vector<index_t> tile_col_id;    // per non-empty tile
+  ArrayBuf<offset_t> tile_row_ptr;  // length tile_rows + 1
+  ArrayBuf<index_t> tile_col_id;    // per non-empty tile
 
   // Per-tile intra storage, concatenated. Tile t's local row pointer lives
   // at intra_row_ptr[t*(nt+1) .. t*(nt+1)+nt]; its entries start at
   // tile_nnz_ptr[t].
-  std::vector<offset_t> tile_nnz_ptr;      // length ntiles + 1
-  std::vector<std::uint16_t> intra_row_ptr;  // ntiles * (nt+1)
-  std::vector<std::uint8_t> local_col;       // per entry, < nt (nt <= 256)
-  std::vector<T> vals;
+  ArrayBuf<offset_t> tile_nnz_ptr;        // length ntiles + 1
+  ArrayBuf<std::uint16_t> intra_row_ptr;  // ntiles * (nt+1)
+  ArrayBuf<std::uint8_t> local_col;       // per entry, < nt (nt <= 256)
+  ArrayBuf<T> vals;
 
   // Nonzeros extracted from very sparse tiles (empty when extraction off).
   Coo<T> extracted;
@@ -54,17 +62,19 @@ struct TileMatrix {
   // The same extracted nonzeros indexed by column, so multiply kernels can
   // visit only the columns selected by the sparse input vector instead of
   // sweeping the whole side matrix (work-proportionality; see DESIGN.md).
-  std::vector<offset_t> side_col_ptr;  // length cols + 1
-  std::vector<index_t> side_row_idx;
-  std::vector<T> side_vals;
+  ArrayBuf<offset_t> side_col_ptr;  // length cols + 1
+  ArrayBuf<index_t> side_row_idx;
+  ArrayBuf<T> side_vals;
 
   // Row pointer into `extracted` (which from_csr builds row-major sorted),
   // for kernels that consume this matrix as a transposed view.
-  std::vector<offset_t> side_row_ptr;  // length rows + 1
+  ArrayBuf<offset_t> side_row_ptr;  // length rows + 1
 
   // Work-balanced tile-row chunk boundaries (see tile/tile_chunks.hpp):
   // scheduling chunk c covers tile rows [row_chunk_ptr[c], row_chunk_ptr[c+1]).
   // Built once at conversion so every multiply reuses the same balance.
+  // Stays a plain vector: the kernels' chunk-pointer fallback logic takes
+  // its address, and it is small enough that placement never matters.
   std::vector<index_t> row_chunk_ptr;
 
   // Compact non-empty-row runs per tile, derived from the intra-tile CSR:
@@ -75,8 +85,8 @@ struct TileMatrix {
   // matrices where tiles hold a handful of nonzeros). The third byte marks
   // rows whose local columns are consecutive (the banded/FEM regime),
   // letting the micro-kernel use contiguous loads instead of gathers.
-  std::vector<offset_t> run_ptr;       // length ntiles + 1
-  std::vector<std::uint8_t> row_runs;  // 3 bytes per run
+  ArrayBuf<offset_t> run_ptr;       // length ntiles + 1
+  ArrayBuf<std::uint8_t> row_runs;  // 3 bytes per run
 
   // Per-tile micro-kernel choice, decided once from the run shape (see
   // build_row_runs): tiles keep the strategy that their run-length and
@@ -84,8 +94,14 @@ struct TileMatrix {
   // per-tile heuristics.
   static constexpr std::uint8_t kRunFlat = 0;      // flat gather + segment sums
   static constexpr std::uint8_t kRunDispatch = 1;  // per-run contig/gather dots
-  static constexpr std::uint8_t kRunTiny = 2;      // plain scalar
-  std::vector<std::uint8_t> tile_strategy;  // length ntiles
+  static constexpr std::uint8_t kRunTiny = 2;  // plain scalar
+  ArrayBuf<std::uint8_t> tile_strategy;        // length ntiles
+
+  // Where the heavy arrays live, and the owner keeping view-backed storage
+  // alive (an Arena for first-touch placement, a MappedFile for zero-copy
+  // loads). Unused (null) for plain heap matrices. Copies share the owner.
+  Placement placed = Placement::kHeap;
+  std::shared_ptr<const void> storage;
 
   index_t num_tiles() const {
     return static_cast<index_t>(tile_col_id.size());
@@ -375,6 +391,44 @@ struct TileMatrix {
     }
     out.sort_row_major();
     return out;
+  }
+
+  /// Total bytes of the heavy arrays (payload + derived indexes).
+  std::size_t payload_bytes() const {
+    auto vb = [](const auto& v) {
+      return v.size() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+    };
+    return vb(tile_row_ptr) + vb(tile_col_id) + vb(tile_nnz_ptr) +
+           vb(intra_row_ptr) + vb(local_col) + vb(vals) +
+           vb(extracted.row_idx) + vb(extracted.col_idx) + vb(extracted.vals) +
+           vb(side_col_ptr) + vb(side_row_idx) + vb(side_vals) +
+           vb(side_row_ptr) + vb(row_chunk_ptr) + vb(run_ptr) + vb(row_runs) +
+           vb(tile_strategy);
+  }
+
+  /// Moves every heavy array into `arena` and rebinds the fields as views.
+  /// With a first-touch arena and a shard-configured pool, each array is
+  /// copied by a uniform parallel sweep whose pinned workers fault their
+  /// own slice's pages onto their NUMA node, so a shard's traversal reads
+  /// mostly node-local memory. The arena joins the structure's `storage`
+  /// holder (shared across copies).
+  void place(std::shared_ptr<Arena> arena, ThreadPool* pool = nullptr) {
+    assert(arena != nullptr);
+    arena_place_buf(*arena, tile_row_ptr, pool);
+    arena_place_buf(*arena, tile_col_id, pool);
+    arena_place_buf(*arena, tile_nnz_ptr, pool);
+    arena_place_buf(*arena, intra_row_ptr, pool);
+    arena_place_buf(*arena, local_col, pool);
+    arena_place_buf(*arena, vals, pool);
+    arena_place_buf(*arena, side_col_ptr, pool);
+    arena_place_buf(*arena, side_row_idx, pool);
+    arena_place_buf(*arena, side_vals, pool);
+    arena_place_buf(*arena, side_row_ptr, pool);
+    arena_place_buf(*arena, run_ptr, pool);
+    arena_place_buf(*arena, row_runs, pool);
+    arena_place_buf(*arena, tile_strategy, pool);
+    placed = arena->placement();
+    storage = std::shared_ptr<const void>(arena, arena.get());
   }
 };
 

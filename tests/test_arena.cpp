@@ -1,0 +1,242 @@
+// Placement-layer unit tests (parallel/arena.hpp): ArrayBuf owned/view
+// semantics, Arena block alignment across policies, NUMA topology parsing,
+// ShardPlan balance, the sharded dispatch loop's exactly-once coverage,
+// and TileMatrix/BitTileGraph::place() round-trips.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>  // lint:allow(raw-atomic) -- exactly-once coverage check
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "formats/csr.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "parallel/arena.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tile/bit_tile_graph.hpp"
+#include "tile/tile_matrix.hpp"
+#include "util/types.hpp"
+
+namespace tilespmspv {
+namespace {
+
+TEST(ArrayBuf, OwnedModeMirrorsVector) {
+  ArrayBuf<int> b;
+  EXPECT_TRUE(b.empty());
+  b.push_back(1);
+  b.push_back(2);
+  b.push_back(3);
+  EXPECT_FALSE(b.is_view());
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[1], 2);
+  b[1] = 9;
+  EXPECT_EQ(b[1], 9);
+  b.back() = 7;
+  EXPECT_EQ(b.back(), 7);
+  EXPECT_EQ(b.front(), 1);
+  b.resize(5);
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(b[4], 0);
+}
+
+TEST(ArrayBuf, VectorAdoptionAndEquality) {
+  std::vector<int> v{4, 5, 6};
+  ArrayBuf<int> b = std::vector<int>(v);
+  EXPECT_TRUE(b == v);
+  EXPECT_TRUE(v == b);
+  ArrayBuf<int> c;
+  c = std::vector<int>(v);
+  EXPECT_TRUE(b == c);
+  c.push_back(7);
+  EXPECT_FALSE(b == c);
+}
+
+TEST(ArrayBuf, ViewAliasesWithoutCopy) {
+  const std::vector<int> backing{10, 20, 30, 40};
+  ArrayBuf<int> b = ArrayBuf<int>::view(backing.data(), backing.size());
+  const ArrayBuf<int>& rb = b;  // the read surface is the const overloads
+  EXPECT_TRUE(b.is_view());
+  EXPECT_EQ(rb.data(), backing.data());  // zero-copy: same pointer
+  EXPECT_EQ(rb.size(), 4u);
+  EXPECT_EQ(rb[2], 30);
+  EXPECT_EQ(rb.front(), 10);
+  EXPECT_EQ(rb.back(), 40);
+  EXPECT_TRUE(b == backing);
+
+  // Copying a view yields another view over the same memory.
+  ArrayBuf<int> c = b;
+  const ArrayBuf<int>& rc = c;
+  EXPECT_TRUE(c.is_view());
+  EXPECT_EQ(rc.data(), backing.data());
+
+  // make_owned detaches: the data survives, the aliasing stops.
+  c.make_owned();
+  EXPECT_FALSE(c.is_view());
+  EXPECT_NE(rc.data(), backing.data());
+  EXPECT_TRUE(c == backing);
+
+  // Whole-replacement rebinds a view to owned storage.
+  b = std::vector<int>{1, 2};
+  EXPECT_FALSE(b.is_view());
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(ArrayBuf, MoveFromViewLeavesSourceEmptyOwned) {
+  const std::vector<int> backing{1, 2, 3};
+  ArrayBuf<int> b = ArrayBuf<int>::view(backing.data(), backing.size());
+  ArrayBuf<int> c = std::move(b);
+  EXPECT_TRUE(c.is_view());
+  EXPECT_EQ(static_cast<const ArrayBuf<int>&>(c).data(), backing.data());
+  EXPECT_FALSE(b.is_view());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Arena, BlocksAreAlignedAndDistinct) {
+  for (const Placement p : {Placement::kHeap, Placement::kFirstTouch}) {
+    Arena arena(p);
+    void* a = arena.allocate(100);
+    void* b = arena.allocate(0);  // zero-size requests still get a block
+    void* c = arena.allocate(1 << 20);
+    for (void* q : {a, b, c}) {
+      EXPECT_NE(q, nullptr);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) % Arena::kAlign, 0u)
+          << placement_name(p);
+    }
+    EXPECT_NE(a, b);
+    EXPECT_NE(b, c);
+    EXPECT_GE(arena.bytes_allocated(), std::size_t{100} + (1 << 20));
+    // First-touch pages must be writable after allocation.
+    static_cast<char*>(c)[0] = 1;
+    static_cast<char*>(c)[(1 << 20) - 1] = 2;
+  }
+}
+
+TEST(NumaTopology, ParseCpulist) {
+  EXPECT_EQ(NumaTopology::parse_cpulist("0-3"),
+            (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(NumaTopology::parse_cpulist("0,2,4"),
+            (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(NumaTopology::parse_cpulist("0-1,8-9"),
+            (std::vector<int>{0, 1, 8, 9}));
+  EXPECT_TRUE(NumaTopology::parse_cpulist("garbage").empty());
+  EXPECT_TRUE(NumaTopology::parse_cpulist("").empty());
+}
+
+TEST(NumaTopology, DetectAlwaysYieldsANode) {
+  const NumaTopology t = NumaTopology::detect();
+  ASSERT_GE(t.num_nodes(), 1);
+  for (const NumaNode& n : t.nodes) {
+    EXPECT_FALSE(n.cpus.empty());
+  }
+}
+
+TEST(ShardPlan, UniformChunksBalance) {
+  const auto plan = make_shard_plan(64, 4, [](index_t) { return 100u; });
+  ASSERT_EQ(plan.chunk_bounds.size(), 5u);
+  EXPECT_EQ(plan.chunk_bounds.front(), 0);
+  EXPECT_EQ(plan.chunk_bounds.back(), 64);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_LE(plan.chunk_bounds[s], plan.chunk_bounds[s + 1]);
+    EXPECT_EQ(plan.bytes[s], 1600u);
+  }
+  EXPECT_DOUBLE_EQ(plan.imbalance(), 1.0);
+}
+
+TEST(ShardPlan, SkewedChunksStayContiguousAndCovering) {
+  // One huge chunk: bounds stay monotone, every chunk lands in exactly one
+  // shard (total payload conserved), and the big chunk is never split.
+  const auto plan = make_shard_plan(16, 4, [](index_t c) {
+    return c == 0 ? 10000u : 10u;
+  });
+  EXPECT_EQ(plan.chunk_bounds.front(), 0);
+  EXPECT_EQ(plan.chunk_bounds.back(), 16);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_LE(plan.chunk_bounds[s], plan.chunk_bounds[s + 1]);
+  }
+  std::uint64_t total = 0, max = 0;
+  for (std::uint64_t b : plan.bytes) {
+    total += b;
+    max = std::max(max, b);
+  }
+  EXPECT_EQ(total, 10000u + 15u * 10u);
+  EXPECT_GE(max, 10000u);  // the heavy chunk stays whole in one shard
+}
+
+TEST(ShardPlan, DegenerateInputs) {
+  const auto empty = make_shard_plan(0, 4, [](index_t) { return 1u; });
+  EXPECT_EQ(empty.chunk_bounds.back(), 0);
+  EXPECT_DOUBLE_EQ(empty.imbalance(), 1.0);
+  const auto fewer = make_shard_plan(2, 8, [](index_t) { return 1u; });
+  EXPECT_EQ(fewer.chunk_bounds.back(), 2);  // some shards legitimately empty
+}
+
+TEST(ThreadPool, ShardedDispatchCoversEveryChunkOnce) {
+  ThreadPool pool(4);
+  pool.configure_shards(4, /*pin_threads=*/false);
+  ASSERT_EQ(pool.num_shards(), 4);
+  constexpr index_t kN = 1000;
+  std::vector<index_t> bounds{0, 200, 500, 900, kN};
+  std::vector<std::atomic<int>> hits(kN);  // lint:allow(raw-atomic)
+  std::vector<std::atomic<int>> shard_of(kN);  // lint:allow(raw-atomic)
+  for (auto& h : hits) h.store(0);
+  pool.parallel_shard_ranges(bounds, 7, [&](index_t begin, index_t end) {
+    const int s = ThreadPool::current_shard();
+    for (index_t i = begin; i < end; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+      shard_of[static_cast<std::size_t>(i)].store(s);
+    }
+  });
+  for (index_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "chunk " << i;
+  }
+  // Chunks never cross a shard boundary: every index inside a shard's
+  // range ran attributed to that shard (stealing preserves attribution).
+  for (int s = 0; s < 4; ++s) {
+    for (index_t i = bounds[s]; i < bounds[s + 1]; ++i) {
+      EXPECT_EQ(shard_of[static_cast<std::size_t>(i)].load(), s);
+    }
+  }
+  pool.configure_shards(1);
+  EXPECT_EQ(pool.num_shards(), 1);
+}
+
+TEST(Place, TileMatrixRoundTripAcrossPolicies) {
+  const auto a = Csr<value_t>::from_coo(gen_erdos_renyi(300, 280, 0.02, 77));
+  const TileMatrix<value_t> base = TileMatrix<value_t>::from_csr(a, 16, 2);
+  for (const Placement p : {Placement::kHeap, Placement::kFirstTouch}) {
+    TileMatrix<value_t> placed = base;
+    placed.place(std::make_shared<Arena>(p));
+    EXPECT_EQ(placed.placed, p);
+    EXPECT_NE(placed.storage, nullptr);
+    EXPECT_TRUE(placed.vals.is_view());
+    EXPECT_TRUE(placed.tile_row_ptr == base.tile_row_ptr);
+    EXPECT_TRUE(placed.tile_col_id == base.tile_col_id);
+    EXPECT_TRUE(placed.tile_nnz_ptr == base.tile_nnz_ptr);
+    EXPECT_TRUE(placed.vals == base.vals);
+    EXPECT_TRUE(placed.local_col == base.local_col);
+    // The placed structure still answers queries.
+    const Coo<value_t> c1 = base.to_coo();
+    const Coo<value_t> c2 = placed.to_coo();
+    EXPECT_EQ(c1.row_idx, c2.row_idx);
+    EXPECT_EQ(c1.col_idx, c2.col_idx);
+    EXPECT_EQ(c1.vals, c2.vals);
+  }
+}
+
+TEST(Place, BitTileGraphRoundTrip) {
+  const auto a = Csr<value_t>::from_coo(gen_erdos_renyi(400, 400, 0.01, 78));
+  const BitTileGraph<32> base = BitTileGraph<32>::from_csr(a, 2);
+  BitTileGraph<32> placed = base;
+  placed.place(std::make_shared<Arena>(Placement::kFirstTouch));
+  EXPECT_EQ(placed.placed, Placement::kFirstTouch);
+  EXPECT_NE(placed.storage, nullptr);
+  EXPECT_TRUE(placed.csr_masks.is_view());
+  EXPECT_TRUE(placed.csr_tile_ptr == base.csr_tile_ptr);
+  EXPECT_TRUE(placed.csr_tile_col == base.csr_tile_col);
+  EXPECT_TRUE(placed.csr_masks == base.csr_masks);
+  EXPECT_TRUE(placed.side_dst == base.side_dst);
+}
+
+}  // namespace
+}  // namespace tilespmspv

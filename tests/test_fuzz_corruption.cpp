@@ -12,7 +12,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iterator>
 #include <limits>
 #include <sstream>
@@ -22,6 +24,7 @@
 
 #include "formats/mm_io.hpp"
 #include "formats/serialize.hpp"
+#include "formats/tile_file.hpp"
 #include "formats/validate.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "util/prng.hpp"
@@ -260,7 +263,136 @@ TEST(FuzzCorruption, MatrixMarketText) {
   EXPECT_EQ(runs, 225);
 }
 
-// Total mutated streams across the four tests: 660 + 420 + 80 + 225 = 1385.
+// Total mutated streams across the four stream tests:
+// 660 + 420 + 80 + 225 = 1385. The tile-file tests below fuzz the v2 mmap
+// container on top of that.
+
+/// Writes raw bytes to `path` (the v2 loaders are path-based: they mmap).
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(FuzzCorruption, TileFileMapping) {
+  // The v2 container is the serving daemon's upload trust boundary: a
+  // mutated file must either throw std::runtime_error out of the mapping
+  // path or pass the full structural validation deep_validate runs. Any
+  // other exception (or a crash on a mapped out-of-bounds view) is the bug.
+  const std::string base_path = "/tmp/tilespmspv_fuzz_ttlf_base.bin";
+  const std::string mut_path = "/tmp/tilespmspv_fuzz_ttlf_mut.bin";
+  Coo<value_t> coo = gen_erdos_renyi(120, 96, 0.04, 4204);
+  coo.cols = 110;
+  coo.push(5, 100, 1.0);
+  coo.push(119, 109, 0.25);
+  const auto a = Csr<value_t>::from_coo(coo);
+  const auto m = TileMatrix<value_t>::from_csr(a, 16, 2);
+  const auto mt = TileMatrix<value_t>::from_csr(a.transpose(), 16, 2);
+  write_tile_matrix_file_v2(base_path, m, &mt);
+  const std::string base = read_bytes(base_path);
+  std::remove(base_path.c_str());
+  ASSERT_GT(base.size(), sizeof(TileFileHeader));
+
+  const auto drive_map = [&](const std::string& bytes) {
+    write_bytes(mut_path, bytes);
+    try {
+      map_tile_matrix_file(mut_path, /*verify_hash=*/false,
+                           /*deep_validate=*/true);
+      return Outcome::kLoadedValid;  // deep validation accepted it
+    } catch (const std::runtime_error&) {
+      return Outcome::kRejected;
+    }
+  };
+  EXPECT_EQ(drive_map(base), Outcome::kLoadedValid);
+  const FuzzStats stats =
+      fuzz_binary(base, drive_map, 0xF17EF11E, 120, 60, 40, 60);
+  std::remove(mut_path.c_str());
+  EXPECT_EQ(stats.total(), 280);
+  EXPECT_GT(stats.rejected, stats.total() / 4)
+      << "rejected " << stats.rejected << " of " << stats.total();
+  EXPECT_GT(stats.loaded, 0);
+}
+
+TEST(FuzzCorruption, TileFileDirectedHeaderAttacks) {
+  // Deterministic attacks on every header/section invariant the mapping
+  // path gates on: wrong magic, future version, truncation, misaligned and
+  // out-of-bounds section offsets, inconsistent section byte counts, and a
+  // payload whose content no longer matches the recorded hash.
+  const std::string path = "/tmp/tilespmspv_fuzz_ttlf_directed.bin";
+  const auto a = Csr<value_t>::from_coo(gen_erdos_renyi(90, 80, 0.05, 4205));
+  const auto m = TileMatrix<value_t>::from_csr(a, 16, 2);
+  write_tile_matrix_file_v2(path, m);
+  const std::string base = read_bytes(path);
+
+  const auto expect_reject = [&](std::string bytes, bool verify_hash,
+                                 const char* what) {
+    write_bytes(path, bytes);
+    EXPECT_THROW(map_tile_matrix_file(path, verify_hash, true),
+                 std::runtime_error)
+        << what;
+  };
+
+  std::string s = base;
+  std::memcpy(&s[0], "XXXX", 4);
+  expect_reject(s, false, "wrong magic");
+
+  s = base;
+  const std::uint32_t future_version = kTileFileVersion + 1;
+  std::memcpy(&s[4], &future_version, 4);
+  expect_reject(s, false, "future version");
+
+  expect_reject(base.substr(0, 64), false, "truncated mid-header");
+  expect_reject(base.substr(0, sizeof(TileFileHeader) + 8), false,
+                "truncated mid-section-table");
+  expect_reject(base.substr(0, base.size() - 16), false,
+                "truncated payload vs header file_bytes");
+
+  // Section 0's entry starts right after the header: id(4) elem_size(4)
+  // offset(8) bytes(8) count(8).
+  const std::size_t sec0 = sizeof(TileFileHeader);
+  s = base;
+  std::uint64_t off = 0;
+  std::memcpy(&off, &s[sec0 + 8], 8);
+  off += 1;  // break the 64-byte alignment guarantee
+  std::memcpy(&s[sec0 + 8], &off, 8);
+  expect_reject(s, false, "misaligned section offset");
+
+  s = base;
+  off = base.size() + (std::uint64_t{1} << 32);  // far outside the mapping
+  std::memcpy(&s[sec0 + 8], &off, 8);
+  expect_reject(s, false, "out-of-bounds section offset");
+
+  s = base;
+  std::uint64_t count = 0;
+  std::memcpy(&count, &s[sec0 + 24], 8);
+  count += 1;  // bytes != count * elem_size
+  std::memcpy(&s[sec0 + 24], &count, 8);
+  expect_reject(s, false, "section bytes/count mismatch");
+
+  // Flip one payload byte: the structure may still parse, but the recorded
+  // payload hash no longer matches, so the strict path must reject it.
+  s = base;
+  s[s.size() - 1] = static_cast<char>(s[s.size() - 1] ^ 0x01);
+  write_bytes(path, s);
+  bool hash_caught = false;
+  try {
+    map_tile_matrix_file(path, /*verify_hash=*/true, /*deep_validate=*/false);
+  } catch (const std::runtime_error&) {
+    hash_caught = true;
+  }
+  EXPECT_TRUE(hash_caught) << "payload mutation evaded hash verification";
+
+  // The unmutated file still passes the strictest load.
+  write_bytes(path, base);
+  const MappedTileMatrix ok = map_tile_matrix_file(path, true, true);
+  EXPECT_EQ(ok.tiled.rows, 90);
+  std::remove(path.c_str());
+}
 
 }  // namespace
 }  // namespace tilespmspv

@@ -7,8 +7,8 @@
 // profile), and writes one schema-versioned report.
 //
 //   tilespmspv_bench [--tier quick|full] [--filter fig6,fig6_batch,fig7]
-//                    [--iters N] [--threads N] [--out BENCH_0008.json]
-//                    [--bench-id BENCH_0008] [--no-calibrate]
+//                    [--iters N] [--threads N] [--out BENCH_0009.json]
+//                    [--bench-id BENCH_0009] [--no-calibrate]
 //
 // Tiers:
 //   quick  3 small matrices per group, 5 iters — the CI regression gate
@@ -20,7 +20,10 @@
 // Groups: fig6 (SpMSpV over vector sparsities), fig6_batch (block-of-k
 // SpMSpM vs k single multiplies at k = 64), fig7 (TileBFS), fig11
 // (CSR -> tiled conversion), serve_smoke (serving-daemon request latency,
-// single and 8-way burst). --filter selects a comma-separated subset.
+// single and 8-way burst), graph500_oOC (out-of-core R-MAT BFS: convert
+// to a v2 tile file, rebuild by mmap, traverse sharded — the cases track
+// convert vs map startup cost and mapped-traversal speed). --filter
+// selects a comma-separated subset.
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -34,10 +37,13 @@
 #include "core/tile_spmspv.hpp"
 #include "core/tile_spmspv_batch.hpp"
 #include "core/work_model.hpp"
+#include "formats/tile_file.hpp"
+#include "gen/rmat.hpp"
 #include "gen/vector_gen.hpp"
 #include "obs/bench_report.hpp"
 #include "obs/json.hpp"
 #include "serve/server.hpp"
+#include "tile/bit_tile_graph.hpp"
 #include "util/args.hpp"
 #include "util/simd.hpp"
 
@@ -55,6 +61,7 @@ struct Tier {
   std::vector<double> sparsities;
   std::vector<std::string> bfs_matrices;
   std::vector<std::string> convert_matrices;
+  int g500_scale = 13;  // R-MAT scale of the out-of-core group
 };
 
 Tier tier_spec(const std::string& name) {
@@ -64,11 +71,13 @@ Tier tier_spec(const std::string& name) {
     t.sparsities = {0.01, 0.0001};
     t.bfs_matrices = {"road-small", "rmat-small", "fem-small"};
     t.convert_matrices = {"cant", "road-small", "web-small"};
+    t.g500_scale = 13;
   } else if (name == "full") {
     t.spmspv_matrices = suite_spmspv_sweep();
     t.sparsities = {0.1, 0.01, 0.001, 0.0001};
     t.bfs_matrices = suite_bfs_sweep();
     t.convert_matrices = suite_representative12();
+    t.g500_scale = 16;
   } else {
     throw std::invalid_argument("unknown tier '" + name +
                                 "' (expected quick|full)");
@@ -272,6 +281,45 @@ void run_serve_smoke(const Tier& tier, int iters,
   }
 }
 
+void run_graph500_ooc(const Tier& tier, int iters, ThreadPool& pool,
+                      std::vector<obs::BenchCase>& out) {
+  // Out-of-core startup trajectory: `.convert` is the one-time offline
+  // cost (tiled build + v2 file write), `.mmap_load` is what a restart
+  // actually pays (a single mmap + cheap structural gates), and
+  // `.bfs_mapped` proves traversal speed off the mapped view under
+  // sharded dispatch. The convert/mmap_load ratio is the O(mmap) startup
+  // win the trajectory gates on.
+  RmatParams prm;
+  prm.scale = tier.g500_scale;
+  prm.edge_factor = 16;
+  const Csr<value_t> g = Csr<value_t>::from_coo(gen_rmat(prm, 42));
+  const std::string path = "/tmp/tilespmspv_bench_g500.ttlf";
+  const std::string base = "graph500_oOC/s" + std::to_string(prm.scale);
+  pool.configure_shards(4);
+
+  // Tile size must match what the file-backed TileBfs reads back, i.e.
+  // the in-memory rule (order above 10,000 -> 64x64).
+  const auto convert = [&] {
+    if (g.rows > 10000) {
+      write_bit_tile_graph_file<64>(path, BitTileGraph<64>::from_csr(g, 2));
+    } else {
+      write_bit_tile_graph_file<32>(path, BitTileGraph<32>::from_csr(g, 2));
+    }
+  };
+  out.push_back(run_case("graph500_oOC", base + ".convert", iters, convert));
+  out.push_back(run_case("graph500_oOC", base + ".mmap_load", iters, [&] {
+    TileBfs mapped(path, {}, &pool);
+  }));
+
+  TileBfs mapped(path, {}, &pool);
+  const index_t src = max_degree_vertex(g);
+  BfsWorkspace ws;
+  out.push_back(run_case("graph500_oOC", base + ".bfs_mapped", iters,
+                         [&] { (void)mapped.run(src, ws); }));
+  pool.configure_shards(1);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -284,8 +332,8 @@ int main(int argc, char** argv) {
     const int iters = static_cast<int>(args.get_int("--iters", 5));
     const auto threads =
         static_cast<std::size_t>(args.get_int("--threads", 4));
-    const std::string out_path = args.get("--out", "BENCH_0008.json");
-    const std::string bench_id = args.get("--bench-id", "BENCH_0008");
+    const std::string out_path = args.get("--out", "BENCH_0009.json");
+    const std::string bench_id = args.get("--bench-id", "BENCH_0009");
     if (iters < 1) throw std::invalid_argument("--iters must be >= 1");
 
     const Tier tier = tier_spec(tier_name);
@@ -330,6 +378,10 @@ int main(int argc, char** argv) {
     if (group_selected(filter, "serve_smoke")) {
       std::cout << "running serve_smoke (daemon request latency)...\n";
       run_serve_smoke(tier, iters, report.cases);
+    }
+    if (group_selected(filter, "graph500_oOC")) {
+      std::cout << "running graph500_oOC (out-of-core R-MAT BFS)...\n";
+      run_graph500_ooc(tier, iters, pool, report.cases);
     }
     if (report.cases.empty()) {
       std::fprintf(stderr, "no cases selected (filter '%s')\n",

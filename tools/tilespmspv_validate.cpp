@@ -3,10 +3,14 @@
 //
 // Two modes:
 //   tilespmspv_validate FILE...        classify each file by magic (TCSR /
-//                                      TTLM / Matrix Market), load it through
-//                                      the validating reader, and report
+//                                      TTLM / TTLF v2 tile file / Matrix
+//                                      Market), load it through the
+//                                      validating reader, and report
 //                                      OK or INVALID with the violated
-//                                      invariants.
+//                                      invariants. TTLF files get the
+//                                      strict path: payload-hash verify +
+//                                      deep structural validation of the
+//                                      mapped view.
 //   tilespmspv_validate --suite NAME   build every structure the library
 //                                      defines (Coo, Csr, TileMatrix,
 //                                      PackedTileMatrix, BitTileGraph,
@@ -25,6 +29,7 @@
 
 #include "formats/mm_io.hpp"
 #include "formats/serialize.hpp"
+#include "formats/tile_file.hpp"
 #include "formats/validate.hpp"
 #include "gen/suite.hpp"
 #include "gen/vector_gen.hpp"
@@ -43,7 +48,8 @@ int usage() {
       "usage: tilespmspv_validate FILE...\n"
       "       tilespmspv_validate --suite NAME [--nt N] [--extract N]\n"
       "\n"
-      "Validates serialized matrices (TCSR/TTLM binary or Matrix Market)\n"
+      "Validates serialized matrices (TCSR/TTLM/TTLF binary or Matrix\n"
+      "Market)\n"
       "against the library's format invariants, or self-checks every\n"
       "structure built from a generator-suite matrix.\n"
       "Exit codes: 0 valid, 1 invalid input, 2 usage error.\n";
@@ -75,6 +81,52 @@ bool check_file(const std::string& path) {
                   << ", nt " << m.nt << ", tiles " << m.num_tiles()
                   << ", nnz " << m.total_nnz() << ")\n";
         return true;
+      }
+      case SerializedKind::kTileFile: {
+        // v2 mmap container: verify the payload hash and run the full
+        // structural validators over the mapped view — the strict check
+        // the fast loaders skip.
+        const TileFileHeader h = read_tile_file_header(path);
+        if (h.kind == static_cast<std::uint32_t>(TileFileKind::kTileMatrix)) {
+          const MappedTileMatrix m = map_tile_matrix_file(
+              path, /*verify_hash=*/true, /*deep_validate=*/true);
+          std::cout << path << ": OK (tile-file matrix " << m.tiled.rows << "x"
+                    << m.tiled.cols << ", nt " << m.tiled.nt << ", tiles "
+                    << m.tiled.num_tiles() << ", nnz " << m.tiled.total_nnz()
+                    << (m.has_transpose ? ", with transpose" : "") << ")\n";
+          return true;
+        }
+        if (h.kind == static_cast<std::uint32_t>(TileFileKind::kBitTileGraph)) {
+          offset_t edges = 0;
+          index_t n = 0;
+          switch (h.nt) {
+            case 16: {
+              const auto g = map_bit_tile_graph_file<16>(path, true, true);
+              edges = g.edges, n = g.n;
+              break;
+            }
+            case 32: {
+              const auto g = map_bit_tile_graph_file<32>(path, true, true);
+              edges = g.edges, n = g.n;
+              break;
+            }
+            case 64: {
+              const auto g = map_bit_tile_graph_file<64>(path, true, true);
+              edges = g.edges, n = g.n;
+              break;
+            }
+            default:
+              std::cout << path << ": INVALID (tile-file graph tile size "
+                        << h.nt << " unsupported)\n";
+              return false;
+          }
+          std::cout << path << ": OK (tile-file graph n " << n << ", nt "
+                    << h.nt << ", edges " << edges << ")\n";
+          return true;
+        }
+        std::cout << path << ": INVALID (tile-file kind " << h.kind
+                  << " unknown)\n";
+        return false;
       }
       case SerializedKind::kUnknown: {
         // Matrix Market files start with the "%%MatrixMarket" banner.
