@@ -133,7 +133,11 @@ TileFileView TileFileView::open(std::shared_ptr<MappedFile> file,
     if (s.offset % kTileFileAlign != 0) {
       throw std::runtime_error(what + " payload is misaligned");
     }
-    if (s.elem_size == 0 || s.bytes != s.count * s.elem_size) {
+    // Division, not multiplication: `count * elem_size` wraps for a crafted
+    // count like 2^61, which would let a tiny mapping claim a huge element
+    // count and send every downstream view out of bounds.
+    if (s.elem_size == 0 || s.bytes % s.elem_size != 0 ||
+        s.count != s.bytes / s.elem_size) {
       throw std::runtime_error(what + " size fields disagree");
     }
     if (s.offset < table_end || s.offset > size || s.bytes > size - s.offset) {
@@ -327,6 +331,7 @@ std::uint64_t write_tile_matrix_file_v2(const std::string& path,
   h.rows = m.rows;
   h.cols = m.cols;
   h.nt = m.nt;
+  h.edges = static_cast<std::int64_t>(m.total_nnz());
   if (transpose != nullptr) {
     if (transpose->rows != m.cols || transpose->cols != m.rows ||
         transpose->nt != m.nt) {

@@ -20,7 +20,9 @@
 // the kernels' ArrayBuf views directly — no copy, no rebuild (ALL arrays
 // are stored, including the derived run lists, side indexes and chunk
 // boundaries). The header carries an FNV-1a hash over the payload bytes;
-// the serving layer keys snapshots off it without rehashing the content.
+// the serving layer keys snapshots off it, rehashing the mapped payload
+// once at admission so the key is bound to the actual bytes (a forged
+// header hash must not alias another matrix's cache entry).
 //
 // Trust boundary: mapping validates the header, the section table and
 // every section's bounds/alignment/elem_size before any view is bound.
@@ -63,7 +65,7 @@ struct TileFileHeader {
   std::int64_t rows = 0;    // graph: n
   std::int64_t cols = 0;    // graph: n
   std::int64_t nt = 0;
-  std::int64_t edges = 0;   // BitTileGraph only (total nnz incl. extracted)
+  std::int64_t edges = 0;   // total nnz incl. extracted part (both kinds)
   std::uint64_t payload_hash = 0;  // FNV-1a-64 over payloads, section order
   std::uint32_t section_count = 0;
   std::uint32_t reserved0 = 0;
@@ -318,11 +320,20 @@ BitTileGraph<NT> map_bit_tile_graph_file(const std::string& path,
   v.bind(ts::kCscColWeight, g.csc_col_weight);
   // Cheap structural gates even in the fast path: the pointer arrays must
   // have their expected lengths or the kernels would index out of bounds.
+  // Both orientations are gated — the CSC kernels index csc_masks (or the
+  // mirror table) and the summaries just as hard as the CSR side.
+  const std::size_t ntiles = g.csr_tile_col.size();
   if (g.csr_tile_ptr.size() != static_cast<std::size_t>(g.tile_n) + 1 ||
       g.csc_tile_ptr.size() != static_cast<std::size_t>(g.tile_n) + 1 ||
       g.side_ptr.size() != static_cast<std::size_t>(g.n) + 1 ||
-      g.csr_masks.size() !=
-          g.csr_tile_col.size() * static_cast<std::size_t>(NT)) {
+      g.csc_tile_row.size() != ntiles ||
+      g.csr_masks.size() != ntiles * static_cast<std::size_t>(NT) ||
+      (g.shared_masks
+           ? g.csc_mirror.size() != ntiles
+           : g.csc_masks.size() != ntiles * static_cast<std::size_t>(NT)) ||
+      g.csr_row_summary.size() != ntiles ||
+      g.csc_col_summary.size() != ntiles ||
+      g.csc_col_weight.size() != static_cast<std::size_t>(g.tile_n)) {
     throw std::runtime_error("tile_file: graph section lengths inconsistent");
   }
   if (deep_validate) {

@@ -114,19 +114,28 @@ namespace {
 
 /// Zero-copy admission of a pre-converted v2 tile file: one mmap, cheap
 /// structural gates plus a full deep validation of the mapped view (the
-/// file is an arbitrary client upload), and the content key read straight
-/// from the header's payload hash — no bytes are hashed at load time.
+/// file is an arbitrary client upload). The content key is the header's
+/// payload hash, verified against the mapped bytes once at admission —
+/// MatrixStore::put treats an equal key as "same content" and epoch-swaps
+/// the resident snapshot, so a forged header hash must not be allowed to
+/// replace another matrix's cache entry under its key.
 SnapshotPtr load_snapshot_tile_file(const std::string& path,
                                     std::string alias) {
   MappedTileMatrix m =
-      map_tile_matrix_file(path, /*verify_hash=*/false, /*deep_validate=*/true);
+      map_tile_matrix_file(path, /*verify_hash=*/true, /*deep_validate=*/true);
+  // verify_hash re-read the payload sections (the whole file minus header,
+  // section table and alignment padding — file_bytes is the honest bound).
+  obs::counter_add(obs::Counter::kHashBytes, m.header.file_bytes);
   auto snap = std::make_shared<MatrixSnapshot>();
   snap->key = key_of_hash(m.header.payload_hash);
   snap->alias = std::move(alias);
   snap->source = "file:" + path;
   snap->rows = m.tiled.rows;
   snap->cols = m.tiled.cols;
-  snap->nnz = static_cast<offset_t>(m.header.edges);
+  // From the mapped view, not header.edges: exact by construction, and
+  // files written before the header carried a matrix edge count stay
+  // servable with a correct nnz.
+  snap->nnz = m.tiled.total_nnz();
   // Footprint = the mapped pages; both orientations are views into the
   // same mapping, so the file size is counted once.
   snap->bytes = sizeof(MatrixSnapshot) +

@@ -374,6 +374,24 @@ TEST(FuzzCorruption, TileFileDirectedHeaderAttacks) {
   std::memcpy(&s[sec0 + 24], &count, 8);
   expect_reject(s, false, "section bytes/count mismatch");
 
+  // Wrapping count: 2^61 * elem_size(8) overflows uint64 to exactly 0, so
+  // a multiplicative `bytes == count * elem_size` check would accept
+  // bytes=0 and let views claim 2^61 elements over a tiny mapping. Target
+  // the side_vals section (add-order index 11) — unlike the pointer
+  // arrays it has no downstream length gate, so only the section-table
+  // division check stands between the forged count and an out-of-bounds
+  // read in deep validation.
+  s = base;
+  const std::size_t sec_side_vals = sec0 + 11 * sizeof(TileFileSection);
+  std::uint32_t side_vals_id = 0;
+  std::memcpy(&side_vals_id, &s[sec_side_vals], 4);
+  ASSERT_EQ(side_vals_id, tf_section::kSideVals);
+  const std::uint64_t wrap_count = std::uint64_t{1} << 61;
+  const std::uint64_t wrap_bytes = 0;
+  std::memcpy(&s[sec_side_vals + 16], &wrap_bytes, 8);
+  std::memcpy(&s[sec_side_vals + 24], &wrap_count, 8);
+  expect_reject(s, false, "count*elem_size wraps to stored bytes");
+
   // Flip one payload byte: the structure may still parse, but the recorded
   // payload hash no longer matches, so the strict path must reject it.
   s = base;

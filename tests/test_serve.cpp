@@ -5,11 +5,17 @@
 // in-flight query.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <future>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "formats/tile_file.hpp"
 
 #include "apps/ms_bfs.hpp"
 #include "core/spmspv.hpp"
@@ -121,6 +127,45 @@ TEST(MatrixStore, LruEvictsColdestWithinBudget) {
   EXPECT_EQ(store.get("a"), nullptr);
   EXPECT_NE(store.get("b"), nullptr);
   EXPECT_EQ(store.stats().evictions, 1u);
+}
+
+TEST(MatrixStore, TileFileAdmissionBindsKeyToBytesAndReportsNnz) {
+  const std::string path = "/tmp/tilespmspv_serve_admit.ttlf";
+  const auto a = Csr<value_t>::from_coo(suite_matrix("er-small"));
+  const auto m = TileMatrix<value_t>::from_csr(a, 16, 2);
+  const std::uint64_t hash = write_tile_matrix_file_v2(path, m);
+
+  // Honest file: mmapped admission, content key = verified payload hash,
+  // nnz from the mapped view (header.edges was 0 in pre-fix files).
+  SnapshotPtr snap = load_snapshot_file(path, "tiled", {});
+  EXPECT_TRUE(snap->mapped);
+  EXPECT_EQ(snap->nnz, a.nnz());
+  std::string want_key(16, '0');
+  std::uint64_t h = hash;
+  for (int i = 15; i >= 0; --i, h >>= 4) {
+    want_key[static_cast<std::size_t>(i)] = "0123456789abcdef"[h & 0xf];
+  }
+  EXPECT_EQ(snap->key, want_key);
+
+  // Forged header hash: the content key is what MatrixStore::put dedups
+  // and epoch-swaps on, so an upload claiming another matrix's hash must
+  // be rejected at admission, not admitted under the forged key.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    ASSERT_TRUE(in);
+    bytes.resize(static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const std::uint64_t forged = hash ^ 0xdecafbadull;
+  std::memcpy(&bytes[48], &forged, 8);  // header.payload_hash slot
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(load_snapshot_file(path, "forged", {}), std::runtime_error);
+  std::remove(path.c_str());
 }
 
 TEST(Batcher, AccumulatesIntoMultiLaneFlushes) {

@@ -626,9 +626,9 @@ int cmd_mapcheck(const Args& args, obs::MetricsRegistry& metrics) {
     w.end_object();
     std::cout << "\n";
   } else {
-    std::printf("%s: %s nt %u; convert %.2f ms, map %.3f ms (%.1fx)\n",
+    std::printf("%s: %s nt %lld; convert %.2f ms, map %.3f ms (%.1fx)\n",
                 file.c_str(), is_graph ? "graph" : "matrix",
-                h.nt, convert_ms, map_ms, speedup);
+                static_cast<long long>(h.nt), convert_ms, map_ms, speedup);
     std::printf("%s: %s\n", is_graph ? "bfs levels equal" : "spmspv equal",
                 equal ? "yes" : "NO");
     for (int s = 0; s < snap.shards; ++s) {
