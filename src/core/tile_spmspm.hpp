@@ -134,8 +134,9 @@ inline void block_tile_accumulate(const T* vals, const std::uint8_t* cols,
   if (runs != nullptr) {
     int pos = 0;
     for (int ri = 0; ri < nruns; ++ri) {
-      row(runs[3 * ri], pos, runs[3 * ri + 1] + 1);
-      pos += runs[3 * ri + 1] + 1;
+      const std::size_t rb = static_cast<std::size_t>(ri) * 3;
+      row(runs[rb], pos, runs[rb + 1] + 1);
+      pos += runs[rb + 1] + 1;
     }
     return;
   }
@@ -166,8 +167,9 @@ inline void block_tile_accumulate_lanes(const T* vals, const std::uint8_t* cols,
   if (runs != nullptr) {
     int pos = 0;
     for (int ri = 0; ri < nruns; ++ri) {
-      const int lr = runs[3 * ri];
-      const int c = runs[3 * ri + 1] + 1;
+      const std::size_t rb = static_cast<std::size_t>(ri) * 3;
+      const int lr = runs[rb];
+      const int c = runs[rb + 1] + 1;
       for (int i = pos; i < pos + c; ++i) update(lr, i);
       pos += c;
     }

@@ -103,8 +103,9 @@ inline void intra_tile_accumulate_runs(const T* vals, const std::uint8_t* cols,
       simd::gather_mul(vals, cols, nnz, xt, prod);
       int pos = 0;
       for (int ri = 0; ri < nruns; ++ri) {
-        const int lr = runs[3 * ri];
-        const int c = runs[3 * ri + 1] + 1;
+        const std::size_t rb = static_cast<std::size_t>(ri) * 3;
+        const int lr = runs[rb];
+        const int c = runs[rb + 1] + 1;
         acc[lr] += simd::range_sum(prod + pos, c);
         pos += c;
       }
@@ -113,11 +114,12 @@ inline void intra_tile_accumulate_runs(const T* vals, const std::uint8_t* cols,
     if (strategy != TileMatrix<T>::kRunTiny) {
       int pos = 0;
       for (int ri = 0; ri < nruns; ++ri) {
-        const int lr = runs[3 * ri];
-        const int c = runs[3 * ri + 1] + 1;
+        const std::size_t rb = static_cast<std::size_t>(ri) * 3;
+        const int lr = runs[rb];
+        const int c = runs[rb + 1] + 1;
         if (c == 1) {
           acc[lr] += vals[pos] * xt[cols[pos]];
-        } else if (runs[3 * ri + 2]) {
+        } else if (runs[rb + 2]) {
           acc[lr] += simd::dot_contig(vals + pos, xt + cols[pos], c);
         } else if (c >= 8) {
           acc[lr] += simd::dot_gather(vals + pos, cols + pos, c, xt);
@@ -135,8 +137,9 @@ inline void intra_tile_accumulate_runs(const T* vals, const std::uint8_t* cols,
   (void)nnz;
   int pos = 0;
   for (int ri = 0; ri < nruns; ++ri) {
-    const int lr = runs[3 * ri];
-    const int c = runs[3 * ri + 1] + 1;
+    const std::size_t rb = static_cast<std::size_t>(ri) * 3;
+    const int lr = runs[rb];
+    const int c = runs[rb + 1] + 1;
     T sum{};
     for (int i = pos; i < pos + c; ++i) sum += vals[i] * xt[cols[i]];
     acc[lr] += sum;

@@ -159,6 +159,7 @@ TileFileView TileFileView::open(std::shared_ptr<MappedFile> file,
 }
 
 const TileFileSection* TileFileView::find(std::uint32_t id) const {
+  // lint:gated(section_count bounded against the section-table size in open)
   for (std::uint32_t i = 0; i < header_->section_count; ++i) {
     if (sections_[i].id == id) return &sections_[i];
   }
@@ -250,6 +251,19 @@ TileFileHeader read_tile_file_header(const std::string& path) {
   if (h.magic != kTileFileMagic) {
     throw std::runtime_error("tile_file: " + path + " has the wrong magic");
   }
+  // Callers dispatch on these fields (TileBfs switches on nt, the CLI
+  // prints dims) before any mapping-time validation runs, so the sniffed
+  // header passes the same gates open() applies.
+  if (h.version != kTileFileVersion) {
+    throw std::runtime_error("tile_file: " + path + " is format version " +
+                             std::to_string(h.version) + ", expected " +
+                             std::to_string(kTileFileVersion));
+  }
+  if (h.rows < 0 || h.cols < 0 || h.nt <= 0 || h.nt > 256 ||
+      h.rows > std::numeric_limits<index_t>::max() ||
+      h.cols > std::numeric_limits<index_t>::max()) {
+    throw std::runtime_error("tile_file: " + path + " header dims invalid");
+  }
   return h;
 }
 
@@ -317,6 +331,15 @@ TileMatrix<value_t> bind_tile_matrix(const TileFileView& v, index_t rows,
       m.side_row_ptr.size() != static_cast<std::size_t>(rows) + 1 ||
       m.local_col.size() != m.vals.size()) {
     throw std::runtime_error("tile_file: matrix section lengths inconsistent");
+  }
+  // Parallel-array agreement: the side CSC arrays and the extracted COO
+  // triple are indexed with a shared cursor, so a crafted file that
+  // shortens one section (each section is internally consistent, so open()
+  // cannot catch this) would send the kernels past the shorter array.
+  if (m.side_row_idx.size() != m.side_vals.size() ||
+      m.extracted.row_idx.size() != m.extracted.vals.size() ||
+      m.extracted.col_idx.size() != m.extracted.vals.size()) {
+    throw std::runtime_error("tile_file: parallel section lengths disagree");
   }
   return m;
 }

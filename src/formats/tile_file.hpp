@@ -172,7 +172,9 @@ class TileFileView {
   template <typename T>
   void bind(std::uint32_t id, ArrayBuf<T>& buf) const {
     const TileFileSection& s = require(id, sizeof(T));
+    // lint:gated(open() bounds offset+bytes to the file before any view escapes)
     buf.bind_view(reinterpret_cast<const T*>(file_->data() + s.offset),
+                  // lint:gated(count == bytes / elem_size checked in open)
                   static_cast<std::size_t>(s.count));
   }
 
@@ -182,7 +184,9 @@ class TileFileView {
   template <typename T>
   void copy(std::uint32_t id, std::vector<T>& out) const {
     const TileFileSection& s = require(id, sizeof(T));
+    // lint:gated(open() bounds offset+bytes to the file before any view escapes)
     const T* p = reinterpret_cast<const T*>(file_->data() + s.offset);
+    // lint:gated(count == bytes / elem_size checked in open; p spans the section)
     out.assign(p, p + s.count);
   }
 

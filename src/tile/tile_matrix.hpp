@@ -227,7 +227,8 @@ struct TileMatrix {
     row_runs.reserve(vals.size());  // <= 3 bytes per stored entry
     tile_strategy.assign(ntiles, kRunFlat);
     for (index_t t = 0; t < ntiles; ++t) {
-      const std::uint16_t* p = &intra_row_ptr[t * (nt + 1)];
+      const std::uint16_t* p =
+          &intra_row_ptr[static_cast<std::size_t>(t) * (nt + 1)];
       const offset_t base = tile_nnz_ptr[t];
       const int tile_nnz = p[nt];
       int nruns = 0;

@@ -412,5 +412,78 @@ TEST(FuzzCorruption, TileFileDirectedHeaderAttacks) {
   std::remove(path.c_str());
 }
 
+TEST(FuzzCorruption, TileFileParallelArrayAttack) {
+  // Directed attack on bind_tile_matrix's parallel-array gate: shrink the
+  // side_vals section by one element. Every per-section invariant open()
+  // checks still holds (elem_size divides bytes, count == bytes/elem_size,
+  // payload in bounds), so only the cross-section length gate stands
+  // between the shortened array and the kernels' shared side cursor.
+  const std::string path = "/tmp/tilespmspv_fuzz_ttlf_parallel.bin";
+  Coo<value_t> coo = gen_erdos_renyi(120, 96, 0.04, 4206);
+  coo.cols = 110;
+  coo.push(5, 100, 1.0);
+  coo.push(119, 109, 0.25);
+  const auto a = Csr<value_t>::from_coo(coo);
+  const auto m = TileMatrix<value_t>::from_csr(a, 16, 2);
+  ASSERT_GT(m.side_vals.size(), 0u) << "fixture must exercise the side part";
+  write_tile_matrix_file_v2(path, m);
+  std::string s = read_bytes(path);
+
+  const std::size_t sec_side_vals =
+      sizeof(TileFileHeader) + 11 * sizeof(TileFileSection);
+  std::uint32_t id = 0;
+  std::memcpy(&id, &s[sec_side_vals], 4);
+  ASSERT_EQ(id, tf_section::kSideVals);
+  std::uint64_t bytes = 0;
+  std::uint64_t count = 0;
+  std::memcpy(&bytes, &s[sec_side_vals + 16], 8);
+  std::memcpy(&count, &s[sec_side_vals + 24], 8);
+  ASSERT_GT(count, 0u);
+  bytes -= sizeof(value_t);
+  count -= 1;
+  std::memcpy(&s[sec_side_vals + 16], &bytes, 8);
+  std::memcpy(&s[sec_side_vals + 24], &count, 8);
+  write_bytes(path, s);
+  // Even the cheapest load (no hash check, no deep validation) must reject.
+  EXPECT_THROW(map_tile_matrix_file(path, false, false), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(FuzzCorruption, TileFileHeaderSniffAttacks) {
+  // read_tile_file_header is the dispatch sniffer: TileBfs switches on nt
+  // and the CLI prints dims before any mapping-time validation runs, so
+  // forged version/dims/nt must not survive the sniff itself.
+  const std::string path = "/tmp/tilespmspv_fuzz_ttlf_sniff.bin";
+  const auto a = Csr<value_t>::from_coo(gen_erdos_renyi(60, 60, 0.05, 4207));
+  const auto m = TileMatrix<value_t>::from_csr(a, 16, 2);
+  write_tile_matrix_file_v2(path, m);
+  const std::string base = read_bytes(path);
+
+  // Header field offsets: rows@16, cols@24, nt@32 (see TileFileHeader).
+  const auto expect_reject = [&](std::size_t at, std::int64_t v,
+                                 const char* what) {
+    std::string s = base;
+    std::memcpy(&s[at], &v, sizeof(v));
+    write_bytes(path, s);
+    EXPECT_THROW(read_tile_file_header(path), std::runtime_error) << what;
+  };
+  expect_reject(32, 0, "nt = 0");
+  expect_reject(32, -16, "negative nt");
+  expect_reject(32, std::int64_t{1} << 20, "oversized nt");
+  expect_reject(16, -1, "negative rows");
+  expect_reject(24, std::int64_t{1} << 40, "cols beyond index range");
+  {
+    std::string s = base;
+    const std::uint32_t future = kTileFileVersion + 7;
+    std::memcpy(&s[4], &future, sizeof(future));
+    write_bytes(path, s);
+    EXPECT_THROW(read_tile_file_header(path), std::runtime_error)
+        << "future version";
+  }
+  write_bytes(path, base);
+  EXPECT_EQ(read_tile_file_header(path).nt, 16);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace tilespmspv

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Fail-on-new gate for the clang static analyzer (scan-build) CI job.
+
+The analyzer runs over the exported compile database:
+
+    analyze-build --cdb build/compile_commands.json \
+        --output scan-out --plist-html
+
+and emits one plist per translation unit. This script normalizes every
+diagnostic to a stable key
+
+    <repo-relative file> TAB <checker> TAB <function> TAB <description>
+
+(line numbers are deliberately excluded: they drift with every edit, and a
+baseline that invalidates itself on unrelated changes trains people to
+rubber-stamp it) and compares the set against the checked-in baseline.
+
+  - A finding not in the baseline fails the job: new analyzer findings must
+    be fixed or consciously baselined in the same PR that introduces them.
+  - A baseline entry with no matching finding is reported as resolved, so
+    the baseline shrinks over time instead of fossilizing.
+
+Refresh the baseline with --update-baseline after deciding a finding is a
+false positive worth keeping (each entry is then visible in review).
+"""
+
+import argparse
+import plistlib
+import sys
+from pathlib import Path
+
+
+def finding_keys(results_dir: Path, repo_root: Path):
+    """Yields one normalized key per diagnostic in every plist under
+    results_dir."""
+    for plist_path in sorted(results_dir.rglob("*.plist")):
+        with plist_path.open("rb") as fh:
+            try:
+                doc = plistlib.load(fh)
+            except Exception as e:  # malformed plist: surface, don't hide
+                print(f"error: cannot parse {plist_path}: {e}",
+                      file=sys.stderr)
+                sys.exit(2)
+        files = doc.get("files", [])
+        for diag in doc.get("diagnostics", []):
+            idx = diag.get("location", {}).get("file", -1)
+            raw = files[idx] if 0 <= idx < len(files) else "<unknown>"
+            try:
+                rel = str(Path(raw).resolve().relative_to(repo_root))
+            except ValueError:
+                rel = raw  # outside the repo (system header): keep verbatim
+            checker = diag.get("check_name", diag.get("category", "unknown"))
+            func = diag.get("issue_context", "")
+            desc = diag.get("description", "")
+            yield f"{rel}\t{checker}\t{func}\t{desc}"
+
+
+def load_baseline(path: Path):
+    if not path.exists():
+        return set()
+    lines = path.read_text(encoding="utf-8").splitlines()
+    return {ln for ln in lines if ln and not ln.startswith("#")}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--results", required=True, type=Path,
+                    help="analyze-build output directory (plists)")
+    ap.add_argument("--baseline", required=True, type=Path,
+                    help="checked-in baseline file")
+    ap.add_argument("--repo-root", type=Path, default=Path.cwd(),
+                    help="repository root for path normalization")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline from the current results")
+    args = ap.parse_args()
+
+    found = sorted(set(finding_keys(args.results, args.repo_root.resolve())))
+
+    if args.update_baseline:
+        header = ("# clang static analyzer baseline — one finding per line:\n"
+                  "# file TAB checker TAB function TAB description\n"
+                  "# Regenerate: tools/analyze/check_scan_build.py "
+                  "--update-baseline\n")
+        args.baseline.write_text(header + "".join(k + "\n" for k in found),
+                                 encoding="utf-8")
+        print(f"baseline updated: {len(found)} finding(s) recorded")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    new = [k for k in found if k not in baseline]
+    resolved = sorted(baseline - set(found))
+
+    for k in resolved:
+        print(f"resolved (remove from baseline): {k}")
+    if new:
+        print(f"{len(new)} new analyzer finding(s) not in the baseline:")
+        for k in new:
+            print(f"  NEW: {k}")
+        print("fix them, or re-baseline deliberately with --update-baseline")
+        return 1
+    print(f"scan-build gate: {len(found)} finding(s), all baselined "
+          f"({len(resolved)} stale baseline entr"
+          f"{'y' if len(resolved) == 1 else 'ies'})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+// Suppression round-trip: the same tainted pattern the seeded fixtures
+// flag, but carrying a lint:gated annotation WITH a written reason — the
+// tree must lint clean.
+#include <cstdint>
+
+struct TileFileSection {
+  std::uint64_t offset = 0;
+  std::uint64_t count = 0;
+};
+
+double last_val(const TileFileSection& s, const double* vals) {
+  // lint:gated(count was validated as bytes / elem_size when the view opened)
+  return vals[s.count - 1];
+}

@@ -1,0 +1,17 @@
+#pragma once
+
+namespace tilespmspv {
+
+// Seeded violation: the negative-hit path returns with the slot lock still
+// held — every later caller deadlocks on this slot.
+inline int locked_lookup(int* table, unsigned char* lock, int key) {
+  spin_lock(lock);
+  const int v = table[key & 63];
+  if (v < 0) {
+    return -1;
+  }
+  spin_unlock(lock);
+  return v;
+}
+
+}  // namespace tilespmspv

@@ -1,0 +1,11 @@
+#pragma once
+
+namespace tilespmspv {
+
+// Seeded violation: the fall-through path never releases the lock.
+inline void mark_done(unsigned char* lock, int* flags, int i) {
+  spin_lock(lock);
+  flags[i] = 1;
+}
+
+}  // namespace tilespmspv

@@ -1,0 +1,32 @@
+// Seeded violation: verbatim reproduction of the PR 9 section-size check.
+// The multiplicative form `bytes != count * elem_size` wraps — with
+// count = 2^61 and elem_size = 8 the product is 0 mod 2^64, so a section
+// claiming zero bytes passes the check and `count` reaches the copy
+// unbounded. The division form `count != bytes / elem_size` cannot wrap.
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+struct TileFileSection {
+  std::uint32_t id = 0;
+  std::uint64_t elem_size = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t count = 0;  // attacker-controlled: 2^61 wraps the product
+};
+
+std::vector<double> load_section_vals(const TileFileSection& s,
+                                      const unsigned char* base,
+                                      std::uint64_t file_bytes) {
+  if (s.offset > file_bytes || s.bytes > file_bytes - s.offset) {
+    throw std::runtime_error("section outside file");
+  }
+  // BUG (the seeded finding): multiplicative check — count stays tainted.
+  if (s.elem_size == 0 || s.bytes != s.count * s.elem_size) {
+    throw std::runtime_error("section size mismatch");
+  }
+  const double* p = reinterpret_cast<const double*>(base + s.offset);
+  std::vector<double> out;
+  out.assign(p, p + s.count);
+  return out;
+}

@@ -1,0 +1,14 @@
+// Seeded violation: a lint:gated annotation with nothing between the
+// parentheses. Suppressions must carry a written reason; an empty one is
+// itself a finding, so reviewers can't wave taint through silently.
+#include <cstdint>
+
+struct TileFileSection {
+  std::uint64_t offset = 0;
+  std::uint64_t count = 0;
+};
+
+double last_val(const TileFileSection& s, const double* vals) {
+  // lint:gated()
+  return vals[s.count - 1];
+}

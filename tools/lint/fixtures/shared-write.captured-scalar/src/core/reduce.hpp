@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tilespmspv {
+
+// Seeded violation: read-modify-write on a reference-captured accumulator
+// from inside the parallel region — every worker races on `total`. The
+// fix is a per-slot partial array or parallel_reduce, not a lint:owned.
+template <typename T>
+T sum_all(const std::vector<T>& xs, ThreadPool* pool) {
+  T total{};
+  parallel_for(xs.size(), [&](std::size_t i) {
+    total += xs[i];
+  }, pool);
+  return total;
+}
+
+}  // namespace tilespmspv

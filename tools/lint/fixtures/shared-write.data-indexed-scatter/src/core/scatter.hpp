@@ -1,0 +1,19 @@
+#pragma once
+
+namespace tilespmspv {
+
+// Seeded violation: `col` is a *value* loaded from the column array, not a
+// partition bound, so counts[col] collides across chunks. Contrast with
+// `for (long j = row_ptr[r]; ...)`, which IS owned: row_ptr partitions the
+// iteration space, so j stays inside this worker's slice.
+inline void column_histogram(const int* cols, const long* row_ptr, int nrows,
+                             int* counts, ThreadPool* pool) {
+  parallel_for(nrows, [&](int r) {
+    for (long j = row_ptr[r]; j < row_ptr[r + 1]; ++j) {
+      const int col = cols[j];
+      counts[col] += 1;
+    }
+  }, pool);
+}
+
+}  // namespace tilespmspv

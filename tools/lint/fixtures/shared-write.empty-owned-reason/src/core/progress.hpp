@@ -1,0 +1,15 @@
+#pragma once
+
+namespace tilespmspv {
+
+// Seeded violation: lint:owned with no invariant written between the
+// parentheses. The annotation only counts when it states WHY the write
+// cannot race.
+inline void stamp_progress(double* progress, int n, ThreadPool* pool) {
+  parallel_for(n, [&](int i) {
+    // lint:owned()
+    progress[0] = i;
+  }, pool);
+}
+
+}  // namespace tilespmspv
